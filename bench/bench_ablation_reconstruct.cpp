@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation — where per-request timeline reconstruction breaks (§III).
+ *
+ * The paper's first idea was reconstructing each request's recv->send
+ * timeline; it works only when a single thread handles the whole
+ * request. We quantify that: match rate of the naive per-thread pairing
+ * for a single-threaded server vs the multi-threaded / dispatched /
+ * two-stage models, at low and high load.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "client/load_generator.hh"
+#include "core/trace.hh"
+#include "workload/server_app.hh"
+
+using namespace reqobs;
+
+namespace {
+
+struct Row
+{
+    std::string label;
+    double matchRate;
+    std::uint64_t nested;
+    std::uint64_t unmatched;
+    std::size_t requests;
+};
+
+Row
+traceWorkload(const std::string &name, unsigned workers, double load)
+{
+    sim::Simulation sim(51);
+    kernel::Kernel kernel(sim);
+    auto wl = workload::workloadByName(name);
+    wl.workers = workers;
+    wl.saturationRps = 2000.0;
+    wl.connections = 8;
+    workload::ServerApp app(kernel, wl);
+
+    client::ClientConfig cc;
+    cc.offeredRps = load * wl.saturationRps;
+    cc.maxRequests = 1500;
+    cc.warmup = 0;
+    client::LoadGenerator gen(sim, app, net::NetemConfig{},
+                              net::TcpConfig{}, cc);
+
+    core::TraceCollector collector(kernel, app.frontPid());
+    app.start();
+    collector.start();
+    gen.start();
+    sim.runFor(sim::seconds(1) +
+               static_cast<sim::Tick>(1500.0 / cc.offeredRps * 1e9));
+    collector.stop();
+
+    const auto report = core::reconstructTimelines(collector.records(),
+                                                   core::profileFor(wl));
+    char label[96];
+    std::snprintf(label, sizeof(label), "%s w=%u load=%.1f", name.c_str(),
+                  workers, load);
+    return Row{label, report.matchRate(), report.nestedRecvs,
+               report.unmatchedSends, report.requests.size()};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Ablation: naive per-request reconstruction "
+                       "across threading models");
+
+    std::printf("%-32s %10s %8s %10s %10s\n", "configuration", "match%",
+                "paired", "nested", "unmatched");
+    for (const Row &row : {
+             traceWorkload("data-caching", 1, 0.3),  // the easy case
+             traceWorkload("data-caching", 1, 0.9),  // pipelining begins
+             traceWorkload("data-caching", 8, 0.9),  // multi-threaded
+             traceWorkload("triton-http", 4, 0.9),   // dispatched
+             traceWorkload("web-search", 8, 0.9),    // two-stage + chunks
+         }) {
+        std::printf("%-32s %9.1f%% %8zu %10llu %10llu\n", row.label.c_str(),
+                    100.0 * row.matchRate, row.requests,
+                    (unsigned long long)row.nested,
+                    (unsigned long long)row.unmatched);
+    }
+
+    std::printf("\nExpected shape (paper): near-perfect pairing for one "
+                "thread at low load,\ndegrading with threads/dispatch — "
+                "why the paper uses aggregate statistics.\n");
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Fig. 1 — the syscall stream of a request-response application.
+ *
+ * Builds a small single-threaded server with explicit lifecycle phases:
+ * setup (socket/bind/listen/accept/epoll_ctl), request processing
+ * (epoll_wait/recvfrom/sendto cycles) and shutdown (close/exit), traces
+ * it with the ring-buffer stream probes (Fig. 1b), prints the per-phase
+ * syscall mix, then extracts the request-oriented subset and
+ * reconstructs the per-request timeline (Fig. 1c).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "core/trace.hh"
+#include "kernel/kernel.hh"
+#include "kernel/notifier.hh"
+
+using namespace reqobs;
+using kernel::Fd;
+using kernel::Kernel;
+using kernel::Message;
+using kernel::Syscall;
+using kernel::Task;
+using kernel::Tid;
+
+int
+main()
+{
+    bench::printHeader("Fig. 1: syscall stream of a request-response "
+                       "application");
+
+    sim::Simulation sim(31);
+    Kernel kernel(sim);
+    const kernel::Pid pid = kernel.createProcess("fig1-server");
+
+    core::TraceCollector collector(kernel, pid);
+    collector.start();
+
+    constexpr int kClients = 4;
+    constexpr int kRequestsPerClient = 8;
+
+    // The server: one thread, full lifecycle.
+    kernel.spawnThread(pid, [](Kernel &k, Tid tid) -> Task {
+        // --- setup phase ---
+        const Fd listen_fd = k.listen(tid); // socket+bind+listen
+        const Fd epfd = k.epollCreate(tid);
+        std::vector<Fd> conns;
+        while (conns.size() < kClients) {
+            const Fd fd = co_await k.accept(tid, listen_fd);
+            if (fd < 0) {
+                co_await k.sleepFor(tid, sim::microseconds(50));
+                continue;
+            }
+            k.epollCtlAdd(tid, epfd, fd);
+            conns.push_back(fd);
+        }
+        // --- request-processing phase ---
+        int served = 0;
+        while (served < kClients * kRequestsPerClient) {
+            auto ready = co_await k.epollWait(tid, epfd, 8, -1);
+            for (const auto &r : ready) {
+                auto rx = co_await k.recv(tid, r.fd, Syscall::Recvfrom);
+                if (!rx.ok)
+                    continue;
+                co_await k.compute(tid, sim::microseconds(150));
+                Message resp = rx.msg;
+                resp.isResponse = true;
+                co_await k.send(tid, r.fd, std::move(resp),
+                                Syscall::Sendto);
+                ++served;
+            }
+        }
+        // --- shutdown phase ---
+        co_await k.sleepFor(tid, sim::microseconds(10));
+    });
+
+    // Clients: enqueue connections, then stream requests.
+    std::vector<std::shared_ptr<kernel::Socket>> socks;
+    for (int c = 0; c < kClients; ++c) {
+        auto sock = std::make_shared<kernel::Socket>(c + 1);
+        socks.push_back(sock);
+        sim.schedule(sim::microseconds(10 * (c + 1)), [&kernel, pid, sock] {
+            kernel.enqueueIncomingConnection(pid, 3 /* first fd */, sock);
+        });
+    }
+    std::uint64_t rid = 1;
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+        for (int c = 0; c < kClients; ++c) {
+            auto *sk = socks[c].get();
+            Message m;
+            m.requestId = rid++;
+            sim.schedule(sim::milliseconds(1) +
+                             sim::microseconds(400) * (i * kClients + c),
+                         [&sim, sk, m] { sk->deliver(m, sim.now()); });
+        }
+    }
+
+    sim.runFor(sim::milliseconds(60));
+    collector.stop();
+
+    const auto &records = collector.records();
+    std::printf("(a) application: 1 thread, %d connections, %d requests\n",
+                kClients, kClients * kRequestsPerClient);
+
+    // (b) the raw stream: syscall mix per phase.
+    std::map<std::string, int> setup_mix, run_mix;
+    const std::uint64_t phase_split =
+        static_cast<std::uint64_t>(sim::milliseconds(1));
+    for (const auto &r : records) {
+        if (r.point != 1)
+            continue;
+        auto &mix = r.ts < phase_split ? setup_mix : run_mix;
+        ++mix[kernel::syscallName(static_cast<std::int64_t>(r.id))];
+    }
+    std::printf("\n(b) traced syscall mix (sys_exit events)\n");
+    std::printf("    setup phase:   ");
+    for (const auto &[name, n] : setup_mix)
+        std::printf("%s x%d  ", name.c_str(), n);
+    std::printf("\n    request phase: ");
+    for (const auto &[name, n] : run_mix)
+        std::printf("%s x%d  ", name.c_str(), n);
+    std::printf("\n\n    first records of the stream:\n%s",
+                collector.format(14).c_str());
+
+    // (c) extracted request-oriented subset -> reconstruction.
+    const auto report =
+        core::reconstructTimelines(records, core::genericProfile());
+    std::printf("\n(c) per-request reconstruction (single thread)\n");
+    std::printf("    requests reconstructed : %zu\n",
+                report.requests.size());
+    std::printf("    match rate             : %.1f%%\n",
+                100.0 * report.matchRate());
+    std::printf("    mean service time      : %.1f us (true compute: "
+                "150 us + syscall costs)\n",
+                report.meanServiceNs() / 1e3);
+    std::printf("    ring-buffer drops      : %llu\n",
+                (unsigned long long)collector.drops());
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 4 — mean event-polling duration under varying load.
+ *
+ * Per workload and load level, prints the mean epoll_wait/select
+ * duration measured in-kernel by the Listing-1 probe pair, normalized to
+ * its per-workload maximum (the paper's y-axis), with the QoS-failure
+ * level marked. The duration must decrease toward saturation and
+ * stabilise at a floor past it — the saturation-slack signal.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace reqobs;
+    bench::printHeader(
+        "Fig. 4: mean epoll/select duration under varying load");
+
+    const auto fractions = std::vector<double>{0.30, 0.50, 0.65, 0.80,
+                                               0.90, 0.95, 1.00, 1.10,
+                                               1.20, 1.30};
+
+    for (const auto &wl : workload::paperWorkloads()) {
+        const auto levels = bench::sweep(wl, fractions);
+        std::vector<double> durations;
+        for (const auto &lvl : levels)
+            durations.push_back(lvl.result.pollMeanDurNs);
+        const auto norm = stats::normalizeByMax(durations);
+        const int knee = bench::qosKneeIndex(levels);
+
+        std::printf("\n--- %s [%s] (QoS crossed at level %d) ---\n",
+                    wl.name.c_str(),
+                    kernel::syscallName(
+                        kernel::syscallId(wl.pollSyscall))
+                        .c_str(),
+                    knee);
+        std::printf("%6s %12s %14s %10s %5s\n", "load", "RPS_Real",
+                    "pollDur(us)", "normDur", "QoS");
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            const auto &r = levels[i].result;
+            std::printf("%6.2f %12.1f %14.3f %10.3f %5s\n",
+                        levels[i].loadFraction, r.achievedRps,
+                        r.pollMeanDurNs / 1e3, norm[i],
+                        r.qosViolated ? "FAIL" : "ok");
+        }
+    }
+
+    std::printf("\nExpected shape (paper): duration falls monotonically "
+                "with load and\nstabilises once the application saturates "
+                "(idleness -> 0).\n");
+    return 0;
+}

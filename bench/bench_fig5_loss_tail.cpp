@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 5 — impact of network loss on tail latency vs syscall-derived
+ * metrics, for the Triton inference server with the gRPC protocol.
+ *
+ * Top row of the paper: client-side p99 under 0% and 1% loss — loss
+ * inflates it by orders of magnitude (TCP RTO recovery).
+ * Bottom row: the normalized mean epoll_wait duration measured by the
+ * in-kernel probe — unaffected, because retransmissions never change
+ * when the *server* does work.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace reqobs;
+    bench::printHeader(
+        "Fig. 5: loss vs tail latency (triton-grpc), p99 and epoll_wait");
+
+    const auto wl = workload::workloadByName("triton-grpc");
+    const std::vector<double> fractions = {0.3, 0.5, 0.7, 0.9, 1.0};
+
+    net::NetemConfig clean;
+    net::NetemConfig lossy;
+    lossy.lossProbability = 0.01;
+
+    const auto rows_clean = bench::sweep(wl, fractions, clean);
+    const auto rows_lossy = bench::sweep(wl, fractions, lossy);
+
+    std::printf("\n(top) client p99 latency, ms\n");
+    std::printf("%6s %16s %16s %10s\n", "load", "0% loss", "1% loss",
+                "ratio");
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        const double a = rows_clean[i].result.p99Ns / 1e6;
+        const double b = rows_lossy[i].result.p99Ns / 1e6;
+        std::printf("%6.2f %16.2f %16.2f %10.2f\n", fractions[i], a, b,
+                    a > 0 ? b / a : 0.0);
+    }
+
+    // Bottom row: epoll_wait duration, normalized per series.
+    std::vector<double> dur_clean, dur_lossy;
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        dur_clean.push_back(rows_clean[i].result.pollMeanDurNs);
+        dur_lossy.push_back(rows_lossy[i].result.pollMeanDurNs);
+    }
+    const auto n_clean = stats::normalizeByMax(dur_clean);
+    const auto n_lossy = stats::normalizeByMax(dur_lossy);
+
+    std::printf("\n(bottom) normalized mean epoll_wait duration\n");
+    std::printf("%6s %16s %16s %10s\n", "load", "0% loss", "1% loss",
+                "abs.diff");
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        const double d = std::abs(n_clean[i] - n_lossy[i]);
+        max_diff = std::max(max_diff, d);
+        std::printf("%6.2f %16.3f %16.3f %10.3f\n", fractions[i],
+                    n_clean[i], n_lossy[i], d);
+    }
+
+    std::printf("\nExpected shape (paper): 1%% loss disturbs p99 heavily "
+                "(RTO spikes), while\nthe epoll_wait-duration curve is "
+                "essentially unchanged (max diff %.3f).\n",
+                max_diff);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * §VI "Low overhead estimation" — probe overhead on tail latency.
+ *
+ * Every workload runs at two load levels with and without the full
+ * observability agent attached (two delta probes + the duration probe
+ * pair on both tracepoints). Probe execution costs simulated time on
+ * the traced thread (dispatch cost + per-interpreted-instruction cost),
+ * so any overhead shows up in client latency. The paper reports median
+ * and upper-quartile overhead well below 1% (typically below 0.5%).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace reqobs;
+    bench::printHeader("§VI: eBPF probe overhead on tail latency");
+
+    std::printf("%-14s %5s %12s %12s %9s %12s %12s\n", "workload", "load",
+                "p99 off(ms)", "p99 on(ms)", "ovh(%)", "insns/call",
+                "cost/req(us)");
+
+    std::vector<double> overheads;
+    for (const auto &wl : workload::paperWorkloads()) {
+        for (double load : {0.5, 0.9}) {
+            core::ExperimentConfig on = bench::benchConfig(wl, 23);
+            core::ExperimentConfig off = on;
+            off.attachAgent = false;
+            const auto r_on = bench::runPoint(on, load);
+            const auto r_off = bench::runPoint(off, load);
+            const double ovh =
+                100.0 *
+                (static_cast<double>(r_on.p99Ns) -
+                 static_cast<double>(r_off.p99Ns)) /
+                static_cast<double>(r_off.p99Ns);
+            overheads.push_back(std::abs(ovh));
+            const double insns_per_event =
+                r_on.probeEvents
+                    ? static_cast<double>(r_on.probeInsns) /
+                          static_cast<double>(r_on.probeEvents)
+                    : 0.0;
+            const double cost_per_req =
+                r_on.completed ? static_cast<double>(r_on.probeCostNs) /
+                                     static_cast<double>(r_on.completed) /
+                                     1e3
+                               : 0.0;
+            std::printf("%-14s %5.2f %12.3f %12.3f %9.3f %12.1f %12.3f\n",
+                        wl.name.c_str(), load, r_off.p99Ns / 1e6,
+                        r_on.p99Ns / 1e6, ovh, insns_per_event,
+                        cost_per_req);
+        }
+    }
+
+    std::sort(overheads.begin(), overheads.end());
+    const double median = overheads[overheads.size() / 2];
+    const double q3 = overheads[overheads.size() * 3 / 4];
+    std::printf("\n|overhead| median = %.3f%%, upper quartile = %.3f%%\n",
+                median, q3);
+    std::printf("Expected shape (paper): median and upper quartile "
+                "significantly below 1%%.\n");
+    std::printf("(ovh%% is measured through p99, which is chaotic: probe "
+                "costs perturb event\ninterleaving; cost/req is the "
+                "deterministic in-kernel time actually charged.)\n");
+    return 0;
+}

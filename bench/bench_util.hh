@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: compact
+ * sweep construction, per-level window-sample collection (the paper's
+ * "ten estimations per actual RPS level"), and table printing.
+ */
+
+#ifndef REQOBS_BENCH_BENCH_UTIL_HH
+#define REQOBS_BENCH_BENCH_UTIL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "stats/regression.hh"
+#include "stats/summary.hh"
+
+namespace reqobs::bench {
+
+/** One load level's ground truth + the agent's windowed estimates. */
+struct LevelResult
+{
+    double loadFraction = 0.0;
+    core::ExperimentResult result;
+};
+
+/** Base config for one workload with bench-appropriate run lengths. */
+inline core::ExperimentConfig
+benchConfig(const workload::WorkloadConfig &wl, std::uint64_t seed = 7)
+{
+    core::ExperimentConfig cfg;
+    cfg.workload = wl;
+    cfg.seed = seed;
+    // Windows of ~512+ sends per estimate; several estimates per level.
+    cfg.agent.minWindowSyscalls = 512;
+    return cfg;
+}
+
+/** Run one load point with request count scaled to the rate. */
+inline core::ExperimentResult
+runPoint(core::ExperimentConfig cfg, double load_fraction)
+{
+    cfg.offeredRps = load_fraction * cfg.workload.saturationRps;
+    cfg.requests = static_cast<std::uint64_t>(
+        std::clamp(cfg.offeredRps * 4.0, 2500.0, 25000.0));
+    // Keep the warmup a small fraction of the offered-load window so
+    // fast workloads (capped request counts) still measure steady state.
+    const double window_s =
+        static_cast<double>(cfg.requests) / cfg.offeredRps;
+    cfg.warmup = std::min<sim::Tick>(
+        sim::milliseconds(200),
+        static_cast<sim::Tick>(window_s * 0.2 * 1e9));
+    // Sample fast enough for several estimates even in short runs.
+    cfg.agent.samplePeriod = std::min<sim::Tick>(
+        sim::milliseconds(100),
+        static_cast<sim::Tick>(window_s * 0.1 * 1e9));
+    cfg.seed += static_cast<std::uint64_t>(load_fraction * 1000.0);
+    auto r = core::runExperiment(cfg);
+    return r;
+}
+
+/** Sweep a workload over @p fractions. */
+inline std::vector<LevelResult>
+sweep(const workload::WorkloadConfig &wl,
+      const std::vector<double> &fractions,
+      const net::NetemConfig &netem = {}, std::uint64_t seed = 7)
+{
+    std::vector<LevelResult> out;
+    for (double f : fractions) {
+        core::ExperimentConfig cfg = benchConfig(wl, seed);
+        cfg.netem = netem;
+        LevelResult lr;
+        lr.loadFraction = f;
+        lr.result = runPoint(cfg, f);
+        out.push_back(std::move(lr));
+    }
+    return out;
+}
+
+/**
+ * Fig. 2-style correlation: pair every windowed RPS_obsv estimate with
+ * its level's measured RPS_real and fit RPS_real = a * RPS_obsv + b.
+ * @param max_estimates_per_level mirrors the paper's "ten estimations
+ *        plotted for each actual RPS level".
+ */
+inline stats::LinearFit
+fitObsVsReal(const std::vector<LevelResult> &levels,
+             std::size_t max_estimates_per_level = 10)
+{
+    stats::LinearRegression reg;
+    for (const auto &lvl : levels) {
+        std::size_t used = 0;
+        for (const auto &s : lvl.result.samples) {
+            if (used++ >= max_estimates_per_level)
+                break;
+            if (s.rpsObsv > 0.0)
+                reg.add(s.rpsObsv, lvl.result.achievedRps);
+        }
+    }
+    return reg.fit();
+}
+
+/** First swept level whose run violated QoS (-1 if none). */
+inline int
+qosKneeIndex(const std::vector<LevelResult> &levels)
+{
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        if (levels[i].result.qosViolated)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+/** Default sweep fractions spanning the saturation knee. */
+inline std::vector<double>
+kneeFractions()
+{
+    return {0.50, 0.65, 0.80, 0.90, 0.95, 1.00, 1.10, 1.20, 1.30};
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n=============================================="
+                "==============================\n%s\n"
+                "=============================================="
+                "==============================\n",
+                title.c_str());
+}
+
+} // namespace reqobs::bench
+
+#endif // REQOBS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Saturation monitor: the paper's §IV-C use case as a runnable program.
+ *
+ * A memcached-like server is driven through a load ramp that crosses its
+ * saturation point. The observability agent — working purely from
+ * in-kernel syscall statistics — prints a live dashboard per sampling
+ * window: Eq. 1 observed RPS, the Eq. 2 normalized variance ratio, the
+ * epoll-duration slack, and the detector's saturation verdict. Alongside
+ * it we print the client-measured truth so you can see the in-kernel
+ * signals catch the QoS knee without any application cooperation.
+ *
+ *   ./saturation_monitor [workload-name]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "client/load_generator.hh"
+#include "core/agent.hh"
+#include "core/profile.hh"
+#include "kernel/kernel.hh"
+#include "kernel/system_spec.hh"
+#include "workload/server_app.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace reqobs;
+
+    const std::string name = argc > 1 ? argv[1] : "data-caching";
+
+    sim::Simulation sim(2024);
+    kernel::KernelConfig kc;
+    kc.cpu = kernel::amdEpyc7302().toCpuConfig();
+    kernel::Kernel kernel(sim, kc);
+
+    auto wl = workload::workloadByName(name);
+    workload::ServerApp app(kernel, wl);
+
+    client::ClientConfig cc;
+    cc.offeredRps = 0.4 * wl.saturationRps;
+    cc.warmup = 0;
+    client::LoadGenerator gen(sim, app, net::NetemConfig{},
+                              net::TcpConfig{}, cc);
+
+    core::AgentConfig agent_cfg;
+    agent_cfg.samplePeriod = sim::milliseconds(250);
+    core::ObservabilityAgent agent(kernel, app.frontPid(),
+                                   core::profileFor(wl), agent_cfg);
+
+    app.start();
+    agent.start();
+    gen.start();
+
+    std::printf("workload %s: ramping offered load 40%% -> 130%% of "
+                "saturation (%.0f rps)\n\n",
+                wl.name.c_str(), wl.saturationRps);
+    std::printf("%8s %8s %12s %10s %8s %10s %11s\n", "t(s)", "load%",
+                "RPS_obsv", "var-ratio", "slack", "saturated",
+                "p99_true(ms)");
+
+    // Ramp in 12 steps; report the agent's view after each.
+    std::size_t seen = 0;
+    for (int step = 0; step <= 12; ++step) {
+        const double frac = 0.4 + 0.075 * step;
+        gen.setOfferedRps(frac * wl.saturationRps);
+        sim.runFor(sim::seconds(2));
+
+        // Print the windows that arrived during this step.
+        const auto &samples = agent.samples();
+        double rps = 0.0, ratio = 0.0, slack = 1.0;
+        bool saturated = false;
+        for (; seen < samples.size(); ++seen) {
+            rps = samples[seen].rpsObsv;
+            slack = samples[seen].slack;
+            saturated = samples[seen].saturated;
+        }
+        ratio = agent.saturation().varianceRatio();
+        std::printf("%8.1f %8.0f %12.1f %10.2f %8.2f %10s %11.2f\n",
+                    sim::toSeconds(sim.now()), frac * 100.0, rps, ratio,
+                    slack, saturated ? "** YES **" : "no",
+                    gen.latencies().p99() / 1e6);
+    }
+
+    std::printf("\nThe detector flags saturation when the normalized "
+                "variance of inter-send\ndeltas blows up versus its "
+                "low-load baseline (Eq. 2), and the slack estimate\n"
+                "(epoll-duration position in its observed range) "
+                "collapses toward 0.\n");
+    agent.stop();
+    gen.stop();
+    return 0;
+}

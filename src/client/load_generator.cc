@@ -1,0 +1,143 @@
+#include "client/load_generator.hh"
+
+#include "sim/logging.hh"
+
+namespace reqobs::client {
+
+LoadGenerator::LoadGenerator(sim::Simulation &sim, workload::ServerApp &app,
+                             const net::NetemConfig &netem,
+                             const net::TcpConfig &tcp,
+                             const ClientConfig &config)
+    : sim_(sim), app_(app), config_(config), rng_(sim.forkRng()),
+      alive_(std::make_shared<bool>(true))
+{
+    if (config.offeredRps <= 0.0)
+        sim::fatal("LoadGenerator: offered RPS must be positive");
+    interArrival_ = std::make_unique<sim::ExponentialDist>(
+        std::max<sim::Tick>(
+            1, static_cast<sim::Tick>(1e9 / config.offeredRps)));
+
+    const unsigned conns = app.config().connections;
+    links_.reserve(conns);
+    for (unsigned c = 0; c < conns; ++c) {
+        auto sock = app.addConnection(c + 1);
+        links_.push_back(std::make_unique<net::Link>(
+            sim, netem, tcp, std::move(sock),
+            [this](kernel::Message &&msg) { onResponse(std::move(msg)); }));
+    }
+}
+
+LoadGenerator::~LoadGenerator()
+{
+    *alive_ = false;
+}
+
+void
+LoadGenerator::start()
+{
+    if (running_)
+        sim::fatal("LoadGenerator: start() called twice");
+    running_ = true;
+    measureStart_ = sim_.now() + config_.warmup;
+    scheduleNextArrival();
+}
+
+void
+LoadGenerator::stop()
+{
+    running_ = false;
+}
+
+void
+LoadGenerator::setOfferedRps(double rps)
+{
+    if (rps <= 0.0)
+        sim::fatal("LoadGenerator::setOfferedRps: rate must be positive");
+    config_.offeredRps = rps;
+    interArrival_ = std::make_unique<sim::ExponentialDist>(
+        std::max<sim::Tick>(1, static_cast<sim::Tick>(1e9 / rps)));
+}
+
+void
+LoadGenerator::scheduleNextArrival()
+{
+    if (!running_)
+        return;
+    if (config_.maxRequests && sent_ >= config_.maxRequests) {
+        running_ = false;
+        arrivalsEnd_ = sim_.now();
+        return;
+    }
+    auto alive = alive_;
+    sim_.schedule(interArrival_->sample(rng_), [this, alive] {
+        if (!*alive)
+            return;
+        fireRequest();
+        scheduleNextArrival();
+    });
+}
+
+void
+LoadGenerator::fireRequest()
+{
+    if (!running_)
+        return;
+    kernel::Message req;
+    req.requestId = nextRequestId_++;
+    req.bytes = app_.config().requestBytes;
+    req.created = sim_.now();
+    req.isResponse = false;
+
+    Pending p;
+    p.sentAt = sim_.now();
+    pending_.emplace(req.requestId, p);
+    ++sent_;
+
+    links_[nextLink_]->sendRequest(std::move(req));
+    nextLink_ = (nextLink_ + 1) % links_.size();
+}
+
+void
+LoadGenerator::onResponse(kernel::Message &&msg)
+{
+    auto it = pending_.find(msg.requestId);
+    if (it == pending_.end())
+        return; // duplicate/stale chunk
+    Pending &p = it->second;
+    ++p.chunksSeen;
+    if (p.chunksSeen < msg.chunks)
+        return; // wait for the remaining chunks
+
+    const sim::Tick now = sim_.now();
+    if (p.sentAt >= measureStart_) {
+        ++completed_;
+        lastCompletion_ = now;
+        // Throughput accounting stops with the arrival process: counting
+        // queue-drain completions would understate overload RPS.
+        if (arrivalsEnd_ == 0 || now <= arrivalsEnd_)
+            ++completedDuringLoad_;
+        latencies_.record(static_cast<std::uint64_t>(now - p.sentAt));
+    }
+    pending_.erase(it);
+}
+
+double
+LoadGenerator::achievedRps() const
+{
+    const sim::Tick end =
+        arrivalsEnd_ > 0 ? arrivalsEnd_ : lastCompletion_;
+    if (completedDuringLoad_ == 0 || end <= measureStart_)
+        return 0.0;
+    return static_cast<double>(completedDuringLoad_) /
+           sim::toSeconds(end - measureStart_);
+}
+
+bool
+LoadGenerator::qosViolated() const
+{
+    return latencies_.count() > 0 &&
+           latencies_.p99() >
+               static_cast<std::uint64_t>(config_.qosLatency);
+}
+
+} // namespace reqobs::client

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Open-loop load generator and client-side latency measurement.
+ *
+ * Requests arrive as a Poisson process at the configured aggregate rate
+ * regardless of completions (open loop), which is what drives a server
+ * into genuine saturation. Each request is assigned a connection
+ * round-robin and travels through a net::Link (netem + TCP); end-to-end
+ * latency is recorded when the final response chunk arrives.
+ *
+ * QoS accounting follows the paper: the run "fails QoS" when the p99
+ * latency of the measured interval exceeds the configured threshold.
+ */
+
+#ifndef REQOBS_CLIENT_LOAD_GENERATOR_HH
+#define REQOBS_CLIENT_LOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hh"
+#include "sim/distributions.hh"
+#include "sim/simulation.hh"
+#include "stats/histogram.hh"
+#include "workload/server_app.hh"
+
+namespace reqobs::client {
+
+/** Load-generation parameters for one run. */
+struct ClientConfig
+{
+    double offeredRps = 1000.0;     ///< aggregate open-loop arrival rate
+    std::uint64_t maxRequests = 0;  ///< stop after this many sends (0 = run
+                                    ///< until the simulation deadline)
+    sim::Tick warmup = sim::milliseconds(200); ///< discard early latencies
+    sim::Tick qosLatency = sim::milliseconds(50); ///< p99 threshold
+};
+
+/** See file comment. */
+class LoadGenerator
+{
+  public:
+    /**
+     * Provisions one Link per app connection (the app must not be
+     * started yet) and prepares the arrival process.
+     */
+    LoadGenerator(sim::Simulation &sim, workload::ServerApp &app,
+                  const net::NetemConfig &netem, const net::TcpConfig &tcp,
+                  const ClientConfig &config);
+
+    ~LoadGenerator();
+
+    LoadGenerator(const LoadGenerator &) = delete;
+    LoadGenerator &operator=(const LoadGenerator &) = delete;
+
+    /** Begin generating arrivals. */
+    void start();
+
+    /** Stop issuing new requests (in-flight ones still complete). */
+    void stop();
+
+    /**
+     * Change the offered rate on the fly (takes effect from the next
+     * arrival). Enables ramp/step load patterns.
+     */
+    void setOfferedRps(double rps);
+
+    /** @name Results. @{ */
+
+    /** Requests sent / responses fully received (post-warmup). */
+    std::uint64_t sent() const { return sent_; }
+    std::uint64_t completed() const { return completed_; }
+
+    /** End-to-end latency distribution (ns), post-warmup. */
+    const stats::LatencyHistogram &latencies() const { return latencies_; }
+
+    /**
+     * Completed-requests throughput over the post-warmup interval
+     * (RPS_Real in the paper's terms).
+     */
+    double achievedRps() const;
+
+    /** p99 latency in ns (0 when nothing completed). */
+    std::uint64_t p99() const { return latencies_.p99(); }
+
+    /** True when p99 exceeds the configured QoS threshold. */
+    bool qosViolated() const;
+
+    const ClientConfig &config() const { return config_; }
+    /** @} */
+
+  private:
+    sim::Simulation &sim_;
+    workload::ServerApp &app_;
+    ClientConfig config_;
+    sim::Rng rng_;
+    std::unique_ptr<sim::ExponentialDist> interArrival_;
+    std::vector<std::unique_ptr<net::Link>> links_;
+    std::size_t nextLink_ = 0;
+
+    std::uint64_t nextRequestId_ = 1;
+    std::uint64_t sent_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t completedDuringLoad_ = 0;
+    bool running_ = false;
+    sim::Tick measureStart_ = 0;
+    sim::Tick arrivalsEnd_ = 0; ///< 0 while arrivals are still flowing
+    sim::Tick lastCompletion_ = 0;
+
+    /** requestId -> (send time, chunks received so far). */
+    struct Pending
+    {
+        sim::Tick sentAt = 0;
+        std::uint16_t chunksSeen = 0;
+    };
+    std::unordered_map<std::uint64_t, Pending> pending_;
+
+    stats::LatencyHistogram latencies_;
+    std::shared_ptr<bool> alive_;
+
+    void scheduleNextArrival();
+    void fireRequest();
+    void onResponse(kernel::Message &&msg);
+};
+
+} // namespace reqobs::client
+
+#endif // REQOBS_CLIENT_LOAD_GENERATOR_HH

@@ -1,0 +1,168 @@
+#include "core/agent.hh"
+
+#include "sim/logging.hh"
+
+namespace reqobs::core {
+
+using ebpf::probes::SyscallStats;
+
+ObservabilityAgent::ObservabilityAgent(kernel::Kernel &kernel,
+                                       kernel::Pid tgid,
+                                       const SyscallProfile &profile,
+                                       const AgentConfig &config)
+    : kernel_(kernel), tgid_(tgid), profile_(profile), config_(config),
+      saturation_(config.saturation), slack_(config.slack),
+      alive_(std::make_shared<bool>(true))
+{
+    runtime_ = std::make_unique<ebpf::EbpfRuntime>(kernel, config.runtime);
+}
+
+ObservabilityAgent::~ObservabilityAgent()
+{
+    *alive_ = false;
+    stop();
+}
+
+void
+ObservabilityAgent::start()
+{
+    if (running_)
+        sim::fatal("ObservabilityAgent: start() called twice");
+
+    sendMaps_ = ebpf::probes::createDeltaMaps(*runtime_, "send");
+    recvMaps_ = ebpf::probes::createDeltaMaps(*runtime_, "recv");
+    pollMaps_ = ebpf::probes::createDurationMaps(*runtime_, "poll");
+
+    auto attach = [this](ebpf::ProgramSpec spec,
+                         kernel::TracepointId point) {
+        ebpf::VerifyResult vr =
+            runtime_->loadAndAttach(std::move(spec), point);
+        if (!vr)
+            sim::fatal("probe rejected by the verifier: %s",
+                       vr.error.c_str());
+    };
+
+    attach(ebpf::probes::buildDeltaExit(*runtime_, tgid_,
+                                        profile_.sendFamily, sendMaps_),
+           kernel::TracepointId::SysExit);
+    attach(ebpf::probes::buildDeltaExit(*runtime_, tgid_,
+                                        profile_.recvFamily, recvMaps_),
+           kernel::TracepointId::SysExit);
+    attach(ebpf::probes::buildDurationEnter(*runtime_, tgid_,
+                                            profile_.pollSyscall, pollMaps_),
+           kernel::TracepointId::SysEnter);
+    attach(ebpf::probes::buildDurationExit(*runtime_, tgid_,
+                                           profile_.pollSyscall, pollMaps_),
+           kernel::TracepointId::SysExit);
+
+    running_ = true;
+    sendSnap_ = SyscallStats{};
+    recvSnap_ = SyscallStats{};
+    pollSnap_ = SyscallStats{};
+    scheduleSample();
+}
+
+void
+ObservabilityAgent::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    sampleTimer_.cancel();
+    runtime_->unloadAll();
+}
+
+SyscallStats
+ObservabilityAgent::readStats(int fd) const
+{
+    return runtime_->arrayAt(fd).at<SyscallStats>(0);
+}
+
+void
+ObservabilityAgent::scheduleSample()
+{
+    auto alive = alive_;
+    sampleTimer_ =
+        kernel_.sim().schedule(config_.samplePeriod, [this, alive] {
+            if (!*alive || !running_)
+                return;
+            takeSample();
+            scheduleSample();
+        });
+}
+
+void
+ObservabilityAgent::takeSample()
+{
+    const SyscallStats send_now = readStats(sendMaps_.statsFd);
+    const std::uint64_t fresh = send_now.count - sendSnap_.count;
+    if (fresh < config_.minWindowSyscalls)
+        return; // keep accumulating this window
+
+    const SyscallStats recv_now = readStats(recvMaps_.statsFd);
+    const SyscallStats poll_now = readStats(pollMaps_.statsFd);
+
+    MetricsSample s;
+    s.t = kernel_.sim().now();
+    s.send = diffStats(sendSnap_, send_now);
+    s.recv = diffStats(recvSnap_, recv_now);
+    s.rpsObsv = rpsFromWindow(s.send);
+    if (poll_now.count > pollSnap_.count) {
+        s.pollCount = poll_now.count - pollSnap_.count;
+        s.pollMeanDurNs =
+            static_cast<double>(poll_now.sumNs - pollSnap_.sumNs) /
+            static_cast<double>(s.pollCount);
+    }
+
+    rpsEstimator_.observe(s.send);
+    s.saturated = saturation_.observe(s.send);
+    if (s.pollCount > 0)
+        slack_.observe(s.pollMeanDurNs);
+    s.slack = slack_.slack();
+
+    samples_.push_back(s);
+    sendSnap_ = send_now;
+    recvSnap_ = recv_now;
+    pollSnap_ = poll_now;
+}
+
+double
+ObservabilityAgent::overallObservedRps() const
+{
+    const SyscallStats s = readStats(sendMaps_.statsFd);
+    if (s.count == 0 || s.sumNs == 0)
+        return 0.0;
+    return 1e9 * static_cast<double>(s.count) /
+           static_cast<double>(s.sumNs);
+}
+
+double
+ObservabilityAgent::overallSendVariance() const
+{
+    const SyscallStats s = readStats(sendMaps_.statsFd);
+    return diffStats(SyscallStats{}, s).varianceNs2;
+}
+
+double
+ObservabilityAgent::overallRecvVariance() const
+{
+    const SyscallStats s = readStats(recvMaps_.statsFd);
+    return diffStats(SyscallStats{}, s).varianceNs2;
+}
+
+double
+ObservabilityAgent::overallPollMeanDurationNs() const
+{
+    const SyscallStats s = readStats(pollMaps_.statsFd);
+    if (s.count == 0)
+        return 0.0;
+    return static_cast<double>(s.sumNs) / static_cast<double>(s.count);
+}
+
+std::uint64_t
+ObservabilityAgent::sendSyscalls() const
+{
+    return readStats(sendMaps_.statsFd).count;
+}
+
+} // namespace reqobs::core

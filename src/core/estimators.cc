@@ -1,0 +1,142 @@
+#include "core/estimators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reqobs::core {
+
+DeltaWindow
+diffStats(const ebpf::probes::SyscallStats &older,
+          const ebpf::probes::SyscallStats &newer, unsigned shift)
+{
+    DeltaWindow w;
+    if (newer.count <= older.count)
+        return w;
+    w.count = newer.count - older.count;
+    const double sum_ns = static_cast<double>(newer.sumNs - older.sumNs);
+    w.meanNs = sum_ns / static_cast<double>(w.count);
+
+    const double scale = static_cast<double>(1ULL << shift);
+    const double mean_q = w.meanNs / scale;
+    const double ex2_q = static_cast<double>(newer.sumSqQ - older.sumSqQ) /
+                         static_cast<double>(w.count);
+    const double var_q = ex2_q - mean_q * mean_q; // Eq. 2
+    w.varianceNs2 = std::max(0.0, var_q) * scale * scale;
+    return w;
+}
+
+double
+rpsFromWindow(const DeltaWindow &window)
+{
+    if (window.count == 0 || window.meanNs <= 0.0)
+        return 0.0;
+    return 1e9 / window.meanNs; // Eq. 1
+}
+
+void
+RpsEstimator::observe(const DeltaWindow &window)
+{
+    if (window.count == 0)
+        return;
+    last_ = window;
+    totalCount_ += window.count;
+    totalSumNs_ += window.meanNs * static_cast<double>(window.count);
+    ++windows_;
+}
+
+double
+RpsEstimator::overallRps() const
+{
+    if (totalCount_ == 0 || totalSumNs_ <= 0.0)
+        return 0.0;
+    return 1e9 * static_cast<double>(totalCount_) / totalSumNs_;
+}
+
+// ------------------------------------------------------ SaturationDetector
+
+SaturationDetector::SaturationDetector(const SaturationConfig &config)
+    : config_(config)
+{}
+
+double
+SaturationDetector::baselineVariance() const
+{
+    if (baseline_.size() < config_.baselineWindows)
+        return 0.0;
+    // Median of the baseline windows: robust to one early outlier.
+    std::deque<double> sorted = baseline_;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[sorted.size() / 2];
+}
+
+bool
+SaturationDetector::observe(const DeltaWindow &window)
+{
+    if (window.count == 0)
+        return saturated_;
+    if (baseline_.size() < config_.baselineWindows) {
+        baseline_.push_back(window.cvSquared());
+        return saturated_;
+    }
+    const double base = baselineVariance();
+    if (base <= 0.0) {
+        lastRatio_ = 0.0;
+        return saturated_;
+    }
+    lastRatio_ = window.cvSquared() / base;
+    if (lastRatio_ >= config_.varianceFactor) {
+        if (++hotStreak_ >= config_.consecutive)
+            saturated_ = true;
+    } else {
+        hotStreak_ = 0;
+        saturated_ = false;
+    }
+    return saturated_;
+}
+
+void
+SaturationDetector::reset()
+{
+    baseline_.clear();
+    hotStreak_ = 0;
+    saturated_ = false;
+    lastRatio_ = 0.0;
+}
+
+// ---------------------------------------------------------- SlackEstimator
+
+SlackEstimator::SlackEstimator(const SlackConfig &config) : config_(config) {}
+
+void
+SlackEstimator::observe(double mean_duration_ns)
+{
+    if (mean_duration_ns < 0.0)
+        return;
+    if (!primed_) {
+        ewma_ = mean_duration_ns;
+        maxSeen_ = mean_duration_ns;
+        primed_ = true;
+        return;
+    }
+    ewma_ = config_.ewmaAlpha * mean_duration_ns +
+            (1.0 - config_.ewmaAlpha) * ewma_;
+    maxSeen_ = std::max(maxSeen_, ewma_);
+}
+
+double
+SlackEstimator::slack() const
+{
+    if (!primed_ || maxSeen_ <= 0.0)
+        return 1.0;
+    return std::clamp(ewma_ / maxSeen_, 0.0, 1.0);
+}
+
+void
+SlackEstimator::reset()
+{
+    ewma_ = 0.0;
+    maxSeen_ = 0.0;
+    primed_ = false;
+}
+
+} // namespace reqobs::core

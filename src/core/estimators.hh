@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The paper's three request-level estimators, as reusable userspace
+ * components operating on windowed syscall statistics:
+ *
+ *  - RpsEstimator    — Eq. 1: RPS_obsv = 1 / mean(Δt_send)
+ *  - SaturationDetector — Eq. 2: flags saturation when the variance of
+ *    inter-send deltas departs from its low-load baseline
+ *  - SlackEstimator  — maps epoll-duration to a [0, 1] saturation slack
+ *    (1 = idle, 0 = at/after saturation)
+ *
+ * Each consumes the cumulative counters maintained in-kernel by the
+ * probes in src/ebpf/probes.* via windowed differencing.
+ */
+
+#ifndef REQOBS_CORE_ESTIMATORS_HH
+#define REQOBS_CORE_ESTIMATORS_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "ebpf/probes.hh"
+#include "sim/time.hh"
+
+namespace reqobs::core {
+
+/** One window of syscall-delta statistics (difference of cumulatives). */
+struct DeltaWindow
+{
+    std::uint64_t count = 0;  ///< deltas in the window
+    double meanNs = 0.0;      ///< mean inter-syscall delta
+    double varianceNs2 = 0.0; ///< Eq. 2 variance
+
+    /**
+     * Normalized variance (squared coefficient of variation):
+     * variance / mean². ~1 for Poisson-paced syscalls at any load,
+     * rising sharply when saturation clumps them — the scale-free form
+     * of the paper's Fig. 3 y-axis.
+     */
+    double cvSquared() const
+    {
+        return meanNs > 0.0 ? varianceNs2 / (meanNs * meanNs) : 0.0;
+    }
+};
+
+/**
+ * Difference two cumulative SyscallStats snapshots into a window.
+ * @p shift must match the probe's quantisation shift.
+ */
+DeltaWindow diffStats(const ebpf::probes::SyscallStats &older,
+                      const ebpf::probes::SyscallStats &newer,
+                      unsigned shift = ebpf::probes::kDeltaShift);
+
+/** Eq. 1 applied to a window. Returns 0 for empty windows. */
+double rpsFromWindow(const DeltaWindow &window);
+
+/**
+ * Throughput estimator: keeps the most recent window and a cumulative
+ * aggregate so callers can query both an instantaneous and a whole-run
+ * RPS_obsv.
+ */
+class RpsEstimator
+{
+  public:
+    /** Feed one window (ignored when empty). */
+    void observe(const DeltaWindow &window);
+
+    /** Eq. 1 over the latest window; 0 before any window. */
+    double currentRps() const { return rpsFromWindow(last_); }
+
+    /** Eq. 1 over everything observed so far. */
+    double overallRps() const;
+
+    std::uint64_t windows() const { return windows_; }
+
+  private:
+    DeltaWindow last_;
+    std::uint64_t totalCount_ = 0;
+    double totalSumNs_ = 0.0;
+    std::uint64_t windows_ = 0;
+};
+
+/** Tunables for SaturationDetector. */
+struct SaturationConfig
+{
+    /** Windows used to establish the low-load baseline. */
+    unsigned baselineWindows = 5;
+    /** Normalized variance (CV²) must exceed baseline * factor ... */
+    double varianceFactor = 3.0;
+    /** ... for this many consecutive windows to flag saturation. */
+    unsigned consecutive = 2;
+};
+
+/**
+ * Eq. 2 based saturation detector. Feed it the per-window send-delta
+ * variance; it learns a baseline from the earliest (assumed unsaturated)
+ * windows and flags saturation on a sustained variance blow-up.
+ */
+class SaturationDetector
+{
+  public:
+    explicit SaturationDetector(const SaturationConfig &config = {});
+
+    /** Feed one window. @return saturated() after this observation. */
+    bool observe(const DeltaWindow &window);
+
+    bool saturated() const { return saturated_; }
+
+    /** Learned baseline normalized variance (0 until complete). */
+    double baselineVariance() const;
+
+    /** Latest CV² / baseline ratio (0 until baseline complete). */
+    double varianceRatio() const { return lastRatio_; }
+
+    void reset();
+
+  private:
+    SaturationConfig config_;
+    std::deque<double> baseline_;
+    unsigned hotStreak_ = 0;
+    bool saturated_ = false;
+    double lastRatio_ = 0.0;
+};
+
+/** Tunables for SlackEstimator. */
+struct SlackConfig
+{
+    /** Smoothing factor for the running poll-duration average. */
+    double ewmaAlpha = 0.3;
+};
+
+/**
+ * Saturation-slack estimator from epoll/select durations (§IV-C-2).
+ * The idle ceiling is the largest (smoothed) poll duration seen — the
+ * application waiting for work; at saturation polls return immediately,
+ * so the duration collapses toward 0. Slack is the current duration's
+ * position under that ceiling: ~1 idle, ~0 saturated.
+ */
+class SlackEstimator
+{
+  public:
+    explicit SlackEstimator(const SlackConfig &config = {});
+
+    /** Feed one window's mean poll duration (ns). */
+    void observe(double mean_duration_ns);
+
+    /** Smoothed current duration (ns). */
+    double currentDurationNs() const { return ewma_; }
+
+    /** Largest smoothed duration observed (the idle ceiling, ns). */
+    double idleCeilingNs() const { return maxSeen_; }
+
+    /** Slack in [0, 1]; 1 until observations arrive. */
+    double slack() const;
+
+    void reset();
+
+  private:
+    SlackConfig config_;
+    double ewma_ = 0.0;
+    double maxSeen_ = 0.0;
+    bool primed_ = false;
+};
+
+} // namespace reqobs::core
+
+#endif // REQOBS_CORE_ESTIMATORS_HH

@@ -1,0 +1,115 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "client/load_generator.hh"
+#include "core/profile.hh"
+#include "kernel/kernel.hh"
+#include "sim/logging.hh"
+#include "workload/server_app.hh"
+
+namespace reqobs::core {
+
+sim::Tick
+defaultQosLatency(const workload::WorkloadConfig &workload,
+                  const net::NetemConfig &netem)
+{
+    // Latency-critical QoS targets sit an order of magnitude above the
+    // mean service time, plus round-trip allowance for injected delay.
+    const sim::Tick service = workload.meanDemand();
+    return 12 * service + 4 * netem.delay + sim::milliseconds(1);
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &config)
+{
+    if (config.offeredRps <= 0.0)
+        sim::fatal("runExperiment: offeredRps must be set");
+
+    sim::Simulation sim(config.seed);
+
+    kernel::KernelConfig kc;
+    kc.cpu = config.system.toCpuConfig();
+    kernel::Kernel kernel(sim, kc);
+
+    workload::ServerApp app(kernel, config.workload);
+
+    client::ClientConfig cc;
+    cc.offeredRps = config.offeredRps;
+    cc.maxRequests = config.requests;
+    cc.warmup = config.warmup;
+    cc.qosLatency = config.qosLatency > 0
+                        ? config.qosLatency
+                        : defaultQosLatency(config.workload, config.netem);
+    client::LoadGenerator gen(sim, app, config.netem, config.tcp, cc);
+
+    std::unique_ptr<ObservabilityAgent> agent;
+    if (config.attachAgent) {
+        agent = std::make_unique<ObservabilityAgent>(
+            kernel, app.frontPid(), profileFor(config.workload),
+            config.agent);
+    }
+
+    app.start();
+    if (agent)
+        agent->start();
+    gen.start();
+
+    // Offered-load window plus grace for queues and retransmissions.
+    const double offered_seconds =
+        static_cast<double>(config.requests) / config.offeredRps;
+    const sim::Tick grace = std::max<sim::Tick>(
+        sim::milliseconds(500), 4 * cc.qosLatency + 8 * config.netem.delay);
+    const sim::Tick horizon =
+        config.warmup +
+        static_cast<sim::Tick>(offered_seconds * 1.05 * 1e9) + grace;
+    sim.runUntil(horizon);
+
+    ExperimentResult res;
+    res.offeredRps = config.offeredRps;
+    res.achievedRps = gen.achievedRps();
+    res.completed = gen.completed();
+    res.p50Ns = gen.latencies().p50();
+    res.p95Ns = gen.latencies().p95();
+    res.p99Ns = gen.latencies().p99();
+    res.qosViolated = gen.qosViolated();
+    res.syscalls = kernel.syscallCount();
+
+    if (agent) {
+        res.observedRps = agent->overallObservedRps();
+        res.sendVarNs2 = agent->overallSendVariance();
+        res.recvVarNs2 = agent->overallRecvVariance();
+        res.pollMeanDurNs = agent->overallPollMeanDurationNs();
+        res.samples = agent->samples();
+        res.probeEvents = agent->runtime().eventsProcessed();
+        res.probeInsns = agent->runtime().insnsInterpreted();
+        res.probeCostNs = agent->runtime().totalProbeCost();
+        agent->stop();
+    }
+    gen.stop();
+    return res;
+}
+
+std::vector<SweepPoint>
+runLoadSweep(const ExperimentConfig &base,
+             const std::vector<double> &load_fractions)
+{
+    std::vector<SweepPoint> out;
+    out.reserve(load_fractions.size());
+    for (double frac : load_fractions) {
+        ExperimentConfig cfg = base;
+        cfg.offeredRps = frac * base.workload.saturationRps;
+        // Scale run length with rate: enough syscalls for stable windows
+        // without letting fast workloads run forever.
+        cfg.requests = static_cast<std::uint64_t>(std::clamp(
+            cfg.offeredRps * 8.0, 4000.0, 80000.0));
+        SweepPoint p;
+        p.loadFraction = frac;
+        p.result = runExperiment(cfg);
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+} // namespace reqobs::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * End-to-end experiment harness: build the full stack (simulated server,
+ * impaired loopback, open-loop clients, observability agent), run one
+ * load point, and report both the ground-truth client metrics and the
+ * eBPF-observed metrics. The bench binaries that regenerate the paper's
+ * figures and tables are thin loops over this harness.
+ */
+
+#ifndef REQOBS_CORE_EXPERIMENT_HH
+#define REQOBS_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/agent.hh"
+#include "kernel/system_spec.hh"
+#include "net/netem.hh"
+#include "net/tcp.hh"
+#include "workload/config.hh"
+
+namespace reqobs::core {
+
+/** Everything defining one experiment run. */
+struct ExperimentConfig
+{
+    workload::WorkloadConfig workload;
+    kernel::SystemSpec system = kernel::amdEpyc7302();
+    net::NetemConfig netem;   ///< loopback impairment (Table II / Fig. 5)
+    net::TcpConfig tcp;
+
+    double offeredRps = 0.0;       ///< open-loop arrival rate (required)
+    std::uint64_t requests = 20000;
+    sim::Tick warmup = sim::milliseconds(200);
+    /** p99 threshold; 0 derives a per-workload default. */
+    sim::Tick qosLatency = 0;
+    std::uint64_t seed = 1;
+
+    bool attachAgent = true; ///< false = probe-free baseline runs
+    AgentConfig agent;
+};
+
+/** Ground truth + observed metrics for one run. */
+struct ExperimentResult
+{
+    double offeredRps = 0.0;
+    double achievedRps = 0.0;  ///< RPS_Real (client-side completions)
+    double observedRps = 0.0;  ///< RPS_Obsv (Eq. 1, in-kernel counters)
+
+    std::uint64_t completed = 0;
+    std::uint64_t p50Ns = 0;
+    std::uint64_t p95Ns = 0;
+    std::uint64_t p99Ns = 0;
+    bool qosViolated = false;
+
+    double sendVarNs2 = 0.0;      ///< Eq. 2 over the whole run
+    double recvVarNs2 = 0.0;
+    double pollMeanDurNs = 0.0;   ///< epoll/select mean duration
+
+    std::uint64_t syscalls = 0;       ///< total kernel syscalls dispatched
+    std::uint64_t probeEvents = 0;    ///< tracepoint firings seen by eBPF
+    std::uint64_t probeInsns = 0;     ///< interpreted eBPF instructions
+    std::int64_t probeCostNs = 0;     ///< simulated probe overhead charged
+
+    /** Windowed samples from the agent (empty when attachAgent=false). */
+    std::vector<MetricsSample> samples;
+};
+
+/** Per-workload default p99 QoS threshold. */
+sim::Tick defaultQosLatency(const workload::WorkloadConfig &workload,
+                            const net::NetemConfig &netem);
+
+/** Run one experiment; fully deterministic for a given config. */
+ExperimentResult runExperiment(const ExperimentConfig &config);
+
+/** One point of a load sweep. */
+struct SweepPoint
+{
+    double loadFraction = 0.0; ///< offered / saturation RPS
+    ExperimentResult result;
+};
+
+/**
+ * Sweep offered load across @p load_fractions of the workload's
+ * saturation RPS, reusing @p base for every other knob. Request counts
+ * scale with the rate so each point sees enough syscalls.
+ */
+std::vector<SweepPoint> runLoadSweep(const ExperimentConfig &base,
+                                     const std::vector<double> &load_fractions);
+
+} // namespace reqobs::core
+
+#endif // REQOBS_CORE_EXPERIMENT_HH

@@ -1,0 +1,48 @@
+#include "core/profile.hh"
+
+#include <sstream>
+
+#include "kernel/syscalls.hh"
+
+namespace reqobs::core {
+
+using kernel::Syscall;
+using kernel::syscallId;
+
+std::string
+SyscallProfile::describe() const
+{
+    std::ostringstream os;
+    os << "send={";
+    for (std::size_t i = 0; i < sendFamily.size(); ++i)
+        os << (i ? "," : "") << kernel::syscallName(sendFamily[i]);
+    os << "} recv={";
+    for (std::size_t i = 0; i < recvFamily.size(); ++i)
+        os << (i ? "," : "") << kernel::syscallName(recvFamily[i]);
+    os << "} poll=" << kernel::syscallName(pollSyscall);
+    return os.str();
+}
+
+SyscallProfile
+genericProfile()
+{
+    SyscallProfile p;
+    p.sendFamily = {syscallId(Syscall::Write), syscallId(Syscall::Sendto),
+                    syscallId(Syscall::Sendmsg)};
+    p.recvFamily = {syscallId(Syscall::Read), syscallId(Syscall::Recvfrom),
+                    syscallId(Syscall::Recvmsg)};
+    p.pollSyscall = syscallId(Syscall::EpollWait);
+    return p;
+}
+
+SyscallProfile
+profileFor(const workload::WorkloadConfig &config)
+{
+    SyscallProfile p;
+    p.sendFamily = {syscallId(config.sendSyscall)};
+    p.recvFamily = {syscallId(config.recvSyscall)};
+    p.pollSyscall = syscallId(config.pollSyscall);
+    return p;
+}
+
+} // namespace reqobs::core

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Syscall profile: which syscall families carry the request signal for
+ * one application (§III-B "Identifying System Calls of Interest").
+ */
+
+#ifndef REQOBS_CORE_PROFILE_HH
+#define REQOBS_CORE_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/config.hh"
+
+namespace reqobs::core {
+
+/**
+ * The three syscall groups an observability agent monitors for one
+ * application: the send family approximates throughput (Eq. 1) and
+ * saturation (Eq. 2), the recv family corroborates saturation, and the
+ * poll syscall's duration measures idleness / saturation slack.
+ */
+struct SyscallProfile
+{
+    std::vector<std::int64_t> sendFamily;
+    std::vector<std::int64_t> recvFamily;
+    std::int64_t pollSyscall = 0;
+
+    std::string describe() const;
+};
+
+/**
+ * Default profile: the full send/recv families plus epoll_wait —
+ * what an agent uses when it knows nothing about the application
+ * (the generic black-box case).
+ */
+SyscallProfile genericProfile();
+
+/** Profile matching a known workload's syscall vocabulary (§IV-A). */
+SyscallProfile profileFor(const workload::WorkloadConfig &config);
+
+} // namespace reqobs::core
+
+#endif // REQOBS_CORE_PROFILE_HH

@@ -1,0 +1,326 @@
+#include "ebpf/assembler.hh"
+
+#include "sim/logging.hh"
+
+namespace reqobs::ebpf {
+
+ProgramBuilder &
+ProgramBuilder::alu(std::uint8_t op, Reg dst, Reg src)
+{
+    Insn i;
+    i.opcode = BPF_ALU64 | BPF_X | op;
+    i.dst = dst;
+    i.src = src;
+    insns_.push_back(i);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::aluImm(std::uint8_t op, Reg dst, std::int32_t imm)
+{
+    Insn i;
+    i.opcode = BPF_ALU64 | BPF_K | op;
+    i.dst = dst;
+    i.imm = imm;
+    insns_.push_back(i);
+    return *this;
+}
+
+ProgramBuilder &ProgramBuilder::mov(Reg d, Reg s) { return alu(BPF_MOV, d, s); }
+ProgramBuilder &ProgramBuilder::movImm(Reg d, std::int32_t i)
+{
+    return aluImm(BPF_MOV, d, i);
+}
+ProgramBuilder &ProgramBuilder::add(Reg d, Reg s) { return alu(BPF_ADD, d, s); }
+ProgramBuilder &ProgramBuilder::addImm(Reg d, std::int32_t i)
+{
+    return aluImm(BPF_ADD, d, i);
+}
+ProgramBuilder &ProgramBuilder::sub(Reg d, Reg s) { return alu(BPF_SUB, d, s); }
+ProgramBuilder &ProgramBuilder::subImm(Reg d, std::int32_t i)
+{
+    return aluImm(BPF_SUB, d, i);
+}
+ProgramBuilder &ProgramBuilder::mul(Reg d, Reg s) { return alu(BPF_MUL, d, s); }
+ProgramBuilder &ProgramBuilder::mulImm(Reg d, std::int32_t i)
+{
+    return aluImm(BPF_MUL, d, i);
+}
+ProgramBuilder &ProgramBuilder::div(Reg d, Reg s) { return alu(BPF_DIV, d, s); }
+ProgramBuilder &ProgramBuilder::divImm(Reg d, std::int32_t i)
+{
+    return aluImm(BPF_DIV, d, i);
+}
+ProgramBuilder &ProgramBuilder::mod(Reg d, Reg s) { return alu(BPF_MOD, d, s); }
+ProgramBuilder &ProgramBuilder::modImm(Reg d, std::int32_t i)
+{
+    return aluImm(BPF_MOD, d, i);
+}
+ProgramBuilder &ProgramBuilder::and_(Reg d, Reg s)
+{
+    return alu(BPF_AND, d, s);
+}
+ProgramBuilder &ProgramBuilder::andImm(Reg d, std::int32_t i)
+{
+    return aluImm(BPF_AND, d, i);
+}
+ProgramBuilder &ProgramBuilder::or_(Reg d, Reg s) { return alu(BPF_OR, d, s); }
+ProgramBuilder &ProgramBuilder::orImm(Reg d, std::int32_t i)
+{
+    return aluImm(BPF_OR, d, i);
+}
+ProgramBuilder &ProgramBuilder::xor_(Reg d, Reg s)
+{
+    return alu(BPF_XOR, d, s);
+}
+ProgramBuilder &ProgramBuilder::xorImm(Reg d, std::int32_t i)
+{
+    return aluImm(BPF_XOR, d, i);
+}
+ProgramBuilder &ProgramBuilder::lsh(Reg d, Reg s)
+{
+    return alu(BPF_LSH, d, s);
+}
+ProgramBuilder &ProgramBuilder::lshImm(Reg d, std::int32_t i)
+{
+    return aluImm(BPF_LSH, d, i);
+}
+ProgramBuilder &ProgramBuilder::rsh(Reg d, Reg s)
+{
+    return alu(BPF_RSH, d, s);
+}
+ProgramBuilder &ProgramBuilder::rshImm(Reg d, std::int32_t i)
+{
+    return aluImm(BPF_RSH, d, i);
+}
+ProgramBuilder &ProgramBuilder::arshImm(Reg d, std::int32_t i)
+{
+    return aluImm(BPF_ARSH, d, i);
+}
+ProgramBuilder &ProgramBuilder::neg(Reg d) { return aluImm(BPF_NEG, d, 0); }
+
+ProgramBuilder &
+ProgramBuilder::ldx(Reg dst, Reg src, std::int16_t off, std::uint8_t size)
+{
+    Insn i;
+    i.opcode = BPF_LDX | BPF_MEM | size;
+    i.dst = dst;
+    i.src = src;
+    i.off = off;
+    insns_.push_back(i);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::ldxdw(Reg dst, Reg src, std::int16_t off)
+{
+    return ldx(dst, src, off, BPF_DW);
+}
+
+ProgramBuilder &
+ProgramBuilder::stx(Reg dst, std::int16_t off, Reg src, std::uint8_t size)
+{
+    Insn i;
+    i.opcode = BPF_STX | BPF_MEM | size;
+    i.dst = dst;
+    i.src = src;
+    i.off = off;
+    insns_.push_back(i);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::stxdw(Reg dst, std::int16_t off, Reg src)
+{
+    return stx(dst, off, src, BPF_DW);
+}
+
+ProgramBuilder &
+ProgramBuilder::stImm(Reg dst, std::int16_t off, std::int32_t imm,
+                      std::uint8_t size)
+{
+    Insn i;
+    i.opcode = BPF_ST | BPF_MEM | size;
+    i.dst = dst;
+    i.off = off;
+    i.imm = imm;
+    insns_.push_back(i);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::ldImm64(Reg dst, std::uint64_t value)
+{
+    Insn a;
+    a.opcode = BPF_LD | BPF_IMM | BPF_DW;
+    a.dst = dst;
+    a.imm = static_cast<std::int32_t>(value & 0xffffffffu);
+    insns_.push_back(a);
+    Insn b;
+    b.imm = static_cast<std::int32_t>(value >> 32);
+    insns_.push_back(b);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::ldMapFd(Reg dst, int map_fd)
+{
+    Insn a;
+    a.opcode = BPF_LD | BPF_IMM | BPF_DW;
+    a.dst = dst;
+    a.src = BPF_PSEUDO_MAP_FD;
+    a.imm = map_fd;
+    insns_.push_back(a);
+    insns_.push_back(Insn{});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    if (!labels_.emplace(name, insns_.size()).second)
+        sim::fatal("ProgramBuilder: duplicate label '%s'", name.c_str());
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::ja(const std::string &target)
+{
+    Insn i;
+    i.opcode = BPF_JMP | BPF_JA;
+    insns_.push_back(i);
+    fixups_.push_back(Fixup{insns_.size() - 1, target});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::jmpImm(std::uint8_t op, Reg dst, std::int32_t imm,
+                       const std::string &target)
+{
+    Insn i;
+    i.opcode = BPF_JMP | BPF_K | op;
+    i.dst = dst;
+    i.imm = imm;
+    insns_.push_back(i);
+    fixups_.push_back(Fixup{insns_.size() - 1, target});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::jmpReg(std::uint8_t op, Reg dst, Reg src,
+                       const std::string &target)
+{
+    Insn i;
+    i.opcode = BPF_JMP | BPF_X | op;
+    i.dst = dst;
+    i.src = src;
+    insns_.push_back(i);
+    fixups_.push_back(Fixup{insns_.size() - 1, target});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::jeqImm(Reg d, std::int32_t i, const std::string &t)
+{
+    return jmpImm(BPF_JEQ, d, i, t);
+}
+ProgramBuilder &
+ProgramBuilder::jneImm(Reg d, std::int32_t i, const std::string &t)
+{
+    return jmpImm(BPF_JNE, d, i, t);
+}
+ProgramBuilder &
+ProgramBuilder::jgtImm(Reg d, std::int32_t i, const std::string &t)
+{
+    return jmpImm(BPF_JGT, d, i, t);
+}
+ProgramBuilder &
+ProgramBuilder::jgeImm(Reg d, std::int32_t i, const std::string &t)
+{
+    return jmpImm(BPF_JGE, d, i, t);
+}
+ProgramBuilder &
+ProgramBuilder::jltImm(Reg d, std::int32_t i, const std::string &t)
+{
+    return jmpImm(BPF_JLT, d, i, t);
+}
+ProgramBuilder &
+ProgramBuilder::jleImm(Reg d, std::int32_t i, const std::string &t)
+{
+    return jmpImm(BPF_JLE, d, i, t);
+}
+ProgramBuilder &
+ProgramBuilder::jsgtImm(Reg d, std::int32_t i, const std::string &t)
+{
+    return jmpImm(BPF_JSGT, d, i, t);
+}
+ProgramBuilder &
+ProgramBuilder::jeq(Reg d, Reg s, const std::string &t)
+{
+    return jmpReg(BPF_JEQ, d, s, t);
+}
+ProgramBuilder &
+ProgramBuilder::jne(Reg d, Reg s, const std::string &t)
+{
+    return jmpReg(BPF_JNE, d, s, t);
+}
+ProgramBuilder &
+ProgramBuilder::jgt(Reg d, Reg s, const std::string &t)
+{
+    return jmpReg(BPF_JGT, d, s, t);
+}
+ProgramBuilder &
+ProgramBuilder::jge(Reg d, Reg s, const std::string &t)
+{
+    return jmpReg(BPF_JGE, d, s, t);
+}
+ProgramBuilder &
+ProgramBuilder::jlt(Reg d, Reg s, const std::string &t)
+{
+    return jmpReg(BPF_JLT, d, s, t);
+}
+
+ProgramBuilder &
+ProgramBuilder::jle(Reg d, Reg s, const std::string &t)
+{
+    return jmpReg(BPF_JLE, d, s, t);
+}
+
+ProgramBuilder &
+ProgramBuilder::call(std::int32_t helper_id)
+{
+    Insn i;
+    i.opcode = BPF_JMP | BPF_CALL;
+    i.imm = helper_id;
+    insns_.push_back(i);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::exit_()
+{
+    Insn i;
+    i.opcode = BPF_JMP | BPF_EXIT;
+    insns_.push_back(i);
+    return *this;
+}
+
+std::vector<Insn>
+ProgramBuilder::build()
+{
+    for (const Fixup &f : fixups_) {
+        auto it = labels_.find(f.target);
+        if (it == labels_.end())
+            sim::fatal("ProgramBuilder: undefined label '%s'",
+                       f.target.c_str());
+        const std::ptrdiff_t rel = static_cast<std::ptrdiff_t>(it->second) -
+                                   static_cast<std::ptrdiff_t>(f.pc) - 1;
+        if (rel < INT16_MIN || rel > INT16_MAX)
+            sim::fatal("ProgramBuilder: jump to '%s' out of range",
+                       f.target.c_str());
+        insns_[f.pc].off = static_cast<std::int16_t>(rel);
+    }
+    return insns_;
+}
+
+} // namespace reqobs::ebpf

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fluent eBPF assembler.
+ *
+ * Stands in for clang/LLVM in this repository: probe programs are
+ * authored as readable mnemonic sequences with symbolic labels and
+ * assembled into real Insn bytecode which then goes through the verifier
+ * and interpreter, e.g.:
+ *
+ * @code
+ *   ProgramBuilder b;
+ *   b.ldxdw(R6, R1, 8)              // r6 = ctx->pid_tgid
+ *    .rshImm(R6, 32)                // r6 >>= 32 (tgid)
+ *    .jneImm(R6, tgid, "out")       // filter application
+ *    .call(helper::kKtimeGetNs)     // r0 = now
+ *    .label("out")
+ *    .movImm(R0, 0)
+ *    .exit_();
+ *   std::vector<Insn> prog = b.build();
+ * @endcode
+ */
+
+#ifndef REQOBS_EBPF_ASSEMBLER_HH
+#define REQOBS_EBPF_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ebpf/insn.hh"
+
+namespace reqobs::ebpf {
+
+/** Label-resolving bytecode builder; see file comment. */
+class ProgramBuilder
+{
+  public:
+    /** @name 64-bit ALU. @{ */
+    ProgramBuilder &mov(Reg dst, Reg src);
+    ProgramBuilder &movImm(Reg dst, std::int32_t imm);
+    ProgramBuilder &add(Reg dst, Reg src);
+    ProgramBuilder &addImm(Reg dst, std::int32_t imm);
+    ProgramBuilder &sub(Reg dst, Reg src);
+    ProgramBuilder &subImm(Reg dst, std::int32_t imm);
+    ProgramBuilder &mul(Reg dst, Reg src);
+    ProgramBuilder &mulImm(Reg dst, std::int32_t imm);
+    ProgramBuilder &div(Reg dst, Reg src);
+    ProgramBuilder &divImm(Reg dst, std::int32_t imm);
+    ProgramBuilder &mod(Reg dst, Reg src);
+    ProgramBuilder &modImm(Reg dst, std::int32_t imm);
+    ProgramBuilder &and_(Reg dst, Reg src);
+    ProgramBuilder &andImm(Reg dst, std::int32_t imm);
+    ProgramBuilder &or_(Reg dst, Reg src);
+    ProgramBuilder &orImm(Reg dst, std::int32_t imm);
+    ProgramBuilder &xor_(Reg dst, Reg src);
+    ProgramBuilder &xorImm(Reg dst, std::int32_t imm);
+    ProgramBuilder &lsh(Reg dst, Reg src);
+    ProgramBuilder &lshImm(Reg dst, std::int32_t imm);
+    ProgramBuilder &rsh(Reg dst, Reg src);
+    ProgramBuilder &rshImm(Reg dst, std::int32_t imm);
+    ProgramBuilder &arshImm(Reg dst, std::int32_t imm);
+    ProgramBuilder &neg(Reg dst);
+    /** @} */
+
+    /** @name Memory access (sizes: BPF_B/H/W/DW). @{ */
+    ProgramBuilder &ldx(Reg dst, Reg src, std::int16_t off,
+                        std::uint8_t size);
+    ProgramBuilder &ldxdw(Reg dst, Reg src, std::int16_t off);
+    ProgramBuilder &stx(Reg dst, std::int16_t off, Reg src,
+                        std::uint8_t size);
+    ProgramBuilder &stxdw(Reg dst, std::int16_t off, Reg src);
+    ProgramBuilder &stImm(Reg dst, std::int16_t off, std::int32_t imm,
+                          std::uint8_t size);
+    /** @} */
+
+    /** @name 64-bit immediates and map references (two slots). @{ */
+    ProgramBuilder &ldImm64(Reg dst, std::uint64_t value);
+    ProgramBuilder &ldMapFd(Reg dst, int map_fd);
+    /** @} */
+
+    /** @name Control flow. @{ */
+    ProgramBuilder &label(const std::string &name);
+    ProgramBuilder &ja(const std::string &target);
+    ProgramBuilder &jeqImm(Reg dst, std::int32_t imm,
+                           const std::string &target);
+    ProgramBuilder &jneImm(Reg dst, std::int32_t imm,
+                           const std::string &target);
+    ProgramBuilder &jgtImm(Reg dst, std::int32_t imm,
+                           const std::string &target);
+    ProgramBuilder &jgeImm(Reg dst, std::int32_t imm,
+                           const std::string &target);
+    ProgramBuilder &jltImm(Reg dst, std::int32_t imm,
+                           const std::string &target);
+    ProgramBuilder &jleImm(Reg dst, std::int32_t imm,
+                           const std::string &target);
+    ProgramBuilder &jsgtImm(Reg dst, std::int32_t imm,
+                            const std::string &target);
+    ProgramBuilder &jeq(Reg dst, Reg src, const std::string &target);
+    ProgramBuilder &jne(Reg dst, Reg src, const std::string &target);
+    ProgramBuilder &jgt(Reg dst, Reg src, const std::string &target);
+    ProgramBuilder &jge(Reg dst, Reg src, const std::string &target);
+    ProgramBuilder &jlt(Reg dst, Reg src, const std::string &target);
+    ProgramBuilder &jle(Reg dst, Reg src, const std::string &target);
+    ProgramBuilder &call(std::int32_t helper_id);
+    ProgramBuilder &exit_();
+    /** @} */
+
+    /** Current instruction count (next emit position). */
+    std::size_t size() const { return insns_.size(); }
+
+    /**
+     * Resolve labels and return the bytecode.
+     * Calls sim::fatal on duplicate/undefined labels.
+     */
+    std::vector<Insn> build();
+
+  private:
+    struct Fixup
+    {
+        std::size_t pc;
+        std::string target;
+    };
+
+    std::vector<Insn> insns_;
+    std::map<std::string, std::size_t> labels_;
+    std::vector<Fixup> fixups_;
+
+    ProgramBuilder &alu(std::uint8_t op, Reg dst, Reg src);
+    ProgramBuilder &aluImm(std::uint8_t op, Reg dst, std::int32_t imm);
+    ProgramBuilder &jmpImm(std::uint8_t op, Reg dst, std::int32_t imm,
+                           const std::string &target);
+    ProgramBuilder &jmpReg(std::uint8_t op, Reg dst, Reg src,
+                           const std::string &target);
+};
+
+} // namespace reqobs::ebpf
+
+#endif // REQOBS_EBPF_ASSEMBLER_HH

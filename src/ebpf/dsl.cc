@@ -1,0 +1,867 @@
+#include "ebpf/dsl.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+
+#include "ebpf/assembler.hh"
+#include "ebpf/helpers.hh"
+#include "ebpf/verifier.hh"
+#include "sim/logging.hh"
+
+namespace reqobs::ebpf::dsl {
+
+namespace {
+
+/** Compilation failure carrying a line number. */
+struct CompileError
+{
+    int line;
+    std::string message;
+};
+
+// ------------------------------------------------------------------ lexer
+
+enum class Tok
+{
+    End,
+    Ident,
+    Number,
+    At,        // @
+    LBrace,    // {
+    RBrace,    // }
+    LBracket,  // [
+    RBracket,  // ]
+    LParen,    // (
+    RParen,    // )
+    Slash,     // /
+    Semi,      // ;
+    Assign,    // =
+    PlusEq,    // +=
+    // expression operators
+    OrOr,
+    AndAnd,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Pipe,
+    Caret,
+    Amp,
+    Shl,
+    Shr,
+    Plus,
+    Minus,
+    Star,
+    Percent,
+    Bang,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    std::uint64_t value = 0;
+    int line = 1;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src_(src) { advance(); }
+
+    const Token &peek() const { return tok_; }
+
+    Token
+    next()
+    {
+        Token t = tok_;
+        advance();
+        return t;
+    }
+
+  private:
+    const std::string &src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    Token tok_;
+
+    char cur() const { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+    char
+    lookahead() const
+    {
+        return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0';
+    }
+
+    void
+    skipSpace()
+    {
+        for (;;) {
+            while (std::isspace(static_cast<unsigned char>(cur()))) {
+                if (cur() == '\n')
+                    ++line_;
+                ++pos_;
+            }
+            // '//' comments run to end of line. A '/' followed by
+            // anything else is the filter delimiter / division token.
+            if (cur() == '/' && lookahead() == '/') {
+                while (cur() && cur() != '\n')
+                    ++pos_;
+                continue;
+            }
+            break;
+        }
+    }
+
+    void
+    advance()
+    {
+        skipSpace();
+        tok_ = Token{};
+        tok_.line = line_;
+        const char c = cur();
+        if (c == '\0') {
+            tok_.kind = Tok::End;
+            return;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            while (std::isalnum(static_cast<unsigned char>(cur())) ||
+                   cur() == '_') {
+                tok_.text += cur();
+                ++pos_;
+            }
+            tok_.kind = Tok::Ident;
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::uint64_t v = 0;
+            if (c == '0' && (lookahead() == 'x' || lookahead() == 'X')) {
+                pos_ += 2;
+                while (std::isxdigit(static_cast<unsigned char>(cur()))) {
+                    const char h = cur();
+                    v = v * 16 +
+                        (std::isdigit(static_cast<unsigned char>(h))
+                             ? h - '0'
+                             : std::tolower(h) - 'a' + 10);
+                    ++pos_;
+                }
+            } else {
+                while (std::isdigit(static_cast<unsigned char>(cur()))) {
+                    v = v * 10 + (cur() - '0');
+                    ++pos_;
+                }
+            }
+            tok_.kind = Tok::Number;
+            tok_.value = v;
+            return;
+        }
+        auto two = [&](char a, char b, Tok t) {
+            if (c == a && lookahead() == b) {
+                tok_.kind = t;
+                pos_ += 2;
+                return true;
+            }
+            return false;
+        };
+        if (two('|', '|', Tok::OrOr) || two('&', '&', Tok::AndAnd) ||
+            two('=', '=', Tok::EqEq) || two('!', '=', Tok::NotEq) ||
+            two('<', '=', Tok::Le) || two('>', '=', Tok::Ge) ||
+            two('<', '<', Tok::Shl) || two('>', '>', Tok::Shr) ||
+            two('+', '=', Tok::PlusEq)) {
+            return;
+        }
+        ++pos_;
+        switch (c) {
+          case '@': tok_.kind = Tok::At; return;
+          case '{': tok_.kind = Tok::LBrace; return;
+          case '}': tok_.kind = Tok::RBrace; return;
+          case '[': tok_.kind = Tok::LBracket; return;
+          case ']': tok_.kind = Tok::RBracket; return;
+          case '(': tok_.kind = Tok::LParen; return;
+          case ')': tok_.kind = Tok::RParen; return;
+          case '/': tok_.kind = Tok::Slash; return;
+          case ';': tok_.kind = Tok::Semi; return;
+          case '=': tok_.kind = Tok::Assign; return;
+          case '|': tok_.kind = Tok::Pipe; return;
+          case '^': tok_.kind = Tok::Caret; return;
+          case '&': tok_.kind = Tok::Amp; return;
+          case '+': tok_.kind = Tok::Plus; return;
+          case '-': tok_.kind = Tok::Minus; return;
+          case '*': tok_.kind = Tok::Star; return;
+          case '%': tok_.kind = Tok::Percent; return;
+          case '!': tok_.kind = Tok::Bang; return;
+          case '<': tok_.kind = Tok::Lt; return;
+          case '>': tok_.kind = Tok::Gt; return;
+        }
+        throw CompileError{line_, std::string("unexpected character '") +
+                                      c + "'"};
+    }
+};
+
+// -------------------------------------------------------------------- AST
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr
+{
+    enum class Kind { Num, Builtin, Local, MapRead, Unary, Binary };
+    Kind kind;
+    int line = 0;
+    std::uint64_t num = 0;   // Num
+    std::string name;        // Builtin / Local / MapRead
+    Tok op = Tok::End;       // Unary (Bang/Minus) / Binary
+    ExprPtr a, b;            // operands (a = key for MapRead)
+};
+
+struct Stmt
+{
+    enum class Kind { MapAssign, MapAccum, LocalAssign, Emit };
+    Kind kind;
+    int line = 0;
+    std::string name;
+    ExprPtr key;   // map statements
+    ExprPtr value; // all statements
+};
+
+struct ProbeAst
+{
+    bool exitPoint = false;
+    int line = 0;
+    ExprPtr filter; // may be null
+    std::vector<Stmt> stmts;
+};
+
+const std::set<std::string> kBuiltins = {"pid", "tid", "id",
+                                         "ts",  "ret", "rand"};
+
+// ------------------------------------------------------------------ parser
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : lex_(src) {}
+
+    std::vector<ProbeAst>
+    parseProgram()
+    {
+        std::vector<ProbeAst> probes;
+        while (lex_.peek().kind != Tok::End)
+            probes.push_back(parseProbe());
+        if (probes.empty())
+            throw CompileError{1, "empty program"};
+        return probes;
+    }
+
+  private:
+    Lexer lex_;
+    /**
+     * While parsing a filter, a bare '/' closes it rather than dividing
+     * (divide inside parentheses if you need it, as in bpftrace).
+     */
+    bool inFilter_ = false;
+
+    [[noreturn]] void
+    fail(const Token &t, const std::string &msg)
+    {
+        throw CompileError{t.line, msg};
+    }
+
+    Token
+    expect(Tok kind, const char *what)
+    {
+        Token t = lex_.next();
+        if (t.kind != kind)
+            fail(t, std::string("expected ") + what);
+        return t;
+    }
+
+    ProbeAst
+    parseProbe()
+    {
+        Token point = expect(Tok::Ident, "probe point");
+        ProbeAst probe;
+        probe.line = point.line;
+        if (point.text == "sys_enter") {
+            probe.exitPoint = false;
+        } else if (point.text == "sys_exit") {
+            probe.exitPoint = true;
+        } else {
+            fail(point, "unknown probe point '" + point.text +
+                            "' (want sys_enter or sys_exit)");
+        }
+        if (lex_.peek().kind == Tok::Slash) {
+            lex_.next();
+            inFilter_ = true;
+            probe.filter = parseExpr();
+            inFilter_ = false;
+            expect(Tok::Slash, "'/' closing the filter");
+        }
+        expect(Tok::LBrace, "'{'");
+        while (lex_.peek().kind != Tok::RBrace)
+            probe.stmts.push_back(parseStmt());
+        lex_.next(); // consume '}'
+        return probe;
+    }
+
+    Stmt
+    parseStmt()
+    {
+        Token t = lex_.next();
+        Stmt s;
+        s.line = t.line;
+        if (t.kind == Tok::At) {
+            Token name = expect(Tok::Ident, "map name after '@'");
+            s.name = name.text;
+            expect(Tok::LBracket, "'[' after map name");
+            s.key = parseExpr();
+            expect(Tok::RBracket, "']'");
+            Token op = lex_.next();
+            if (op.kind == Tok::Assign) {
+                s.kind = Stmt::Kind::MapAssign;
+            } else if (op.kind == Tok::PlusEq) {
+                s.kind = Stmt::Kind::MapAccum;
+            } else {
+                fail(op, "expected '=' or '+=' after map key");
+            }
+            s.value = parseExpr();
+            expect(Tok::Semi, "';'");
+            return s;
+        }
+        if (t.kind == Tok::Ident && t.text == "emit") {
+            expect(Tok::LParen, "'(' after emit");
+            s.kind = Stmt::Kind::Emit;
+            s.value = parseExpr();
+            expect(Tok::RParen, "')'");
+            expect(Tok::Semi, "';'");
+            return s;
+        }
+        if (t.kind == Tok::Ident) {
+            if (kBuiltins.count(t.text))
+                fail(t, "cannot assign to builtin '" + t.text + "'");
+            s.kind = Stmt::Kind::LocalAssign;
+            s.name = t.text;
+            expect(Tok::Assign, "'=' in assignment");
+            s.value = parseExpr();
+            expect(Tok::Semi, "';'");
+            return s;
+        }
+        fail(t, "expected a statement");
+    }
+
+    /** Binary precedence; 0 = not a binary operator. */
+    static int
+    precedence(Tok t)
+    {
+        switch (t) {
+          case Tok::OrOr: return 1;
+          case Tok::AndAnd: return 2;
+          case Tok::EqEq:
+          case Tok::NotEq: return 3;
+          case Tok::Lt:
+          case Tok::Le:
+          case Tok::Gt:
+          case Tok::Ge: return 4;
+          case Tok::Pipe: return 5;
+          case Tok::Caret: return 6;
+          case Tok::Amp: return 7;
+          case Tok::Shl:
+          case Tok::Shr: return 8;
+          case Tok::Plus:
+          case Tok::Minus: return 9;
+          case Tok::Star:
+          case Tok::Slash:
+          case Tok::Percent: return 10;
+          default: return 0;
+        }
+    }
+
+    ExprPtr parseExpr() { return parseBinary(1); }
+
+    ExprPtr
+    parseBinary(int min_prec)
+    {
+        ExprPtr lhs = parseUnary();
+        for (;;) {
+            const Tok op = lex_.peek().kind;
+            if (op == Tok::Slash && inFilter_)
+                return lhs; // the filter's closing delimiter
+            const int prec = precedence(op);
+            if (prec < min_prec || prec == 0)
+                return lhs;
+            Token op_tok = lex_.next();
+            ExprPtr rhs = parseBinary(prec + 1);
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Binary;
+            e->line = op_tok.line;
+            e->op = op;
+            e->a = std::move(lhs);
+            e->b = std::move(rhs);
+            lhs = std::move(e);
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        const Token &t = lex_.peek();
+        if (t.kind == Tok::Minus || t.kind == Tok::Bang) {
+            Token op = lex_.next();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Unary;
+            e->line = op.line;
+            e->op = op.kind;
+            e->a = parseUnary();
+            return e;
+        }
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        Token t = lex_.next();
+        auto e = std::make_unique<Expr>();
+        e->line = t.line;
+        if (t.kind == Tok::Number) {
+            e->kind = Expr::Kind::Num;
+            e->num = t.value;
+            return e;
+        }
+        if (t.kind == Tok::LParen) {
+            const bool saved = inFilter_;
+            inFilter_ = false; // parenthesised division is unambiguous
+            ExprPtr inner = parseExpr();
+            inFilter_ = saved;
+            expect(Tok::RParen, "')'");
+            return inner;
+        }
+        if (t.kind == Tok::At) {
+            Token name = expect(Tok::Ident, "map name after '@'");
+            expect(Tok::LBracket, "'[' after map name");
+            e->kind = Expr::Kind::MapRead;
+            e->name = name.text;
+            e->a = parseExpr();
+            expect(Tok::RBracket, "']'");
+            return e;
+        }
+        if (t.kind == Tok::Ident) {
+            e->kind = kBuiltins.count(t.text) ? Expr::Kind::Builtin
+                                              : Expr::Kind::Local;
+            e->name = t.text;
+            return e;
+        }
+        fail(t, "expected an expression");
+    }
+};
+
+// ----------------------------------------------------------------- codegen
+//
+// Stack layout (offsets from r10):
+//   -8    map key scratch
+//   -16   map value scratch
+//   -24   emit scratch
+//   -32.. locals, one 8-byte slot each
+//   ...   expression temporaries, below the locals
+//   -488..-512  spilled ctx builtins (id, pid_tgid, ts, ret)
+//
+// Expression results live in r7; binary ops stage the left operand in a
+// temporary slot, reload it into r8, and combine.
+
+constexpr std::int16_t kKeySlot = -8;
+constexpr std::int16_t kValueSlot = -16;
+constexpr std::int16_t kEmitSlot = -24;
+constexpr std::int16_t kLocalBase = -32;
+constexpr std::int16_t kIdSlot = -488;
+constexpr std::int16_t kPidTgidSlot = -496;
+constexpr std::int16_t kTsSlot = -504;
+constexpr std::int16_t kRetSlot = -512;
+
+class Codegen
+{
+  public:
+    Codegen(const ProbeAst &probe, EbpfRuntime &runtime,
+            std::map<std::string, int> &maps, int &ring_fd)
+        : probe_(probe), runtime_(runtime), maps_(maps), ringFd_(ring_fd)
+    {}
+
+    ProgramSpec
+    run()
+    {
+        collectLocals();
+
+        // Spill the context fields the script reads through builtins.
+        b_.ldxdw(R6, R1, offsetof(TraceCtx, id)).stxdw(R10, kIdSlot, R6);
+        b_.ldxdw(R6, R1, offsetof(TraceCtx, pidTgid))
+            .stxdw(R10, kPidTgidSlot, R6);
+        b_.ldxdw(R6, R1, offsetof(TraceCtx, ts)).stxdw(R10, kTsSlot, R6);
+        b_.ldxdw(R6, R1, offsetof(TraceCtx, ret)).stxdw(R10, kRetSlot, R6);
+
+        if (probe_.filter) {
+            genExpr(*probe_.filter, 0);
+            b_.jeqImm(R7, 0, "out");
+        }
+        for (const Stmt &s : probe_.stmts)
+            genStmt(s);
+        b_.label("out").movImm(R0, 0).exit_();
+
+        ProgramSpec spec;
+        spec.name = probe_.exitPoint ? "tracelet_exit" : "tracelet_enter";
+        spec.insns = b_.build();
+        spec.maps = runtime_.mapTable();
+        return spec;
+    }
+
+  private:
+    const ProbeAst &probe_;
+    EbpfRuntime &runtime_;
+    std::map<std::string, int> &maps_;
+    int &ringFd_;
+    ProgramBuilder b_;
+    std::map<std::string, std::int16_t> locals_;
+    std::set<std::string> assigned_;
+    int labels_ = 0;
+
+    std::string
+    freshLabel()
+    {
+        return "L" + std::to_string(labels_++);
+    }
+
+    /** Temporary slot for expression depth @p depth. */
+    std::int16_t
+    tempSlot(int depth) const
+    {
+        const std::int16_t base =
+            kLocalBase - static_cast<std::int16_t>(8 * locals_.size());
+        const std::int16_t slot =
+            base - static_cast<std::int16_t>(8 * (depth + 1));
+        if (slot <= kIdSlot)
+            throw CompileError{probe_.line, "expression too deep"};
+        return slot;
+    }
+
+    void
+    collectLocals()
+    {
+        for (const Stmt &s : probe_.stmts) {
+            if (s.kind == Stmt::Kind::LocalAssign &&
+                !locals_.count(s.name)) {
+                locals_.emplace(
+                    s.name,
+                    static_cast<std::int16_t>(
+                        kLocalBase - 8 * static_cast<int>(locals_.size())));
+            }
+        }
+    }
+
+    int
+    mapFd(const std::string &name)
+    {
+        auto it = maps_.find(name);
+        if (it != maps_.end())
+            return it->second;
+        const int fd = runtime_.createHashMap(8, 8, 65536, "@" + name);
+        maps_.emplace(name, fd);
+        return fd;
+    }
+
+    /** Normalise @p reg to 0/1. */
+    void
+    boolify(Reg reg)
+    {
+        const std::string t = freshLabel(), end = freshLabel();
+        b_.jeqImm(reg, 0, t).movImm(reg, 1).ja(end).label(t).movImm(reg, 0);
+        // Note: taken branch means reg was 0 -> false.
+        b_.label(end);
+    }
+
+    /** Emit a comparison r8 OP r7 -> r7 in {0,1}. */
+    void
+    compare(Tok op)
+    {
+        const std::string t = freshLabel(), end = freshLabel();
+        switch (op) {
+          case Tok::EqEq: b_.jeq(R8, R7, t); break;
+          case Tok::NotEq: b_.jne(R8, R7, t); break;
+          case Tok::Lt: b_.jlt(R8, R7, t); break;
+          case Tok::Le: b_.jle(R8, R7, t); break;
+          case Tok::Gt: b_.jgt(R8, R7, t); break;
+          case Tok::Ge: b_.jge(R8, R7, t); break;
+          default:
+            throw CompileError{0, "internal: bad comparison"};
+        }
+        b_.movImm(R7, 0).ja(end).label(t).movImm(R7, 1).label(end);
+    }
+
+    /** Evaluate @p e into r7; may clobber r6, r8 and temp slots. */
+    void
+    genExpr(const Expr &e, int depth)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Num:
+            if (e.num <= INT32_MAX) {
+                b_.movImm(R7, static_cast<std::int32_t>(e.num));
+            } else {
+                b_.ldImm64(R7, e.num);
+            }
+            return;
+          case Expr::Kind::Builtin:
+            if (e.name == "id") {
+                b_.ldxdw(R7, R10, kIdSlot);
+            } else if (e.name == "ts") {
+                b_.ldxdw(R7, R10, kTsSlot);
+            } else if (e.name == "ret") {
+                b_.ldxdw(R7, R10, kRetSlot);
+            } else if (e.name == "pid") {
+                b_.ldxdw(R7, R10, kPidTgidSlot).rshImm(R7, 32);
+            } else if (e.name == "tid") {
+                b_.ldxdw(R7, R10, kPidTgidSlot)
+                    .lshImm(R7, 32)
+                    .rshImm(R7, 32);
+            } else if (e.name == "rand") {
+                b_.call(helper::kGetPrandomU32).mov(R7, R0);
+            } else {
+                throw CompileError{e.line,
+                                   "internal: unknown builtin " + e.name};
+            }
+            return;
+          case Expr::Kind::Local: {
+            auto it = locals_.find(e.name);
+            if (it == locals_.end())
+                throw CompileError{e.line,
+                                   "unknown variable '" + e.name + "'"};
+            if (!assigned_.count(e.name))
+                throw CompileError{e.line, "variable '" + e.name +
+                                               "' read before assignment"};
+            b_.ldxdw(R7, R10, it->second);
+            return;
+          }
+          case Expr::Kind::MapRead: {
+            genExpr(*e.a, depth);
+            b_.stxdw(R10, kKeySlot, R7);
+            b_.ldMapFd(R1, mapFd(e.name))
+                .mov(R2, R10)
+                .addImm(R2, kKeySlot);
+            b_.call(helper::kMapLookupElem);
+            const std::string miss = freshLabel(), end = freshLabel();
+            b_.jeqImm(R0, 0, miss)
+                .ldxdw(R7, R0, 0)
+                .ja(end)
+                .label(miss)
+                .movImm(R7, 0)
+                .label(end);
+            return;
+          }
+          case Expr::Kind::Unary:
+            genExpr(*e.a, depth);
+            if (e.op == Tok::Minus) {
+                b_.neg(R7);
+            } else {
+                boolify(R7);
+                b_.xorImm(R7, 1);
+            }
+            return;
+          case Expr::Kind::Binary: {
+            genExpr(*e.a, depth);
+            const std::int16_t slot = tempSlot(depth);
+            b_.stxdw(R10, slot, R7);
+            genExpr(*e.b, depth + 1);
+            b_.ldxdw(R8, R10, slot);
+            // r8 = left, r7 = right.
+            switch (e.op) {
+              case Tok::Plus: b_.add(R8, R7).mov(R7, R8); return;
+              case Tok::Minus: b_.sub(R8, R7).mov(R7, R8); return;
+              case Tok::Star: b_.mul(R8, R7).mov(R7, R8); return;
+              case Tok::Slash: b_.div(R8, R7).mov(R7, R8); return;
+              case Tok::Percent: b_.mod(R8, R7).mov(R7, R8); return;
+              case Tok::Amp: b_.and_(R8, R7).mov(R7, R8); return;
+              case Tok::Pipe: b_.or_(R8, R7).mov(R7, R8); return;
+              case Tok::Caret: b_.xor_(R8, R7).mov(R7, R8); return;
+              case Tok::Shl: b_.lsh(R8, R7).mov(R7, R8); return;
+              case Tok::Shr: b_.rsh(R8, R7).mov(R7, R8); return;
+              case Tok::AndAnd:
+                boolify(R8);
+                boolify(R7);
+                b_.and_(R8, R7).mov(R7, R8);
+                return;
+              case Tok::OrOr:
+                b_.or_(R8, R7).mov(R7, R8);
+                boolify(R7);
+                return;
+              case Tok::EqEq:
+              case Tok::NotEq:
+              case Tok::Lt:
+              case Tok::Le:
+              case Tok::Gt:
+              case Tok::Ge:
+                compare(e.op);
+                return;
+              default:
+                throw CompileError{e.line, "internal: bad operator"};
+            }
+          }
+        }
+    }
+
+    void
+    genStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::LocalAssign:
+            genExpr(*s.value, 0);
+            b_.stxdw(R10, locals_.at(s.name), R7);
+            assigned_.insert(s.name);
+            return;
+          case Stmt::Kind::MapAssign:
+            genExpr(*s.value, 0);
+            b_.stxdw(R10, kValueSlot, R7);
+            genExpr(*s.key, 0);
+            b_.stxdw(R10, kKeySlot, R7);
+            b_.ldMapFd(R1, mapFd(s.name))
+                .mov(R2, R10)
+                .addImm(R2, kKeySlot)
+                .mov(R3, R10)
+                .addImm(R3, kValueSlot)
+                .movImm(R4, 0)
+                .call(helper::kMapUpdateElem);
+            return;
+          case Stmt::Kind::MapAccum: {
+            genExpr(*s.value, 0);
+            b_.stxdw(R10, kValueSlot, R7);
+            genExpr(*s.key, 0);
+            b_.stxdw(R10, kKeySlot, R7);
+            const int fd = mapFd(s.name);
+            b_.ldMapFd(R1, fd).mov(R2, R10).addImm(R2, kKeySlot);
+            b_.call(helper::kMapLookupElem);
+            const std::string miss = freshLabel(), end = freshLabel();
+            b_.jeqImm(R0, 0, miss);
+            // Hit: add in place through the value pointer.
+            b_.ldxdw(R8, R0, 0)
+                .ldxdw(R7, R10, kValueSlot)
+                .add(R8, R7)
+                .stxdw(R0, 0, R8)
+                .ja(end);
+            // Miss: create the entry.
+            b_.label(miss)
+                .ldMapFd(R1, fd)
+                .mov(R2, R10)
+                .addImm(R2, kKeySlot)
+                .mov(R3, R10)
+                .addImm(R3, kValueSlot)
+                .movImm(R4, 0)
+                .call(helper::kMapUpdateElem)
+                .label(end);
+            return;
+          }
+          case Stmt::Kind::Emit: {
+            genExpr(*s.value, 0);
+            b_.stxdw(R10, kEmitSlot, R7);
+            if (ringFd_ < 0)
+                ringFd_ = runtime_.createRingBuf(1u << 20, "@emit");
+            b_.ldMapFd(R1, ringFd_)
+                .mov(R2, R10)
+                .addImm(R2, kEmitSlot)
+                .movImm(R3, 8)
+                .movImm(R4, 0)
+                .call(helper::kRingbufOutput);
+            return;
+          }
+        }
+    }
+};
+
+} // namespace
+
+CompileResult
+compile(const std::string &source, EbpfRuntime &runtime)
+{
+    CompileResult result;
+    try {
+        Parser parser(source);
+        const std::vector<ProbeAst> probes = parser.parseProgram();
+        for (const ProbeAst &probe : probes) {
+            Codegen gen(probe, runtime, result.maps, result.ringFd);
+            CompiledProbe cp;
+            cp.point = probe.exitPoint ? kernel::TracepointId::SysExit
+                                       : kernel::TracepointId::SysEnter;
+            cp.spec = gen.run();
+            result.probes.push_back(std::move(cp));
+        }
+    } catch (const CompileError &err) {
+        char buf[320];
+        std::snprintf(buf, sizeof(buf), "line %d: %s", err.line,
+                      err.message.c_str());
+        result.error = buf;
+        return result;
+    }
+    result.ok = true;
+    return result;
+}
+
+Tracelet::Tracelet(const std::string &source, EbpfRuntime &runtime)
+    : runtime_(runtime), result_(compile(source, runtime))
+{
+    if (!result_.ok)
+        return;
+    for (auto &probe : result_.probes) {
+        ProgId id = 0;
+        const VerifyResult vr =
+            runtime.loadAndAttach(probe.spec, probe.point, &id);
+        if (!vr) {
+            result_.ok = false;
+            result_.error = "verifier: " + vr.error;
+            detach();
+            return;
+        }
+        attached_.push_back(id);
+    }
+}
+
+Tracelet::~Tracelet()
+{
+    detach();
+}
+
+void
+Tracelet::detach()
+{
+    for (ProgId id : attached_)
+        runtime_.unload(id);
+    attached_.clear();
+}
+
+std::uint64_t
+Tracelet::read(const std::string &name, std::uint64_t key) const
+{
+    auto it = result_.maps.find(name);
+    if (it == result_.maps.end())
+        sim::fatal("Tracelet::read: no map '@%s' in the script",
+                   name.c_str());
+    std::uint64_t out = 0;
+    runtime_.hashAt(it->second).get(key, out);
+    return out;
+}
+
+std::vector<std::uint64_t>
+Tracelet::drainEmits()
+{
+    std::vector<std::uint64_t> out;
+    if (result_.ringFd < 0)
+        return out;
+    runtime_.ringbufAt(result_.ringFd)
+        .consume([&](const std::uint8_t *d, std::uint32_t len) {
+            if (len != 8)
+                return;
+            std::uint64_t v;
+            std::memcpy(&v, d, 8);
+            out.push_back(v);
+        });
+    return out;
+}
+
+} // namespace reqobs::ebpf::dsl

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * "tracelet" — a bpftrace-flavoured probe language compiled to eBPF
+ * bytecode.
+ *
+ * The paper authors its probes through BCC; this front end plays that
+ * role for the simulated runtime: short scripts attach to the
+ * raw_syscalls tracepoints, filter, and update maps — compiled through
+ * the assembler and screened by the verifier like any other program.
+ *
+ * Language:
+ *
+ *   program := probe+
+ *   probe   := ("sys_enter" | "sys_exit") [ "/" expr "/" ] "{" stmt* "}"
+ *   stmt    := "@" name "[" expr "]" "="  expr ";"   // map assign
+ *            | "@" name "[" expr "]" "+=" expr ";"   // map accumulate
+ *            | name "=" expr ";"                     // local variable
+ *            | "emit" "(" expr ")" ";"               // ring-buffer output
+ *   expr    := C-like integer expressions over:
+ *              literals (decimal / 0x hex), locals, builtins
+ *              (pid, tid, id, ts, ret, rand), map reads "@name[expr]"
+ *              (missing keys read as 0), operators
+ *              + - * / % & | ^ << >> == != < <= > >= && || ! and (...)
+ *
+ * Example — the paper's Listing 1 as a tracelet:
+ *
+ *   sys_enter / pid == 1234 && id == 232 / { @start[tid] = ts; }
+ *   sys_exit  / pid == 1234 && id == 232 / {
+ *       d = ts - @start[tid];
+ *       @count[0] += 1;
+ *       @sum[0] += d;
+ *   }
+ *
+ * Every named map is a u64->u64 hash map created on compile; `emit`
+ * writes 8-byte records to a shared ring buffer.
+ */
+
+#ifndef REQOBS_EBPF_DSL_HH
+#define REQOBS_EBPF_DSL_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.hh"
+#include "ebpf/runtime.hh"
+#include "kernel/tracepoint.hh"
+
+namespace reqobs::ebpf::dsl {
+
+/** One compiled probe: the attach point plus its verified-ready spec. */
+struct CompiledProbe
+{
+    kernel::TracepointId point = kernel::TracepointId::SysEnter;
+    ProgramSpec spec;
+};
+
+/** Result of compiling a tracelet program. */
+struct CompileResult
+{
+    bool ok = false;
+    std::string error; ///< "line N: message" when !ok
+
+    std::vector<CompiledProbe> probes;
+    /** Map fds by script name (without the '@'). */
+    std::map<std::string, int> maps;
+    /** Ring buffer fd; -1 if the script never emits. */
+    int ringFd = -1;
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Compile @p source against @p runtime (maps are created in it).
+ * Pure compilation: nothing is attached.
+ */
+CompileResult compile(const std::string &source, EbpfRuntime &runtime);
+
+/**
+ * Convenience wrapper: compile + verify + attach, with named-map reads.
+ */
+class Tracelet
+{
+  public:
+    /**
+     * Compile and attach @p source. On any compile or verify error the
+     * object reports !ok() and attaches nothing.
+     */
+    Tracelet(const std::string &source, EbpfRuntime &runtime);
+    ~Tracelet();
+
+    Tracelet(const Tracelet &) = delete;
+    Tracelet &operator=(const Tracelet &) = delete;
+
+    bool ok() const { return result_.ok; }
+    const std::string &error() const { return result_.error; }
+
+    /** Read @name[key]; 0 when absent. */
+    std::uint64_t read(const std::string &name, std::uint64_t key) const;
+
+    /** Drain emitted 8-byte records. */
+    std::vector<std::uint64_t> drainEmits();
+
+    const CompileResult &result() const { return result_; }
+
+    void detach();
+
+  private:
+    EbpfRuntime &runtime_;
+    CompileResult result_;
+    std::vector<ProgId> attached_;
+};
+
+} // namespace reqobs::ebpf::dsl
+
+#endif // REQOBS_EBPF_DSL_HH

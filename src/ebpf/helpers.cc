@@ -1,0 +1,37 @@
+#include "ebpf/helpers.hh"
+
+namespace reqobs::ebpf::helper {
+
+bool
+known(std::int32_t id)
+{
+    switch (id) {
+      case kMapLookupElem:
+      case kMapUpdateElem:
+      case kMapDeleteElem:
+      case kKtimeGetNs:
+      case kGetPrandomU32:
+      case kGetCurrentPidTgid:
+      case kRingbufOutput:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+name(std::int32_t id)
+{
+    switch (id) {
+      case kMapLookupElem: return "bpf_map_lookup_elem";
+      case kMapUpdateElem: return "bpf_map_update_elem";
+      case kMapDeleteElem: return "bpf_map_delete_elem";
+      case kKtimeGetNs: return "bpf_ktime_get_ns";
+      case kGetPrandomU32: return "bpf_get_prandom_u32";
+      case kGetCurrentPidTgid: return "bpf_get_current_pid_tgid";
+      case kRingbufOutput: return "bpf_ringbuf_output";
+      default: return "bpf_helper_" + std::to_string(id);
+    }
+}
+
+} // namespace reqobs::ebpf::helper

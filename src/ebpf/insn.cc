@@ -1,0 +1,144 @@
+#include "ebpf/insn.hh"
+
+#include <cstdio>
+
+namespace reqobs::ebpf {
+
+namespace {
+
+const char *
+aluName(std::uint8_t op)
+{
+    switch (op) {
+      case BPF_ADD: return "add";
+      case BPF_SUB: return "sub";
+      case BPF_MUL: return "mul";
+      case BPF_DIV: return "div";
+      case BPF_OR: return "or";
+      case BPF_AND: return "and";
+      case BPF_LSH: return "lsh";
+      case BPF_RSH: return "rsh";
+      case BPF_NEG: return "neg";
+      case BPF_MOD: return "mod";
+      case BPF_XOR: return "xor";
+      case BPF_MOV: return "mov";
+      case BPF_ARSH: return "arsh";
+      default: return "alu?";
+    }
+}
+
+const char *
+jmpName(std::uint8_t op)
+{
+    switch (op) {
+      case BPF_JA: return "ja";
+      case BPF_JEQ: return "jeq";
+      case BPF_JGT: return "jgt";
+      case BPF_JGE: return "jge";
+      case BPF_JSET: return "jset";
+      case BPF_JNE: return "jne";
+      case BPF_JSGT: return "jsgt";
+      case BPF_JSGE: return "jsge";
+      case BPF_JLT: return "jlt";
+      case BPF_JLE: return "jle";
+      case BPF_JSLT: return "jslt";
+      case BPF_JSLE: return "jsle";
+      default: return "jmp?";
+    }
+}
+
+int
+sizeBytes(std::uint8_t size)
+{
+    switch (size) {
+      case BPF_W: return 4;
+      case BPF_H: return 2;
+      case BPF_B: return 1;
+      case BPF_DW: return 8;
+      default: return 0;
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const Insn &insn, const Insn *next)
+{
+    char buf[128];
+    const std::uint8_t cls = insn.cls();
+    if (cls == BPF_ALU64 || cls == BPF_ALU) {
+        const char *suffix = cls == BPF_ALU ? "32" : "";
+        if (insn.aluOp() == BPF_NEG) {
+            std::snprintf(buf, sizeof(buf), "neg%s r%d", suffix, insn.dst);
+        } else if (insn.isImmSrc()) {
+            std::snprintf(buf, sizeof(buf), "%s%s r%d, %d",
+                          aluName(insn.aluOp()), suffix, insn.dst, insn.imm);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s%s r%d, r%d",
+                          aluName(insn.aluOp()), suffix, insn.dst, insn.src);
+        }
+    } else if (cls == BPF_JMP || cls == BPF_JMP32) {
+        if (insn.aluOp() == BPF_EXIT) {
+            std::snprintf(buf, sizeof(buf), "exit");
+        } else if (insn.aluOp() == BPF_CALL) {
+            std::snprintf(buf, sizeof(buf), "call %d", insn.imm);
+        } else if (insn.aluOp() == BPF_JA) {
+            std::snprintf(buf, sizeof(buf), "ja +%d", insn.off);
+        } else if (insn.isImmSrc()) {
+            std::snprintf(buf, sizeof(buf), "%s r%d, %d, +%d",
+                          jmpName(insn.aluOp()), insn.dst, insn.imm, insn.off);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s r%d, r%d, +%d",
+                          jmpName(insn.aluOp()), insn.dst, insn.src, insn.off);
+        }
+    } else if (cls == BPF_LDX) {
+        std::snprintf(buf, sizeof(buf), "ldx%d r%d, [r%d%+d]",
+                      sizeBytes(insn.memSize()) * 8, insn.dst, insn.src,
+                      insn.off);
+    } else if (cls == BPF_STX) {
+        std::snprintf(buf, sizeof(buf), "stx%d [r%d%+d], r%d",
+                      sizeBytes(insn.memSize()) * 8, insn.dst, insn.off,
+                      insn.src);
+    } else if (cls == BPF_ST) {
+        std::snprintf(buf, sizeof(buf), "st%d [r%d%+d], %d",
+                      sizeBytes(insn.memSize()) * 8, insn.dst, insn.off,
+                      insn.imm);
+    } else if (cls == BPF_LD && insn.memSize() == BPF_DW) {
+        const std::uint64_t lo = static_cast<std::uint32_t>(insn.imm);
+        const std::uint64_t hi =
+            next ? static_cast<std::uint32_t>(next->imm) : 0;
+        if (insn.src == BPF_PSEUDO_MAP_FD) {
+            std::snprintf(buf, sizeof(buf), "ld_map_fd r%d, map#%llu",
+                          insn.dst, (unsigned long long)(lo | (hi << 32)));
+        } else {
+            std::snprintf(buf, sizeof(buf), "ld_imm64 r%d, %llu", insn.dst,
+                          (unsigned long long)(lo | (hi << 32)));
+        }
+    } else {
+        std::snprintf(buf, sizeof(buf), "??? opcode=0x%02x", insn.opcode);
+    }
+    return buf;
+}
+
+std::string
+disassemble(const std::vector<Insn> &prog)
+{
+    std::string out;
+    char head[32];
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        std::snprintf(head, sizeof(head), "%4zu: ", i);
+        out += head;
+        const bool is_ld64 =
+            prog[i].cls() == BPF_LD && prog[i].memSize() == BPF_DW;
+        out += disassemble(prog[i],
+                           is_ld64 && i + 1 < prog.size() ? &prog[i + 1]
+                                                          : nullptr);
+        out += '\n';
+        if (is_ld64) {
+            ++i; // skip the second slot
+        }
+    }
+    return out;
+}
+
+} // namespace reqobs::ebpf

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * eBPF instruction encoding.
+ *
+ * The layout and opcode numbering follow the Linux eBPF ISA (see
+ * Documentation/bpf/instruction-set.rst) so that programs here read like
+ * real BPF bytecode dumps. We implement the subset needed by tracing
+ * programs: 64/32-bit ALU, jumps, memory access relative to pointer
+ * registers, the two-slot LD_IMM64 (used to reference maps), helper
+ * calls, and EXIT.
+ */
+
+#ifndef REQOBS_EBPF_INSN_HH
+#define REQOBS_EBPF_INSN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reqobs::ebpf {
+
+/** Register names r0..r10 (r10 is the read-only frame pointer). */
+enum Reg : std::uint8_t
+{
+    R0 = 0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10,
+    kNumRegs
+};
+
+/** @name Instruction class (low 3 bits of the opcode). @{ */
+constexpr std::uint8_t BPF_LD = 0x00;
+constexpr std::uint8_t BPF_LDX = 0x01;
+constexpr std::uint8_t BPF_ST = 0x02;
+constexpr std::uint8_t BPF_STX = 0x03;
+constexpr std::uint8_t BPF_ALU = 0x04;
+constexpr std::uint8_t BPF_JMP = 0x05;
+constexpr std::uint8_t BPF_JMP32 = 0x06;
+constexpr std::uint8_t BPF_ALU64 = 0x07;
+/** @} */
+
+/** @name Size field for memory instructions. @{ */
+constexpr std::uint8_t BPF_W = 0x00;  ///< 4 bytes
+constexpr std::uint8_t BPF_H = 0x08;  ///< 2 bytes
+constexpr std::uint8_t BPF_B = 0x10;  ///< 1 byte
+constexpr std::uint8_t BPF_DW = 0x18; ///< 8 bytes
+/** @} */
+
+/** @name Mode field for load/store. @{ */
+constexpr std::uint8_t BPF_IMM = 0x00;
+constexpr std::uint8_t BPF_MEM = 0x60;
+/** @} */
+
+/** @name Source field. @{ */
+constexpr std::uint8_t BPF_K = 0x00; ///< immediate operand
+constexpr std::uint8_t BPF_X = 0x08; ///< register operand
+/** @} */
+
+/** @name ALU operations (high 4 bits). @{ */
+constexpr std::uint8_t BPF_ADD = 0x00;
+constexpr std::uint8_t BPF_SUB = 0x10;
+constexpr std::uint8_t BPF_MUL = 0x20;
+constexpr std::uint8_t BPF_DIV = 0x30;
+constexpr std::uint8_t BPF_OR = 0x40;
+constexpr std::uint8_t BPF_AND = 0x50;
+constexpr std::uint8_t BPF_LSH = 0x60;
+constexpr std::uint8_t BPF_RSH = 0x70;
+constexpr std::uint8_t BPF_NEG = 0x80;
+constexpr std::uint8_t BPF_MOD = 0x90;
+constexpr std::uint8_t BPF_XOR = 0xa0;
+constexpr std::uint8_t BPF_MOV = 0xb0;
+constexpr std::uint8_t BPF_ARSH = 0xc0;
+/** @} */
+
+/** @name Jump operations (high 4 bits). @{ */
+constexpr std::uint8_t BPF_JA = 0x00;
+constexpr std::uint8_t BPF_JEQ = 0x10;
+constexpr std::uint8_t BPF_JGT = 0x20;
+constexpr std::uint8_t BPF_JGE = 0x30;
+constexpr std::uint8_t BPF_JSET = 0x40;
+constexpr std::uint8_t BPF_JNE = 0x50;
+constexpr std::uint8_t BPF_JSGT = 0x60;
+constexpr std::uint8_t BPF_JSGE = 0x70;
+constexpr std::uint8_t BPF_CALL = 0x80;
+constexpr std::uint8_t BPF_EXIT = 0x90;
+constexpr std::uint8_t BPF_JLT = 0xa0;
+constexpr std::uint8_t BPF_JLE = 0xb0;
+constexpr std::uint8_t BPF_JSLT = 0xc0;
+constexpr std::uint8_t BPF_JSLE = 0xd0;
+/** @} */
+
+/** Pseudo source register marking a map reference in LD_IMM64. */
+constexpr std::uint8_t BPF_PSEUDO_MAP_FD = 1;
+
+/** One 8-byte eBPF instruction slot. */
+struct Insn
+{
+    std::uint8_t opcode = 0;
+    std::uint8_t dst : 4 = 0;
+    std::uint8_t src : 4 = 0;
+    std::int16_t off = 0;
+    std::int32_t imm = 0;
+
+    std::uint8_t cls() const { return opcode & 0x07; }
+    std::uint8_t aluOp() const { return opcode & 0xf0; }
+    std::uint8_t memSize() const { return opcode & 0x18; }
+    std::uint8_t memMode() const
+    {
+        return opcode & 0xe0;
+    }
+    bool isImmSrc() const { return (opcode & 0x08) == BPF_K; }
+};
+
+static_assert(sizeof(Insn) == 8, "eBPF instructions are 8 bytes");
+
+/** Disassemble a single instruction (next slot needed for LD_IMM64). */
+std::string disassemble(const Insn &insn, const Insn *next = nullptr);
+
+/** Disassemble a whole program, one line per slot. */
+std::string disassemble(const std::vector<Insn> &prog);
+
+} // namespace reqobs::ebpf
+
+#endif // REQOBS_EBPF_INSN_HH

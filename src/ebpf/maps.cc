@@ -1,0 +1,159 @@
+#include "ebpf/maps.hh"
+
+#include "sim/logging.hh"
+
+namespace reqobs::ebpf {
+
+Map::Map(MapType type, std::uint32_t key_size, std::uint32_t value_size,
+         std::uint32_t max_entries, std::string name)
+    : type_(type), keySize_(key_size), valueSize_(value_size),
+      maxEntries_(max_entries), name_(std::move(name))
+{
+    if (type != MapType::RingBuf) {
+        if (key_size == 0 || value_size == 0 || max_entries == 0)
+            sim::fatal("Map '%s': zero key/value/entries", name_.c_str());
+    }
+}
+
+void
+Map::checkSizes(std::size_t key, std::size_t value) const
+{
+    if (key != keySize_)
+        sim::fatal("Map '%s': key size %zu != %u", name_.c_str(), key,
+                   keySize_);
+    if (value != valueSize_)
+        sim::fatal("Map '%s': value size %zu != %u", name_.c_str(), value,
+                   valueSize_);
+}
+
+// ------------------------------------------------------------------ Hash
+
+HashMap::HashMap(std::uint32_t key_size, std::uint32_t value_size,
+                 std::uint32_t max_entries, std::string name)
+    : Map(MapType::Hash, key_size, value_size, max_entries, std::move(name))
+{}
+
+std::uint8_t *
+HashMap::lookup(const std::uint8_t *key)
+{
+    const std::string k(reinterpret_cast<const char *>(key), keySize_);
+    auto it = entries_.find(k);
+    return it == entries_.end() ? nullptr : it->second.get();
+}
+
+int
+HashMap::update(const std::uint8_t *key, const std::uint8_t *value,
+                std::uint64_t flags)
+{
+    const std::string k(reinterpret_cast<const char *>(key), keySize_);
+    auto it = entries_.find(k);
+    if (it != entries_.end()) {
+        if (flags == BPF_NOEXIST)
+            return -17; // -EEXIST
+        std::memcpy(it->second.get(), value, valueSize_);
+        return 0;
+    }
+    if (flags == BPF_EXIST)
+        return -2; // -ENOENT
+    if (entries_.size() >= maxEntries_)
+        return -7; // -E2BIG
+    auto buf = std::make_unique<std::uint8_t[]>(valueSize_);
+    std::memcpy(buf.get(), value, valueSize_);
+    entries_.emplace(k, std::move(buf));
+    return 0;
+}
+
+int
+HashMap::erase(const std::uint8_t *key)
+{
+    const std::string k(reinterpret_cast<const char *>(key), keySize_);
+    return entries_.erase(k) ? 0 : -2;
+}
+
+void
+HashMap::forEach(
+    const std::function<void(const std::uint8_t *, const std::uint8_t *)> &fn)
+    const
+{
+    for (const auto &[k, v] : entries_) {
+        fn(reinterpret_cast<const std::uint8_t *>(k.data()), v.get());
+    }
+}
+
+// ----------------------------------------------------------------- Array
+
+ArrayMap::ArrayMap(std::uint32_t value_size, std::uint32_t max_entries,
+                   std::string name, MapType type)
+    : Map(type, sizeof(std::uint32_t), value_size, max_entries,
+          std::move(name)),
+      storage_(static_cast<std::size_t>(value_size) * max_entries, 0)
+{}
+
+std::uint8_t *
+ArrayMap::lookup(const std::uint8_t *key)
+{
+    std::uint32_t idx;
+    std::memcpy(&idx, key, sizeof(idx));
+    if (idx >= maxEntries_)
+        return nullptr;
+    return storage_.data() + static_cast<std::size_t>(idx) * valueSize_;
+}
+
+int
+ArrayMap::update(const std::uint8_t *key, const std::uint8_t *value,
+                 std::uint64_t flags)
+{
+    if (flags == BPF_NOEXIST)
+        return -17; // array slots always exist
+    std::uint8_t *slot = lookup(key);
+    if (!slot)
+        return -7; // -E2BIG: index out of range
+    std::memcpy(slot, value, valueSize_);
+    return 0;
+}
+
+int
+ArrayMap::erase(const std::uint8_t *)
+{
+    return -22; // arrays cannot delete, like Linux
+}
+
+// ---------------------------------------------------------------- RingBuf
+
+RingBufMap::RingBufMap(std::uint32_t capacity_bytes, std::string name)
+    : Map(MapType::RingBuf, 0, 0, capacity_bytes, std::move(name))
+{
+    if (capacity_bytes == 0)
+        sim::fatal("RingBufMap '%s': zero capacity", name_.c_str());
+}
+
+int
+RingBufMap::output(const std::uint8_t *data, std::uint32_t len)
+{
+    if (len == 0 || len > maxEntries_)
+        return -22;
+    if (bytesQueued_ + len > maxEntries_) {
+        ++drops_;
+        return -28; // -ENOSPC
+    }
+    records_.emplace_back(data, data + len);
+    bytesQueued_ += len;
+    return 0;
+}
+
+std::size_t
+RingBufMap::consume(
+    const std::function<void(const std::uint8_t *, std::uint32_t)> &fn)
+{
+    std::size_t n = 0;
+    while (!records_.empty()) {
+        auto rec = std::move(records_.front());
+        records_.pop_front();
+        bytesQueued_ -= rec.size();
+        fn(rec.data(), static_cast<std::uint32_t>(rec.size()));
+        ++n;
+    }
+    return n;
+}
+
+} // namespace reqobs::ebpf

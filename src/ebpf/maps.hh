@@ -1,0 +1,214 @@
+/**
+ * @file
+ * eBPF map implementations: hash, array, per-CPU array and ring buffer.
+ *
+ * Maps are byte-oriented exactly like the kernel's: a key_size/value_size
+ * pair fixed at creation, lookups returning stable pointers into stored
+ * values (programs mutate map values in place through those pointers),
+ * and a max_entries capacity. Typed convenience accessors are provided
+ * for userspace readers (the observability agent).
+ */
+
+#ifndef REQOBS_EBPF_MAPS_HH
+#define REQOBS_EBPF_MAPS_HH
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace reqobs::ebpf {
+
+/** Supported map types (kernel enum bpf_map_type subset). */
+enum class MapType
+{
+    Hash,
+    Array,
+    PerCpuArray,
+    RingBuf,
+};
+
+/** Update flags (kernel BPF_ANY / BPF_NOEXIST / BPF_EXIST). */
+enum : std::uint64_t
+{
+    BPF_ANY = 0,
+    BPF_NOEXIST = 1,
+    BPF_EXIST = 2,
+};
+
+/** Abstract eBPF map. */
+class Map
+{
+  public:
+    Map(MapType type, std::uint32_t key_size, std::uint32_t value_size,
+        std::uint32_t max_entries, std::string name);
+    virtual ~Map() = default;
+
+    Map(const Map &) = delete;
+    Map &operator=(const Map &) = delete;
+
+    /**
+     * Kernel-side lookup: pointer to the stored value bytes, or nullptr.
+     * The pointer stays valid until the entry is deleted (values are
+     * heap-pinned, so concurrent-in-program updates cannot move them).
+     */
+    virtual std::uint8_t *lookup(const std::uint8_t *key) = 0;
+
+    /** Kernel-side update. @return 0, or a negative errno. */
+    virtual int update(const std::uint8_t *key, const std::uint8_t *value,
+                       std::uint64_t flags) = 0;
+
+    /** Kernel-side delete. @return 0, or -2 (ENOENT). */
+    virtual int erase(const std::uint8_t *key) = 0;
+
+    /** Live entries. */
+    virtual std::size_t size() const = 0;
+
+    MapType type() const { return type_; }
+    std::uint32_t keySize() const { return keySize_; }
+    std::uint32_t valueSize() const { return valueSize_; }
+    std::uint32_t maxEntries() const { return maxEntries_; }
+    const std::string &name() const { return name_; }
+
+    /** @name Typed userspace access (sizes checked). @{ */
+    template <typename K, typename V>
+    bool
+    get(const K &key, V &out)
+    {
+        static_assert(std::is_trivially_copyable_v<K> &&
+                      std::is_trivially_copyable_v<V>);
+        checkSizes(sizeof(K), sizeof(V));
+        const std::uint8_t *v =
+            lookup(reinterpret_cast<const std::uint8_t *>(&key));
+        if (!v)
+            return false;
+        std::memcpy(&out, v, sizeof(V));
+        return true;
+    }
+
+    template <typename K, typename V>
+    int
+    put(const K &key, const V &value, std::uint64_t flags = BPF_ANY)
+    {
+        static_assert(std::is_trivially_copyable_v<K> &&
+                      std::is_trivially_copyable_v<V>);
+        checkSizes(sizeof(K), sizeof(V));
+        return update(reinterpret_cast<const std::uint8_t *>(&key),
+                      reinterpret_cast<const std::uint8_t *>(&value), flags);
+    }
+
+    template <typename K>
+    int
+    remove(const K &key)
+    {
+        static_assert(std::is_trivially_copyable_v<K>);
+        checkSizes(sizeof(K), valueSize_);
+        return erase(reinterpret_cast<const std::uint8_t *>(&key));
+    }
+    /** @} */
+
+  protected:
+    void checkSizes(std::size_t key, std::size_t value) const;
+
+    MapType type_;
+    std::uint32_t keySize_;
+    std::uint32_t valueSize_;
+    std::uint32_t maxEntries_;
+    std::string name_;
+};
+
+/** BPF_MAP_TYPE_HASH. */
+class HashMap : public Map
+{
+  public:
+    HashMap(std::uint32_t key_size, std::uint32_t value_size,
+            std::uint32_t max_entries, std::string name = "hash");
+
+    std::uint8_t *lookup(const std::uint8_t *key) override;
+    int update(const std::uint8_t *key, const std::uint8_t *value,
+               std::uint64_t flags) override;
+    int erase(const std::uint8_t *key) override;
+    std::size_t size() const override { return entries_.size(); }
+
+    /** Visit every (key, value) pair — userspace iteration. */
+    void forEach(
+        const std::function<void(const std::uint8_t *, const std::uint8_t *)>
+            &fn) const;
+
+  private:
+    /** Value buffers are heap-pinned for pointer stability. */
+    std::unordered_map<std::string, std::unique_ptr<std::uint8_t[]>> entries_;
+};
+
+/** BPF_MAP_TYPE_ARRAY (and, with cpus==1 here, PERCPU_ARRAY). */
+class ArrayMap : public Map
+{
+  public:
+    ArrayMap(std::uint32_t value_size, std::uint32_t max_entries,
+             std::string name = "array", MapType type = MapType::Array);
+
+    std::uint8_t *lookup(const std::uint8_t *key) override;
+    int update(const std::uint8_t *key, const std::uint8_t *value,
+               std::uint64_t flags) override;
+    int erase(const std::uint8_t *key) override; ///< -EINVAL like Linux
+    std::size_t size() const override { return maxEntries_; }
+
+    /** Direct typed slot access for userspace readers. */
+    template <typename V>
+    V
+    at(std::uint32_t index)
+    {
+        V out{};
+        get(index, out);
+        return out;
+    }
+
+  private:
+    std::vector<std::uint8_t> storage_;
+};
+
+/**
+ * BPF_MAP_TYPE_RINGBUF: kernel-to-user record stream. Programs emit
+ * records via the ringbuf_output helper; userspace drains with consume().
+ * When full, records are dropped and counted (matching the helper's
+ * -ENOSPC behaviour).
+ */
+class RingBufMap : public Map
+{
+  public:
+    /** @param capacity_bytes Total buffer capacity. */
+    explicit RingBufMap(std::uint32_t capacity_bytes,
+                        std::string name = "ringbuf");
+
+    std::uint8_t *lookup(const std::uint8_t *) override { return nullptr; }
+    int update(const std::uint8_t *, const std::uint8_t *,
+               std::uint64_t) override
+    {
+        return -22; // -EINVAL
+    }
+    int erase(const std::uint8_t *) override { return -22; }
+    std::size_t size() const override { return records_.size(); }
+
+    /** Kernel-side emit. @return 0, or -28 (ENOSPC) when full. */
+    int output(const std::uint8_t *data, std::uint32_t len);
+
+    /** Drain all pending records through @p fn. @return records seen. */
+    std::size_t consume(
+        const std::function<void(const std::uint8_t *, std::uint32_t)> &fn);
+
+    std::uint64_t drops() const { return drops_; }
+    std::size_t bytesQueued() const { return bytesQueued_; }
+
+  private:
+    std::deque<std::vector<std::uint8_t>> records_;
+    std::size_t bytesQueued_ = 0;
+    std::uint64_t drops_ = 0;
+};
+
+} // namespace reqobs::ebpf
+
+#endif // REQOBS_EBPF_MAPS_HH

@@ -1,0 +1,225 @@
+#include "ebpf/probes.hh"
+
+#include "ebpf/assembler.hh"
+#include "sim/logging.hh"
+
+namespace reqobs::ebpf::probes {
+
+namespace {
+
+/**
+ * Emit the common application filter:
+ *   r6 = ctx->pid_tgid; if ((r6 >> 32) != tgid) goto out;
+ * Leaves pid_tgid in r6.
+ */
+void
+emitTgidFilter(ProgramBuilder &b, std::uint32_t tgid)
+{
+    b.ldxdw(R6, R1, offsetof(TraceCtx, pidTgid))
+        .mov(R7, R6)
+        .rshImm(R7, 32)
+        .jneImm(R7, static_cast<std::int32_t>(tgid), "out");
+}
+
+} // namespace
+
+DurationMaps
+createDurationMaps(EbpfRuntime &rt, const std::string &prefix)
+{
+    DurationMaps m;
+    m.startFd = rt.createHashMap(sizeof(std::uint64_t), sizeof(std::uint64_t),
+                                 16384, prefix + ".start");
+    m.statsFd =
+        rt.createArrayMap(sizeof(SyscallStats), 1, prefix + ".stats");
+    return m;
+}
+
+ProgramSpec
+buildDurationEnter(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
+                   const DurationMaps &maps)
+{
+    ProgramBuilder b;
+    emitTgidFilter(b, tgid);
+    // Filter the syscall of interest (args->id in the paper's listing).
+    b.ldxdw(R8, R1, offsetof(TraceCtx, id))
+        .jneImm(R8, static_cast<std::int32_t>(syscall), "out");
+    // u64 t = bpf_ktime_get_ns();
+    b.call(helper::kKtimeGetNs);
+    // start.update(&pid_tgid, &t);
+    b.stxdw(R10, -8, R6)  // key = pid_tgid
+        .stxdw(R10, -16, R0) // value = t
+        .ldMapFd(R1, maps.startFd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .mov(R3, R10)
+        .addImm(R3, -16)
+        .movImm(R4, BPF_ANY)
+        .call(helper::kMapUpdateElem);
+    b.label("out").movImm(R0, 0).exit_();
+
+    ProgramSpec spec;
+    spec.name = "duration_enter";
+    spec.insns = b.build();
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+ProgramSpec
+buildDurationExit(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
+                  const DurationMaps &maps, unsigned shift)
+{
+    ProgramBuilder b;
+    emitTgidFilter(b, tgid);
+    b.ldxdw(R8, R1, offsetof(TraceCtx, id))
+        .jneImm(R8, static_cast<std::int32_t>(syscall), "out");
+    // u64 end_ns = ctx->ts (the tracepoint timestamp).
+    b.ldxdw(R9, R1, offsetof(TraceCtx, ts));
+    // u64 *start_ns = start.lookup(&pid_tgid);
+    b.stxdw(R10, -8, R6)
+        .ldMapFd(R1, maps.startFd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .call(helper::kMapLookupElem)
+        .jeqImm(R0, 0, "out");
+    // duration = end_ns - *start_ns;   (keep in callee-saved r8)
+    b.ldxdw(R3, R0, 0).mov(R8, R9).sub(R8, R3);
+    // start.delete(&pid_tgid);  (key buffer still on the stack)
+    b.ldMapFd(R1, maps.startFd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .call(helper::kMapDeleteElem);
+    // stats = &stats_array[0];
+    b.stImm(R10, -24, 0, BPF_W)
+        .ldMapFd(R1, maps.statsFd)
+        .mov(R2, R10)
+        .addImm(R2, -24)
+        .call(helper::kMapLookupElem)
+        .jeqImm(R0, 0, "out");
+    // stats->count++;
+    b.ldxdw(R3, R0, offsetof(SyscallStats, count))
+        .addImm(R3, 1)
+        .stxdw(R0, offsetof(SyscallStats, count), R3);
+    // stats->sum_ns += duration;
+    b.ldxdw(R3, R0, offsetof(SyscallStats, sumNs))
+        .add(R3, R8)
+        .stxdw(R0, offsetof(SyscallStats, sumNs), R3);
+    // q = duration >> shift; stats->sumsq_q += q * q;
+    b.mov(R4, R8)
+        .rshImm(R4, static_cast<std::int32_t>(shift))
+        .mov(R5, R4)
+        .mul(R5, R4)
+        .ldxdw(R3, R0, offsetof(SyscallStats, sumSqQ))
+        .add(R3, R5)
+        .stxdw(R0, offsetof(SyscallStats, sumSqQ), R3);
+    b.label("out").movImm(R0, 0).exit_();
+
+    ProgramSpec spec;
+    spec.name = "duration_exit";
+    spec.insns = b.build();
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+DeltaMaps
+createDeltaMaps(EbpfRuntime &rt, const std::string &prefix)
+{
+    DeltaMaps m;
+    m.statsFd =
+        rt.createArrayMap(sizeof(SyscallStats), 1, prefix + ".stats");
+    return m;
+}
+
+ProgramSpec
+buildDeltaExit(EbpfRuntime &rt, std::uint32_t tgid,
+               const std::vector<std::int64_t> &family, const DeltaMaps &maps,
+               unsigned shift)
+{
+    if (family.empty())
+        sim::fatal("buildDeltaExit: empty syscall family");
+
+    ProgramBuilder b;
+    // Family match first: cheap rejection of unrelated syscalls.
+    b.ldxdw(R8, R1, offsetof(TraceCtx, id));
+    for (std::int64_t id : family)
+        b.jeqImm(R8, static_cast<std::int32_t>(id), "match");
+    b.ja("out");
+    b.label("match");
+    emitTgidFilter(b, tgid);
+    // now = ctx->ts
+    b.ldxdw(R9, R1, offsetof(TraceCtx, ts));
+    // stats = &stats_array[0];
+    b.stImm(R10, -4, 0, BPF_W)
+        .ldMapFd(R1, maps.statsFd)
+        .mov(R2, R10)
+        .addImm(R2, -4)
+        .call(helper::kMapLookupElem)
+        .jeqImm(R0, 0, "out");
+    // last = stats->last_ts; stats->last_ts = now;
+    b.ldxdw(R3, R0, offsetof(SyscallStats, lastTs))
+        .stxdw(R0, offsetof(SyscallStats, lastTs), R9)
+        .jeqImm(R3, 0, "out"); // first event seeds the chain
+    // delta = now - last;
+    b.mov(R2, R9).sub(R2, R3);
+    // count++, sum += delta
+    b.ldxdw(R3, R0, offsetof(SyscallStats, count))
+        .addImm(R3, 1)
+        .stxdw(R0, offsetof(SyscallStats, count), R3)
+        .ldxdw(R3, R0, offsetof(SyscallStats, sumNs))
+        .add(R3, R2)
+        .stxdw(R0, offsetof(SyscallStats, sumNs), R3);
+    // q = delta >> shift; sumsq += q*q  (Eq. 2's E[x^2] accumulator)
+    b.rshImm(R2, static_cast<std::int32_t>(shift))
+        .mov(R4, R2)
+        .mul(R4, R2)
+        .ldxdw(R3, R0, offsetof(SyscallStats, sumSqQ))
+        .add(R3, R4)
+        .stxdw(R0, offsetof(SyscallStats, sumSqQ), R3);
+    b.label("out").movImm(R0, 0).exit_();
+
+    ProgramSpec spec;
+    spec.name = "delta_exit";
+    spec.insns = b.build();
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+StreamMaps
+createStreamMaps(EbpfRuntime &rt, std::uint32_t capacity_bytes,
+                 const std::string &prefix)
+{
+    StreamMaps m;
+    m.ringFd = rt.createRingBuf(capacity_bytes, prefix + ".ring");
+    return m;
+}
+
+ProgramSpec
+buildStreamProbe(EbpfRuntime &rt, std::uint32_t tgid, bool exit_point,
+                 const StreamMaps &maps)
+{
+    ProgramBuilder b;
+    emitTgidFilter(b, tgid);
+    // Assemble a StreamRecord at r10-40.
+    b.ldxdw(R2, R1, offsetof(TraceCtx, id))
+        .stxdw(R10, -40, R2)
+        .stxdw(R10, -32, R6) // pid_tgid (from the filter)
+        .ldxdw(R2, R1, offsetof(TraceCtx, ts))
+        .stxdw(R10, -24, R2)
+        .ldxdw(R2, R1, offsetof(TraceCtx, ret))
+        .stxdw(R10, -16, R2)
+        .stImm(R10, -8, exit_point ? 1 : 0, BPF_DW);
+    b.ldMapFd(R1, maps.ringFd)
+        .mov(R2, R10)
+        .addImm(R2, -40)
+        .movImm(R3, sizeof(StreamRecord))
+        .movImm(R4, 0)
+        .call(helper::kRingbufOutput);
+    b.label("out").movImm(R0, 0).exit_();
+
+    ProgramSpec spec;
+    spec.name = exit_point ? "stream_exit" : "stream_enter";
+    spec.insns = b.build();
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+} // namespace reqobs::ebpf::probes

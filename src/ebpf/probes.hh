@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The paper's probe library, authored as real eBPF bytecode.
+ *
+ * Three probe families (§III-B / §IV):
+ *
+ *  - Duration probes (the paper's Listing 1): a sys_enter program stores
+ *    the entry timestamp keyed by pid_tgid; the matching sys_exit program
+ *    computes the duration and accumulates count/sum/sum-of-squares into
+ *    a stats map. Used for the epoll/select duration metric (Fig. 4/5).
+ *
+ *  - Delta probes: a sys_exit program computes the interval between
+ *    consecutive syscalls of a *family* (send / recv) for one
+ *    application, accumulating count, Σdelta and Σdelta² — everything
+ *    Eq. 1 (observed RPS) and Eq. 2 (variance) need, entirely in kernel
+ *    space with u64 arithmetic.
+ *
+ *  - Stream probes: export raw per-syscall records through a ring buffer
+ *    for userspace trace analysis (Fig. 1).
+ *
+ * All probes filter on the target application's tgid, mirroring the
+ * PID_TGID filter in the paper's listing.
+ */
+
+#ifndef REQOBS_EBPF_PROBES_HH
+#define REQOBS_EBPF_PROBES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.hh"
+#include "ebpf/runtime.hh"
+
+namespace reqobs::ebpf::probes {
+
+/**
+ * Right-shift applied to deltas/durations before squaring so the Σx²
+ * accumulator cannot overflow u64 within an experiment (ns² sums
+ * overflow in seconds otherwise). 10 bits ~ 1 us quantisation.
+ */
+constexpr unsigned kDeltaShift = 10;
+
+/**
+ * Layout of one stats-map slot (32 bytes). Probes update it in place;
+ * userspace reads it with ArrayMap::at<SyscallStats>(0). Counters are
+ * cumulative; consumers difference them per window.
+ */
+struct SyscallStats
+{
+    std::uint64_t count = 0;  ///< events accumulated
+    std::uint64_t sumNs = 0;  ///< Σ duration or Σ delta, in ns
+    std::uint64_t sumSqQ = 0; ///< Σ (value >> kDeltaShift)²
+    std::uint64_t lastTs = 0; ///< previous event timestamp (delta probes)
+};
+
+static_assert(sizeof(SyscallStats) == 32);
+
+/** Record emitted by stream probes (one per traced syscall event). */
+struct StreamRecord
+{
+    std::uint64_t id = 0;      ///< syscall number
+    std::uint64_t pidTgid = 0;
+    std::uint64_t ts = 0;      ///< ns
+    std::int64_t ret = 0;
+    std::uint64_t point = 0;   ///< 0 = sys_enter, 1 = sys_exit
+};
+
+static_assert(sizeof(StreamRecord) == 40);
+
+/** Maps used by one duration-probe pair. */
+struct DurationMaps
+{
+    int startFd = -1; ///< hash: pid_tgid (u64) -> entry ts (u64)
+    int statsFd = -1; ///< array[1] of SyscallStats
+};
+
+/** Allocate the maps for a duration probe. */
+DurationMaps createDurationMaps(EbpfRuntime &rt, const std::string &prefix);
+
+/** sys_enter half of Listing 1: record the entry timestamp. */
+ProgramSpec buildDurationEnter(EbpfRuntime &rt, std::uint32_t tgid,
+                               std::int64_t syscall, const DurationMaps &maps);
+
+/** sys_exit half of Listing 1: accumulate duration statistics. */
+ProgramSpec buildDurationExit(EbpfRuntime &rt, std::uint32_t tgid,
+                              std::int64_t syscall, const DurationMaps &maps,
+                              unsigned shift = kDeltaShift);
+
+/** Maps used by one delta probe. */
+struct DeltaMaps
+{
+    int statsFd = -1; ///< array[1] of SyscallStats (lastTs used)
+};
+
+/** Allocate the stats map for a delta probe. */
+DeltaMaps createDeltaMaps(EbpfRuntime &rt, const std::string &prefix);
+
+/**
+ * sys_exit inter-syscall-delta probe over a syscall family
+ * (e.g. {write, sendto, sendmsg}).
+ */
+ProgramSpec buildDeltaExit(EbpfRuntime &rt, std::uint32_t tgid,
+                           const std::vector<std::int64_t> &family,
+                           const DeltaMaps &maps,
+                           unsigned shift = kDeltaShift);
+
+/** Maps used by a stream probe. */
+struct StreamMaps
+{
+    int ringFd = -1;
+};
+
+/** Allocate the ring buffer for stream probes. */
+StreamMaps createStreamMaps(EbpfRuntime &rt, std::uint32_t capacity_bytes,
+                            const std::string &prefix);
+
+/**
+ * Raw-record streaming probe for one tracepoint. @p exit_point selects
+ * sys_exit (true) vs sys_enter (false) and is stamped into the records.
+ */
+ProgramSpec buildStreamProbe(EbpfRuntime &rt, std::uint32_t tgid,
+                             bool exit_point, const StreamMaps &maps);
+
+} // namespace reqobs::ebpf::probes
+
+#endif // REQOBS_EBPF_PROBES_HH

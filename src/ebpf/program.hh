@@ -1,0 +1,48 @@
+/**
+ * @file
+ * A bytecode program plus everything needed to verify and run it:
+ * the map-fd table its LD_IMM64 pseudo instructions refer to and the
+ * size of the context structure it may dereference.
+ */
+
+#ifndef REQOBS_EBPF_PROGRAM_HH
+#define REQOBS_EBPF_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ebpf/insn.hh"
+#include "ebpf/maps.hh"
+
+namespace reqobs::ebpf {
+
+/**
+ * Context layout passed to raw_syscalls tracepoint programs.
+ * Offsets are part of the "ABI" probe authors code against.
+ */
+struct TraceCtx
+{
+    std::uint64_t id;       ///< offset 0: syscall number
+    std::uint64_t pidTgid;  ///< offset 8
+    std::uint64_t ts;       ///< offset 16: event timestamp (ns)
+    std::int64_t ret;       ///< offset 24: return value (sys_exit only)
+};
+
+static_assert(sizeof(TraceCtx) == 32);
+
+/** Program ready for verification/execution. */
+struct ProgramSpec
+{
+    std::string name = "prog";
+    std::vector<Insn> insns;
+    /** Map fds referenced by ldMapFd instructions. */
+    std::map<int, Map *> maps;
+    /** Size of the context object reachable through r1. */
+    std::uint32_t ctxSize = sizeof(TraceCtx);
+};
+
+} // namespace reqobs::ebpf
+
+#endif // REQOBS_EBPF_PROGRAM_HH

@@ -1,0 +1,171 @@
+#include "ebpf/runtime.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace reqobs::ebpf {
+
+EbpfRuntime::EbpfRuntime(kernel::Kernel &kernel, const RuntimeConfig &config)
+    : kernel_(kernel), config_(config), rng_(kernel.sim().forkRng())
+{}
+
+EbpfRuntime::~EbpfRuntime()
+{
+    unloadAll();
+}
+
+int
+EbpfRuntime::createMap(std::unique_ptr<Map> map)
+{
+    if (!map)
+        sim::fatal("EbpfRuntime::createMap: null map");
+    const int fd = nextFd_++;
+    maps_.emplace(fd, std::move(map));
+    return fd;
+}
+
+int
+EbpfRuntime::createHashMap(std::uint32_t key_size, std::uint32_t value_size,
+                           std::uint32_t max_entries, const std::string &name)
+{
+    return createMap(
+        std::make_unique<HashMap>(key_size, value_size, max_entries, name));
+}
+
+int
+EbpfRuntime::createArrayMap(std::uint32_t value_size,
+                            std::uint32_t max_entries, const std::string &name)
+{
+    return createMap(std::make_unique<ArrayMap>(value_size, max_entries,
+                                                name));
+}
+
+int
+EbpfRuntime::createRingBuf(std::uint32_t capacity_bytes,
+                           const std::string &name)
+{
+    return createMap(std::make_unique<RingBufMap>(capacity_bytes, name));
+}
+
+Map &
+EbpfRuntime::mapAt(int fd) const
+{
+    auto it = maps_.find(fd);
+    if (it == maps_.end())
+        sim::fatal("EbpfRuntime: unknown map fd %d", fd);
+    return *it->second;
+}
+
+ArrayMap &
+EbpfRuntime::arrayAt(int fd) const
+{
+    auto *m = dynamic_cast<ArrayMap *>(&mapAt(fd));
+    if (!m)
+        sim::fatal("EbpfRuntime: fd %d is not an array map", fd);
+    return *m;
+}
+
+HashMap &
+EbpfRuntime::hashAt(int fd) const
+{
+    auto *m = dynamic_cast<HashMap *>(&mapAt(fd));
+    if (!m)
+        sim::fatal("EbpfRuntime: fd %d is not a hash map", fd);
+    return *m;
+}
+
+RingBufMap &
+EbpfRuntime::ringbufAt(int fd) const
+{
+    auto *m = dynamic_cast<RingBufMap *>(&mapAt(fd));
+    if (!m)
+        sim::fatal("EbpfRuntime: fd %d is not a ring buffer", fd);
+    return *m;
+}
+
+std::map<int, Map *>
+EbpfRuntime::mapTable() const
+{
+    std::map<int, Map *> out;
+    for (const auto &[fd, map] : maps_)
+        out.emplace(fd, map.get());
+    return out;
+}
+
+VerifyResult
+EbpfRuntime::loadAndAttach(ProgramSpec spec, kernel::TracepointId point,
+                           ProgId *id)
+{
+    VerifyResult vr = verify(spec, config_.limits);
+    if (!vr)
+        return vr;
+
+    auto loaded = std::make_unique<Loaded>();
+    loaded->id = nextProg_++;
+    loaded->spec = std::move(spec);
+    loaded->point = point;
+    Loaded *raw = loaded.get();
+    loaded->handle = kernel_.tracepoints().attach(
+        point, [this, raw](const kernel::RawSyscallEvent &ev) {
+            return execute(*raw, ev);
+        });
+    if (id)
+        *id = loaded->id;
+    programs_.push_back(std::move(loaded));
+    return vr;
+}
+
+void
+EbpfRuntime::unload(ProgId id)
+{
+    for (auto it = programs_.begin(); it != programs_.end(); ++it) {
+        if ((*it)->id == id) {
+            kernel_.tracepoints().detach((*it)->handle);
+            programs_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+EbpfRuntime::unloadAll()
+{
+    for (auto &prog : programs_)
+        kernel_.tracepoints().detach(prog->handle);
+    programs_.clear();
+}
+
+sim::Tick
+EbpfRuntime::execute(Loaded &prog, const kernel::RawSyscallEvent &ev)
+{
+    ++events_;
+
+    TraceCtx ctx;
+    ctx.id = static_cast<std::uint64_t>(ev.syscall);
+    ctx.pidTgid = ev.pidTgid;
+    ctx.ts = static_cast<std::uint64_t>(ev.timestamp);
+    ctx.ret = ev.ret;
+
+    ExecEnv env;
+    env.nowNs = static_cast<std::uint64_t>(ev.timestamp);
+    env.pidTgid = ev.pidTgid;
+    env.rng = &rng_;
+
+    RunResult r = vm_.run(prog.spec, reinterpret_cast<std::uint8_t *>(&ctx),
+                          sizeof(ctx), env);
+    if (r.aborted) {
+        // Cannot happen for verified programs; a fault here is a bug in
+        // this runtime, not in the probe.
+        sim::panic("eBPF program '%s' faulted at runtime: %s",
+                   prog.spec.name.c_str(), r.error.c_str());
+    }
+
+    const sim::Tick cost =
+        config_.baseProbeCost +
+        config_.perInsnCost * static_cast<sim::Tick>(r.insns);
+    totalCost_ += cost;
+    return cost;
+}
+
+} // namespace reqobs::ebpf

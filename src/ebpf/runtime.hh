@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The eBPF runtime: map fd table, program loading (verification) and
+ * tracepoint attachment against the simulated kernel.
+ *
+ * Loading follows the real flow: create maps (getting fds), author
+ * bytecode referencing those fds via ld_map_fd, submit the program —
+ * it is verified and rejected on any violation — then attach it to
+ * raw_syscalls:sys_enter or sys_exit.
+ *
+ * Each tracepoint firing that reaches an attached program costs
+ * simulated time: a fixed dispatch cost plus a per-interpreted-
+ * instruction cost. The kernel charges that to the traced thread, which
+ * is what the overhead experiment (§VI "Low overhead estimation")
+ * measures.
+ */
+
+#ifndef REQOBS_EBPF_RUNTIME_HH
+#define REQOBS_EBPF_RUNTIME_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ebpf/maps.hh"
+#include "ebpf/program.hh"
+#include "ebpf/verifier.hh"
+#include "ebpf/vm.hh"
+#include "kernel/kernel.hh"
+
+namespace reqobs::ebpf {
+
+/** Cost model for in-kernel probe execution. */
+struct RuntimeConfig
+{
+    /** Fixed tracepoint->program dispatch cost. */
+    sim::Tick baseProbeCost = sim::nanoseconds(80);
+    /** Cost per interpreted instruction. */
+    sim::Tick perInsnCost = sim::nanoseconds(4);
+    /** Verifier limits used at load time. */
+    VerifierLimits limits;
+};
+
+/** Loaded-program id. */
+using ProgId = std::uint64_t;
+
+/** See file comment. */
+class EbpfRuntime
+{
+  public:
+    explicit EbpfRuntime(kernel::Kernel &kernel,
+                         const RuntimeConfig &config = {});
+    ~EbpfRuntime();
+
+    EbpfRuntime(const EbpfRuntime &) = delete;
+    EbpfRuntime &operator=(const EbpfRuntime &) = delete;
+
+    /** @name Map management. @{ */
+
+    /** Create a map; returns its fd. */
+    int createMap(std::unique_ptr<Map> map);
+
+    /** Shorthands for the common shapes. */
+    int createHashMap(std::uint32_t key_size, std::uint32_t value_size,
+                      std::uint32_t max_entries, const std::string &name);
+    int createArrayMap(std::uint32_t value_size, std::uint32_t max_entries,
+                       const std::string &name);
+    int createRingBuf(std::uint32_t capacity_bytes, const std::string &name);
+
+    /** Map by fd; fatal on unknown fd. */
+    Map &mapAt(int fd) const;
+    ArrayMap &arrayAt(int fd) const;
+    HashMap &hashAt(int fd) const;
+    RingBufMap &ringbufAt(int fd) const;
+
+    /** fd -> Map* view for ProgramSpec construction. */
+    std::map<int, Map *> mapTable() const;
+    /** @} */
+
+    /**
+     * Verify @p spec and, if it passes, attach it to @p point.
+     * @param[out] id Loaded-program id (valid when the result is ok).
+     */
+    VerifyResult loadAndAttach(ProgramSpec spec, kernel::TracepointId point,
+                               ProgId *id = nullptr);
+
+    /** Detach and unload one program. */
+    void unload(ProgId id);
+
+    /** Detach and unload everything. */
+    void unloadAll();
+
+    std::size_t loadedPrograms() const { return programs_.size(); }
+
+    /** @name Execution statistics. @{ */
+    std::uint64_t eventsProcessed() const { return events_; }
+    std::uint64_t insnsInterpreted() const { return vm_.totalInsns(); }
+    sim::Tick totalProbeCost() const { return totalCost_; }
+    /** @} */
+
+  private:
+    struct Loaded
+    {
+        ProgId id;
+        ProgramSpec spec;
+        kernel::TracepointId point;
+        kernel::ProbeHandle handle;
+    };
+
+    kernel::Kernel &kernel_;
+    RuntimeConfig config_;
+    Vm vm_;
+    sim::Rng rng_;
+    std::map<int, std::unique_ptr<Map>> maps_;
+    int nextFd_ = 10;
+    std::vector<std::unique_ptr<Loaded>> programs_;
+    ProgId nextProg_ = 1;
+    std::uint64_t events_ = 0;
+    sim::Tick totalCost_ = 0;
+
+    sim::Tick execute(Loaded &prog, const kernel::RawSyscallEvent &ev);
+};
+
+} // namespace reqobs::ebpf
+
+#endif // REQOBS_EBPF_RUNTIME_HH

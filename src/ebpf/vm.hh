@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The eBPF interpreter.
+ *
+ * Executes verified bytecode against a context buffer. Even though the
+ * verifier already guarantees memory safety, the interpreter keeps
+ * defence-in-depth runtime checks: every load/store is validated against
+ * the regions a program may legally touch (its stack frame, the context,
+ * and map values handed out by lookups during this run). A hard
+ * instruction budget bounds execution, mirroring the kernel.
+ */
+
+#ifndef REQOBS_EBPF_VM_HH
+#define REQOBS_EBPF_VM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ebpf/helpers.hh"
+#include "ebpf/program.hh"
+
+namespace reqobs::ebpf {
+
+/** Result of one program execution. */
+struct RunResult
+{
+    std::uint64_t r0 = 0;       ///< program return value
+    std::uint64_t insns = 0;    ///< instructions retired
+    bool aborted = false;       ///< runtime fault (should not happen after
+                                ///< verification)
+    std::string error;
+};
+
+/** Interpreter for verified programs. Reusable across runs. */
+class Vm
+{
+  public:
+    /** @param max_insns Runtime instruction budget per execution. */
+    explicit Vm(std::uint64_t max_insns = 1u << 20);
+
+    /**
+     * Execute @p prog with @p ctx as the r1 context (ctx_len must match
+     * prog.ctxSize) in environment @p env.
+     */
+    RunResult run(const ProgramSpec &prog, std::uint8_t *ctx,
+                  std::uint32_t ctx_len, ExecEnv &env);
+
+    /** Cumulative instructions retired across all runs. */
+    std::uint64_t totalInsns() const { return totalInsns_; }
+
+  private:
+    std::uint64_t maxInsns_;
+    std::uint64_t totalInsns_ = 0;
+    std::vector<std::uint8_t> stack_;
+
+    struct Region
+    {
+        std::uint8_t *base;
+        std::size_t size;
+        bool writable;
+    };
+};
+
+} // namespace reqobs::ebpf
+
+#endif // REQOBS_EBPF_VM_HH

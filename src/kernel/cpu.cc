@@ -1,0 +1,140 @@
+#include "kernel/cpu.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace reqobs::kernel {
+
+namespace {
+/** Work below this many ticks counts as finished (float slack). */
+constexpr double kEpsilon = 1e-3;
+} // namespace
+
+CpuModel::CpuModel(sim::Simulation &sim, const CpuConfig &config)
+    : sim_(sim), config_(config), rng_(sim.forkRng())
+{
+    if (config.cores == 0)
+        sim::fatal("CpuModel: need at least one core");
+    if (config.speed <= 0.0)
+        sim::fatal("CpuModel: speed must be positive");
+    lastAdvance_ = sim.now();
+}
+
+double
+CpuModel::currentRate() const
+{
+    if (jobs_.empty())
+        return 0.0;
+    const double n = static_cast<double>(jobs_.size());
+    const double c = static_cast<double>(config_.cores);
+    return config_.speed * std::min(1.0, c / n);
+}
+
+void
+CpuModel::advance()
+{
+    const sim::Tick now = sim_.now();
+    if (now == lastAdvance_)
+        return;
+    const double rate = currentRate();
+    const double elapsed = static_cast<double>(now - lastAdvance_);
+    if (rate > 0.0) {
+        const double work = elapsed * rate;
+        for (auto &[id, job] : jobs_)
+            job.remaining -= work;
+        served_ += work * static_cast<double>(jobs_.size());
+    }
+    lastAdvance_ = now;
+}
+
+CpuModel::JobId
+CpuModel::submit(sim::Tick demand, std::function<void()> on_done)
+{
+    if (demand < 0)
+        sim::panic("CpuModel::submit: negative demand");
+    advance();
+
+    // Contention jitter: inflate demand when the machine is oversubscribed.
+    const double n = static_cast<double>(jobs_.size() + 1);
+    const double overload =
+        std::clamp(n / static_cast<double>(config_.cores) - 1.0, 0.0,
+                   config_.jitterCap);
+    double factor = 1.0;
+    if (overload > 0.0 && config_.jitterSigma > 0.0) {
+        const double sigma = config_.jitterSigma * overload;
+        factor = std::exp(sigma * rng_.normal());
+    }
+
+    const JobId id = nextId_++;
+    Job job;
+    job.remaining = std::max(1.0, static_cast<double>(demand) * factor);
+    job.onDone = std::move(on_done);
+    jobs_.emplace(id, std::move(job));
+    reschedule();
+    return id;
+}
+
+void
+CpuModel::cancel(JobId id)
+{
+    advance();
+    if (jobs_.erase(id) > 0)
+        reschedule();
+}
+
+void
+CpuModel::setSpeed(double speed)
+{
+    if (speed <= 0.0)
+        sim::fatal("CpuModel::setSpeed: speed must be positive");
+    advance();
+    config_.speed = speed;
+    reschedule();
+}
+
+double
+CpuModel::servedTicks() const
+{
+    return served_;
+}
+
+void
+CpuModel::reschedule()
+{
+    completionEvent_.cancel();
+    if (jobs_.empty())
+        return;
+    double min_remaining = jobs_.begin()->second.remaining;
+    for (const auto &[id, job] : jobs_)
+        min_remaining = std::min(min_remaining, job.remaining);
+    const double rate = currentRate();
+    const double dt = std::max(0.0, min_remaining) / rate;
+    const sim::Tick delay =
+        static_cast<sim::Tick>(std::ceil(std::max(0.0, dt)));
+    completionEvent_ = sim_.schedule(delay, [this] { onCompletion(); });
+}
+
+void
+CpuModel::onCompletion()
+{
+    advance();
+    std::vector<std::function<void()>> done;
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+        if (it->second.remaining <= kEpsilon) {
+            done.push_back(std::move(it->second.onDone));
+            it = jobs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    completed_ += done.size();
+    reschedule();
+    // Run callbacks after rescheduling: they commonly submit new jobs.
+    for (auto &fn : done)
+        fn();
+}
+
+} // namespace reqobs::kernel

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Multi-core CPU model with generalized-processor-sharing (GPS).
+ *
+ * Each request's service phase is a "job" with a CPU demand in ticks.
+ * While n jobs are active on c cores running at speed s, every job
+ * progresses at rate s * min(1, c/n). This reproduces the first-order
+ * behaviour that matters for the paper: below saturation jobs run at full
+ * speed; past saturation all in-flight work slows down together, so
+ * completions (and therefore `send` syscalls) become bursty and the
+ * variance of inter-send deltas rises (Fig. 3).
+ *
+ * On top of GPS, a contention-jitter term inflates each job's demand by a
+ * lognormal factor whose sigma grows with the overload ratio, modelling
+ * the cache/lock/context-switch interference that pure GPS abstracts
+ * away. DESIGN.md §7 lists this as an ablation knob.
+ */
+
+#ifndef REQOBS_KERNEL_CPU_HH
+#define REQOBS_KERNEL_CPU_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/simulation.hh"
+#include "sim/time.hh"
+
+namespace reqobs::kernel {
+
+/** Static CPU configuration. */
+struct CpuConfig
+{
+    unsigned cores = 16;
+    /** Relative speed; 1.0 = nominal. DVFS hooks scale this at runtime. */
+    double speed = 1.0;
+    /**
+     * Contention jitter strength: sigma of the lognormal demand inflation
+     * per unit of overload ((n/cores) - 1, clamped to [0, jitterCap]).
+     */
+    double jitterSigma = 0.35;
+    double jitterCap = 2.0;
+};
+
+/**
+ * Event-driven GPS scheduler. submit() starts a job; the completion
+ * callback runs when its (jitter-inflated) demand has been served.
+ */
+class CpuModel
+{
+  public:
+    CpuModel(sim::Simulation &sim, const CpuConfig &config);
+
+    CpuModel(const CpuModel &) = delete;
+    CpuModel &operator=(const CpuModel &) = delete;
+
+    /** Opaque job id. */
+    using JobId = std::uint64_t;
+
+    /**
+     * Start a compute job of @p demand ticks of CPU work.
+     * @p on_done fires (via the event queue) at completion.
+     */
+    JobId submit(sim::Tick demand, std::function<void()> on_done);
+
+    /** Abort a job; its callback never fires. Unknown ids are ignored. */
+    void cancel(JobId id);
+
+    /** Jobs currently on CPU (or sharing it). */
+    std::size_t activeJobs() const { return jobs_.size(); }
+
+    /** Change clock speed (DVFS); affects all in-flight jobs. */
+    void setSpeed(double speed);
+
+    double speed() const { return config_.speed; }
+
+    unsigned cores() const { return config_.cores; }
+
+    /** Aggregate CPU ticks served so far (utilisation accounting). */
+    double servedTicks() const;
+
+    /** Total jobs completed. */
+    std::uint64_t completedJobs() const { return completed_; }
+
+  private:
+    struct Job
+    {
+        double remaining = 0.0; ///< demand left, in CPU ticks
+        std::function<void()> onDone;
+    };
+
+    sim::Simulation &sim_;
+    CpuConfig config_;
+    sim::Rng rng_;
+    std::map<JobId, Job> jobs_;
+    JobId nextId_ = 1;
+    sim::Tick lastAdvance_ = 0;
+    sim::EventId completionEvent_;
+    std::uint64_t completed_ = 0;
+    double served_ = 0.0;
+
+    /** Per-job progress rate right now (ticks of work per tick of time). */
+    double currentRate() const;
+
+    /** Account progress since lastAdvance_. */
+    void advance();
+
+    /** (Re)schedule the next completion event. */
+    void reschedule();
+
+    /** Completion event body: finish every job that has drained. */
+    void onCompletion();
+};
+
+} // namespace reqobs::kernel
+
+#endif // REQOBS_KERNEL_CPU_HH

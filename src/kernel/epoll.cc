@@ -1,0 +1,103 @@
+#include "kernel/epoll.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace reqobs::kernel {
+
+EpollInstance::~EpollInstance()
+{
+    for (auto &[fd, file] : interest_)
+        file->removeObserver(this);
+}
+
+void
+EpollInstance::add(Fd fd, const std::shared_ptr<File> &file)
+{
+    if (!file)
+        sim::panic("EpollInstance::add: null file");
+    auto [it, inserted] = interest_.emplace(fd, file);
+    if (!inserted)
+        sim::fatal("EpollInstance::add: fd %d already registered", fd);
+    file->addObserver(this, fd);
+    if (file->readable())
+        onReadable(fd);
+}
+
+void
+EpollInstance::remove(Fd fd)
+{
+    auto it = interest_.find(fd);
+    if (it == interest_.end())
+        return;
+    it->second->removeObserver(this);
+    interest_.erase(it);
+}
+
+std::vector<ReadyFd>
+EpollInstance::collectReady(std::size_t max_events)
+{
+    std::vector<ReadyFd> out;
+    if (interest_.empty() || max_events == 0)
+        return out;
+    // Start the scan after the cursor for round-robin fairness across fds.
+    auto start = interest_.upper_bound(scanCursor_);
+    if (start == interest_.end())
+        start = interest_.begin();
+    auto it = start;
+    do {
+        if (it->second->readable()) {
+            out.push_back(ReadyFd{it->first, true,
+                                  it->second->writable()});
+            scanCursor_ = it->first;
+            if (out.size() >= max_events)
+                break;
+        }
+        ++it;
+        if (it == interest_.end())
+            it = interest_.begin();
+    } while (it != start);
+    return out;
+}
+
+bool
+EpollInstance::readable() const
+{
+    return std::any_of(interest_.begin(), interest_.end(), [](const auto &p) {
+        return p.second->readable();
+    });
+}
+
+void
+EpollInstance::onReadable(Fd)
+{
+    // Propagate to anything polling this epoll fd itself.
+    signalReadable();
+    // Wake exactly one blocked waiter per edge.
+    if (!waiters_.empty()) {
+        auto waiter = std::move(waiters_.front());
+        waiters_.pop_front();
+        waiter.wake();
+    }
+}
+
+EpollInstance::WaiterId
+EpollInstance::addWaiter(std::function<void()> wake)
+{
+    const WaiterId id = nextWaiter_++;
+    waiters_.push_back(Waiter{id, std::move(wake)});
+    return id;
+}
+
+void
+EpollInstance::removeWaiter(WaiterId id)
+{
+    waiters_.erase(std::remove_if(waiters_.begin(), waiters_.end(),
+                                  [id](const Waiter &w) {
+                                      return w.id == id;
+                                  }),
+                   waiters_.end());
+}
+
+} // namespace reqobs::kernel

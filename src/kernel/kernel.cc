@@ -1,0 +1,616 @@
+#include "kernel/kernel.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace reqobs::kernel {
+
+namespace {
+constexpr std::int64_t kEagain = -11;
+} // namespace
+
+Kernel::Kernel(sim::Simulation &sim, const KernelConfig &config)
+    : sim_(sim), config_(config),
+      cpu_(std::make_unique<CpuModel>(sim, config.cpu)),
+      alive_(std::make_shared<bool>(true))
+{}
+
+Kernel::~Kernel()
+{
+    *alive_ = false;
+    // Destroy every coroutine frame we still own. Frames suspended at a
+    // syscall awaiter unwind their locals; their pending events are
+    // defused by the alive_ guard.
+    for (auto &[tid, thread] : threads_) {
+        if (thread.coro)
+            thread.coro.destroy();
+    }
+}
+
+// --------------------------------------------------------------- helpers
+
+Kernel::Process &
+Kernel::processOf(Pid pid)
+{
+    auto it = processes_.find(pid);
+    if (it == processes_.end())
+        sim::panic("Kernel: unknown pid %u", pid);
+    return it->second;
+}
+
+const Kernel::Process &
+Kernel::processOf(Pid pid) const
+{
+    auto it = processes_.find(pid);
+    if (it == processes_.end())
+        sim::panic("Kernel: unknown pid %u", pid);
+    return it->second;
+}
+
+Kernel::Thread &
+Kernel::threadOf(Tid tid)
+{
+    auto it = threads_.find(tid);
+    if (it == threads_.end())
+        sim::panic("Kernel: unknown tid %u", tid);
+    return it->second;
+}
+
+Fd
+Kernel::installFile(Pid pid, std::shared_ptr<File> file)
+{
+    Process &proc = processOf(pid);
+    const Fd fd = proc.nextFd++;
+    proc.fds.emplace(fd, std::move(file));
+    return fd;
+}
+
+sim::EventId
+Kernel::scheduleGuarded(sim::Tick delay, std::function<void()> fn)
+{
+    auto alive = alive_;
+    return sim_.schedule(delay, [alive, fn = std::move(fn)] {
+        if (*alive)
+            fn();
+    });
+}
+
+void
+Kernel::resumeHandle(std::coroutine_handle<> h)
+{
+    if (*alive_ && h && !h.done())
+        h.resume();
+}
+
+sim::Tick
+Kernel::fireEnter(Tid tid, std::int64_t syscall)
+{
+    ++syscalls_;
+    RawSyscallEvent ev;
+    ev.point = TracepointId::SysEnter;
+    ev.syscall = syscall;
+    ev.pidTgid = pidTgidOf(tid);
+    ev.timestamp = sim_.now();
+    return tracepoints_.fire(ev);
+}
+
+sim::Tick
+Kernel::fireExit(Tid tid, std::int64_t syscall, std::int64_t ret)
+{
+    RawSyscallEvent ev;
+    ev.point = TracepointId::SysExit;
+    ev.syscall = syscall;
+    ev.ret = ret;
+    ev.pidTgid = pidTgidOf(tid);
+    ev.timestamp = sim_.now();
+    return tracepoints_.fire(ev);
+}
+
+void
+Kernel::finishSyscall(Tid tid, std::int64_t syscall, std::int64_t ret,
+                      std::coroutine_handle<> h)
+{
+    const sim::Tick exit_cost = fireExit(tid, syscall, ret);
+    scheduleGuarded(exit_cost, [this, h] { resumeHandle(h); });
+}
+
+// -------------------------------------------------- processes and threads
+
+Pid
+Kernel::createProcess(const std::string &name)
+{
+    const Pid pid = nextPid_++;
+    Process proc;
+    proc.pid = pid;
+    proc.name = name;
+    processes_.emplace(pid, std::move(proc));
+    return pid;
+}
+
+const std::string &
+Kernel::processName(Pid pid) const
+{
+    return processOf(pid).name;
+}
+
+Tid
+Kernel::spawnThread(Pid pid, ThreadBody body)
+{
+    processOf(pid); // validate
+    const Tid tid = nextTid_++;
+    Thread rec;
+    rec.tid = tid;
+    rec.pid = pid;
+    rec.body = std::move(body);
+    threads_.emplace(tid, std::move(rec));
+
+    // Invoke the *stored* closure: its captures must outlive the
+    // coroutine frame (see Thread::body).
+    Task task = threads_.at(tid).body(*this, tid);
+    Task::Handle h = task.release();
+    if (!h)
+        sim::panic("Kernel::spawnThread: body returned an empty task");
+    h.promise().onFinal = [this, tid] { threads_.at(tid).finished = true; };
+    threads_.at(tid).coro = h;
+    scheduleGuarded(0, [this, h] { resumeHandle(h); });
+    return tid;
+}
+
+PidTgid
+Kernel::pidTgidOf(Tid tid) const
+{
+    auto it = threads_.find(tid);
+    if (it == threads_.end())
+        sim::panic("Kernel::pidTgidOf: unknown tid %u", tid);
+    return makePidTgid(it->second.pid, tid);
+}
+
+bool
+Kernel::threadFinished(Tid tid) const
+{
+    auto it = threads_.find(tid);
+    return it != threads_.end() && it->second.finished;
+}
+
+// ----------------------------------------------------- descriptor setup
+
+Fd
+Kernel::epollCreate(Tid tid)
+{
+    Thread &t = threadOf(tid);
+    fireEnter(tid, syscallId(Syscall::EpollCreate1));
+    const Fd fd = installFile(t.pid, std::make_shared<EpollInstance>());
+    fireExit(tid, syscallId(Syscall::EpollCreate1), fd);
+    return fd;
+}
+
+void
+Kernel::epollCtlAdd(Tid tid, Fd epfd, Fd fd)
+{
+    Thread &t = threadOf(tid);
+    fireEnter(tid, syscallId(Syscall::EpollCtl));
+    auto ep = epollAt(t.pid, epfd);
+    if (!ep)
+        sim::fatal("epoll_ctl: fd %d is not an epoll instance", epfd);
+    auto file = fileAt(t.pid, fd);
+    if (!file)
+        sim::fatal("epoll_ctl: fd %d does not exist", fd);
+    ep->add(fd, file);
+    fireExit(tid, syscallId(Syscall::EpollCtl), 0);
+}
+
+Fd
+Kernel::listen(Tid tid)
+{
+    Thread &t = threadOf(tid);
+    fireEnter(tid, syscallId(Syscall::Socket));
+    fireExit(tid, syscallId(Syscall::Socket), 0);
+    fireEnter(tid, syscallId(Syscall::Bind));
+    fireExit(tid, syscallId(Syscall::Bind), 0);
+    fireEnter(tid, syscallId(Syscall::Listen));
+    const Fd fd = installFile(t.pid, std::make_shared<ListenSocket>());
+    fireExit(tid, syscallId(Syscall::Listen), 0);
+    return fd;
+}
+
+// ------------------------------------------------------------- plumbing
+
+std::pair<Fd, std::shared_ptr<Socket>>
+Kernel::installSocket(Pid pid, std::uint64_t conn_id)
+{
+    auto sock = std::make_shared<Socket>(conn_id);
+    const Fd fd = installFile(pid, sock);
+    return {fd, std::move(sock)};
+}
+
+void
+Kernel::enqueueIncomingConnection(Pid pid, Fd listen_fd,
+                                  std::shared_ptr<Socket> sock)
+{
+    auto listener = listenerAt(pid, listen_fd);
+    if (!listener)
+        sim::fatal("enqueueIncomingConnection: fd %d is not listening",
+                   listen_fd);
+    listener->enqueueConnection(std::move(sock));
+}
+
+std::pair<Fd, Fd>
+Kernel::socketPair(Pid pid_a, Pid pid_b, sim::Tick latency)
+{
+    static std::uint64_t pair_id = 1u << 30;
+    auto sock_a = std::make_shared<Socket>(pair_id++);
+    auto sock_b = std::make_shared<Socket>(pair_id++);
+
+    // Cross-wire: what A sends arrives at B after `latency`, and back.
+    auto wire = [this, latency](const std::shared_ptr<Socket> &dst) {
+        return [this, latency, dst](Message &&msg) {
+            scheduleGuarded(latency, [this, dst, msg = std::move(msg)] {
+                dst->deliver(msg, sim_.now());
+            });
+        };
+    };
+    sock_a->setTxHandler(wire(sock_b));
+    sock_b->setTxHandler(wire(sock_a));
+
+    const Fd fd_a = installFile(pid_a, sock_a);
+    const Fd fd_b = installFile(pid_b, sock_b);
+    return {fd_a, fd_b};
+}
+
+std::shared_ptr<File>
+Kernel::fileAt(Pid pid, Fd fd) const
+{
+    const Process &proc = processOf(pid);
+    auto it = proc.fds.find(fd);
+    return it == proc.fds.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Socket>
+Kernel::socketAt(Pid pid, Fd fd) const
+{
+    return std::dynamic_pointer_cast<Socket>(fileAt(pid, fd));
+}
+
+std::shared_ptr<EpollInstance>
+Kernel::epollAt(Pid pid, Fd fd) const
+{
+    return std::dynamic_pointer_cast<EpollInstance>(fileAt(pid, fd));
+}
+
+std::shared_ptr<ListenSocket>
+Kernel::listenerAt(Pid pid, Fd fd) const
+{
+    return std::dynamic_pointer_cast<ListenSocket>(fileAt(pid, fd));
+}
+
+// -------------------------------------------------------- syscall ops
+
+EpollWaitOp
+Kernel::epollWait(Tid tid, Fd epfd, std::size_t max_events, sim::Tick timeout)
+{
+    return EpollWaitOp(*this, tid, epfd, max_events, timeout);
+}
+
+SelectOp
+Kernel::select(Tid tid, std::vector<Fd> fds, sim::Tick timeout)
+{
+    return SelectOp(*this, tid, std::move(fds), timeout);
+}
+
+RecvOp
+Kernel::recv(Tid tid, Fd fd, Syscall which)
+{
+    if (!isRecvFamily(syscallId(which)))
+        sim::fatal("Kernel::recv: %s is not a recv-family syscall",
+                   syscallName(syscallId(which)).c_str());
+    return RecvOp(*this, tid, fd, which);
+}
+
+SendOp
+Kernel::send(Tid tid, Fd fd, Message msg, Syscall which)
+{
+    if (!isSendFamily(syscallId(which)))
+        sim::fatal("Kernel::send: %s is not a send-family syscall",
+                   syscallName(syscallId(which)).c_str());
+    return SendOp(*this, tid, fd, std::move(msg), which);
+}
+
+AcceptOp
+Kernel::accept(Tid tid, Fd listen_fd)
+{
+    return AcceptOp(*this, tid, listen_fd);
+}
+
+ComputeOp
+Kernel::compute(Tid tid, sim::Tick demand)
+{
+    return ComputeOp(*this, tid, demand);
+}
+
+SleepOp
+Kernel::sleepFor(Tid tid, sim::Tick duration)
+{
+    return SleepOp(*this, tid, duration);
+}
+
+// ---------------------------------------------------------- EpollWaitOp
+
+void
+EpollWaitOp::await_suspend(std::coroutine_handle<> h)
+{
+    h_ = h;
+    Kernel::Thread &t = k_.threadOf(tid_);
+    ep_ = k_.epollAt(t.pid, epfd_);
+    if (!ep_)
+        sim::fatal("epoll_wait: fd %d is not an epoll instance", epfd_);
+
+    const sim::Tick enter_cost =
+        k_.fireEnter(tid_, syscallId(Syscall::EpollWait));
+
+    auto ready = ep_->collectReady(maxEvents_);
+    if (!ready.empty()) {
+        result_ = std::move(ready);
+        state_ = State::Done;
+        k_.scheduleGuarded(enter_cost + k_.config().syscallBaseCost,
+                           [this] { complete(); });
+        return;
+    }
+
+    state_ = State::Waiting;
+    waiterId_ = ep_->addWaiter([this] { onWake(); });
+    if (timeout_ >= 0) {
+        timer_ = k_.scheduleGuarded(enter_cost + timeout_,
+                                    [this] { onTimeout(); });
+    }
+}
+
+void
+EpollWaitOp::onWake()
+{
+    // The epoll instance already removed this waiter before calling us.
+    if (state_ != State::Waiting)
+        return;
+    state_ = State::Waking;
+    k_.scheduleGuarded(k_.config().wakeLatency, [this] { finishScan(); });
+}
+
+void
+EpollWaitOp::onTimeout()
+{
+    if (state_ == State::Waiting) {
+        ep_->removeWaiter(waiterId_);
+        state_ = State::Done;
+        complete();
+    }
+    // If a wake is in flight (Waking), finishScan will complete shortly;
+    // the timeout result is superseded by real readiness.
+}
+
+void
+EpollWaitOp::finishScan()
+{
+    if (state_ != State::Waking)
+        return;
+    result_ = ep_->collectReady(maxEvents_);
+    if (result_.empty()) {
+        if (timeout_ >= 0 && !timer_.pending()) {
+            // Deadline passed while we were waking: report a timeout.
+            state_ = State::Done;
+            complete();
+            return;
+        }
+        // Spurious wake (another thread drained the fd): block again.
+        state_ = State::Waiting;
+        waiterId_ = ep_->addWaiter([this] { onWake(); });
+        return;
+    }
+    state_ = State::Done;
+    complete();
+}
+
+void
+EpollWaitOp::complete()
+{
+    state_ = State::Done;
+    timer_.cancel();
+    k_.finishSyscall(tid_, syscallId(Syscall::EpollWait),
+                     static_cast<std::int64_t>(result_.size()), h_);
+}
+
+// -------------------------------------------------------------- SelectOp
+
+SelectOp::~SelectOp()
+{
+    unobserve();
+}
+
+void
+SelectOp::await_suspend(std::coroutine_handle<> h)
+{
+    h_ = h;
+    const sim::Tick enter_cost =
+        k_.fireEnter(tid_, syscallId(Syscall::Select));
+
+    for (Fd fd : fds_) {
+        auto file = k_.fileAt(k_.threadOf(tid_).pid, fd);
+        if (file && file->readable())
+            result_.push_back(fd);
+    }
+    if (!result_.empty()) {
+        state_ = State::Done;
+        k_.scheduleGuarded(enter_cost + k_.config().syscallBaseCost,
+                           [this] { complete(); });
+        return;
+    }
+
+    state_ = State::Waiting;
+    observing_ = true;
+    for (Fd fd : fds_) {
+        auto file = k_.fileAt(k_.threadOf(tid_).pid, fd);
+        if (file)
+            file->addObserver(this, fd);
+    }
+    if (timeout_ >= 0) {
+        timer_ = k_.scheduleGuarded(enter_cost + timeout_,
+                                    [this] { onTimeout(); });
+    }
+}
+
+void
+SelectOp::unobserve()
+{
+    if (!observing_)
+        return;
+    observing_ = false;
+    const Pid pid = k_.threadOf(tid_).pid;
+    for (Fd fd : fds_) {
+        auto file = k_.fileAt(pid, fd);
+        if (file)
+            file->removeObserver(this);
+    }
+}
+
+void
+SelectOp::onReadable(Fd)
+{
+    if (state_ != State::Waiting)
+        return;
+    state_ = State::Waking;
+    unobserve();
+    k_.scheduleGuarded(k_.config().wakeLatency, [this] { finishScan(); });
+}
+
+void
+SelectOp::onTimeout()
+{
+    if (state_ == State::Waiting) {
+        unobserve();
+        state_ = State::Done;
+        complete();
+    }
+}
+
+void
+SelectOp::finishScan()
+{
+    if (state_ != State::Waking)
+        return;
+    const Pid pid = k_.threadOf(tid_).pid;
+    result_.clear();
+    for (Fd fd : fds_) {
+        auto file = k_.fileAt(pid, fd);
+        if (file && file->readable())
+            result_.push_back(fd);
+    }
+    if (result_.empty()) {
+        if (timeout_ >= 0 && !timer_.pending()) {
+            state_ = State::Done;
+            complete();
+            return;
+        }
+        state_ = State::Waiting;
+        observing_ = true;
+        for (Fd fd : fds_) {
+            auto file = k_.fileAt(pid, fd);
+            if (file)
+                file->addObserver(this, fd);
+        }
+        return;
+    }
+    state_ = State::Done;
+    complete();
+}
+
+void
+SelectOp::complete()
+{
+    state_ = State::Done;
+    timer_.cancel();
+    k_.finishSyscall(tid_, syscallId(Syscall::Select),
+                     static_cast<std::int64_t>(result_.size()), h_);
+}
+
+// ---------------------------------------------------------------- RecvOp
+
+void
+RecvOp::await_suspend(std::coroutine_handle<> h)
+{
+    h_ = h;
+    const sim::Tick enter_cost = k_.fireEnter(tid_, syscallId(which_));
+    k_.scheduleGuarded(enter_cost + k_.config().syscallBaseCost, [this] {
+        auto sock = k_.socketAt(k_.threadOf(tid_).pid, fd_);
+        if (sock && sock->hasData()) {
+            result_.msg = sock->pop();
+            result_.ok = true;
+            result_.ret = static_cast<std::int64_t>(result_.msg.bytes);
+        } else {
+            result_.ret = kEagain;
+        }
+        k_.finishSyscall(tid_, syscallId(which_), result_.ret, h_);
+    });
+}
+
+// ---------------------------------------------------------------- SendOp
+
+void
+SendOp::await_suspend(std::coroutine_handle<> h)
+{
+    h_ = h;
+    const sim::Tick enter_cost = k_.fireEnter(tid_, syscallId(which_));
+    k_.scheduleGuarded(enter_cost + k_.config().syscallBaseCost, [this] {
+        auto sock = k_.socketAt(k_.threadOf(tid_).pid, fd_);
+        if (sock) {
+            ret_ = static_cast<std::int64_t>(msg_.bytes);
+            sock->transmit(std::move(msg_));
+        } else {
+            ret_ = kEagain;
+        }
+        k_.finishSyscall(tid_, syscallId(which_), ret_, h_);
+    });
+}
+
+// -------------------------------------------------------------- AcceptOp
+
+void
+AcceptOp::await_suspend(std::coroutine_handle<> h)
+{
+    h_ = h;
+    const sim::Tick enter_cost =
+        k_.fireEnter(tid_, syscallId(Syscall::Accept));
+    k_.scheduleGuarded(enter_cost + k_.config().syscallBaseCost, [this] {
+        const Pid pid = k_.threadOf(tid_).pid;
+        auto listener = k_.listenerAt(pid, listenFd_);
+        if (listener && listener->hasPending()) {
+            newFd_ = k_.installFile(pid, listener->acceptOne());
+        } else {
+            newFd_ = static_cast<Fd>(kEagain);
+        }
+        k_.finishSyscall(tid_, syscallId(Syscall::Accept), newFd_, h_);
+    });
+}
+
+// ------------------------------------------------------------- ComputeOp
+
+void
+ComputeOp::await_suspend(std::coroutine_handle<> h)
+{
+    // Capture the kernel, not `this`: the op frame dies as the coroutine
+    // resumes, while the callback object outlives the resume call.
+    Kernel *k = &k_;
+    k_.cpu().submit(demand_, [k, h] { k->resumeHandle(h); });
+}
+
+// --------------------------------------------------------------- SleepOp
+
+void
+SleepOp::await_suspend(std::coroutine_handle<> h)
+{
+    const sim::Tick enter_cost =
+        k_.fireEnter(tid_, syscallId(Syscall::Nanosleep));
+    k_.scheduleGuarded(enter_cost + duration_, [this, h] {
+        k_.finishSyscall(tid_, syscallId(Syscall::Nanosleep), 0, h);
+    });
+}
+
+} // namespace reqobs::kernel

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Futex-style in-process notification.
+ *
+ * Worker-pool applications (e.g. the Triton model) block on an internal
+ * work queue rather than on epoll; on Linux that wait surfaces as a
+ * futex(2) syscall. Notifier provides exactly that: an awaitable wait
+ * that fires futex sys_enter/sys_exit tracepoints, and a notifyOne()
+ * that wakes the oldest waiter after the scheduler wake latency.
+ */
+
+#ifndef REQOBS_KERNEL_NOTIFIER_HH
+#define REQOBS_KERNEL_NOTIFIER_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "kernel/kernel.hh"
+
+namespace reqobs::kernel {
+
+class Notifier;
+
+/** Awaitable futex-style wait; resumes on notifyOne(). */
+class FutexWaitOp
+{
+  public:
+    FutexWaitOp(Kernel &k, Tid tid, Notifier &notifier)
+        : k_(k), tid_(tid), notifier_(notifier)
+    {}
+
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const {}
+
+  private:
+    friend class Notifier;
+
+    Kernel &k_;
+    Tid tid_;
+    Notifier &notifier_;
+    std::coroutine_handle<> h_;
+
+    void wake();
+};
+
+/** FIFO wake-one notification object (a userspace futex word). */
+class Notifier
+{
+  public:
+    explicit Notifier(Kernel &kernel) : kernel_(kernel) {}
+
+    Notifier(const Notifier &) = delete;
+    Notifier &operator=(const Notifier &) = delete;
+
+    /** Awaitable blocking wait for @p tid. */
+    FutexWaitOp wait(Tid tid) { return FutexWaitOp(kernel_, tid, *this); }
+
+    /** Wake the oldest waiter, if any. @return true if one was woken. */
+    bool notifyOne();
+
+    std::size_t waiters() const { return waiters_.size(); }
+
+  private:
+    friend class FutexWaitOp;
+
+    Kernel &kernel_;
+    std::deque<FutexWaitOp *> waiters_;
+};
+
+} // namespace reqobs::kernel
+
+#endif // REQOBS_KERNEL_NOTIFIER_HH

@@ -1,0 +1,52 @@
+#include "kernel/socket.hh"
+
+#include "sim/logging.hh"
+
+namespace reqobs::kernel {
+
+void
+Socket::deliver(Message msg, sim::Tick now)
+{
+    msg.created = msg.created == 0 ? now : msg.created;
+    rxq_.push_back(std::move(msg));
+    ++delivered_;
+    signalReadable();
+}
+
+Message
+Socket::pop()
+{
+    if (rxq_.empty())
+        sim::panic("Socket::pop on empty receive queue");
+    Message m = std::move(rxq_.front());
+    rxq_.pop_front();
+    ++consumed_;
+    return m;
+}
+
+void
+Socket::transmit(Message &&msg)
+{
+    ++transmitted_;
+    if (tx_)
+        tx_(std::move(msg));
+}
+
+void
+ListenSocket::enqueueConnection(std::shared_ptr<Socket> sock)
+{
+    pending_.push_back(std::move(sock));
+    signalReadable();
+}
+
+std::shared_ptr<Socket>
+ListenSocket::acceptOne()
+{
+    if (pending_.empty())
+        sim::panic("ListenSocket::acceptOne with no pending connection");
+    auto s = std::move(pending_.front());
+    pending_.pop_front();
+    return s;
+}
+
+} // namespace reqobs::kernel

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Message-oriented sockets for the simulated kernel.
+ *
+ * A Socket is the server-side endpoint of one client connection. The
+ * network layer delivers inbound messages with net::-computed timing via
+ * deliver(); outbound messages produced by send-family syscalls are
+ * handed to the transmit hook, which the network layer installs.
+ */
+
+#ifndef REQOBS_KERNEL_SOCKET_HH
+#define REQOBS_KERNEL_SOCKET_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "kernel/file.hh"
+#include "kernel/types.hh"
+#include "sim/time.hh"
+
+namespace reqobs::kernel {
+
+/** Server-side connected socket. */
+class Socket : public File
+{
+  public:
+    /** Hook invoked for every message the application sends. */
+    using TxHandler = std::function<void(Message &&)>;
+
+    explicit Socket(std::uint64_t connection_id)
+        : connectionId_(connection_id)
+    {}
+
+    bool readable() const override { return !rxq_.empty(); }
+
+    /** Connection identity (assigned by whoever created the socket). */
+    std::uint64_t connectionId() const { return connectionId_; }
+
+    /**
+     * Network-side entry point: enqueue an inbound message and wake
+     * pollers. @p now is used for queueing-delay accounting.
+     */
+    void deliver(Message msg, sim::Tick now);
+
+    /** True if a message is waiting. */
+    bool hasData() const { return !rxq_.empty(); }
+
+    /** Depth of the receive queue (requests waiting in the socket). */
+    std::size_t rxDepth() const { return rxq_.size(); }
+
+    /**
+     * Dequeue the oldest inbound message (recv-family syscalls).
+     * @pre hasData().
+     */
+    Message pop();
+
+    /** Application-side transmit (send-family syscalls). */
+    void transmit(Message &&msg);
+
+    /** Install the network layer's outbound hook. */
+    void setTxHandler(TxHandler handler) { tx_ = std::move(handler); }
+
+    /** @name Counters. @{ */
+    std::uint64_t delivered() const { return delivered_; }
+    std::uint64_t consumed() const { return consumed_; }
+    std::uint64_t transmitted() const { return transmitted_; }
+    /** @} */
+
+  private:
+    std::uint64_t connectionId_;
+    std::deque<Message> rxq_;
+    TxHandler tx_;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t consumed_ = 0;
+    std::uint64_t transmitted_ = 0;
+};
+
+/** Passive socket holding not-yet-accepted connections. */
+class ListenSocket : public File
+{
+  public:
+    bool readable() const override { return !pending_.empty(); }
+
+    /** A client finished its (simulated) handshake. */
+    void enqueueConnection(std::shared_ptr<Socket> sock);
+
+    bool hasPending() const { return !pending_.empty(); }
+
+    /** Accept the oldest pending connection. @pre hasPending(). */
+    std::shared_ptr<Socket> acceptOne();
+
+  private:
+    std::deque<std::shared_ptr<Socket>> pending_;
+};
+
+} // namespace reqobs::kernel
+
+#endif // REQOBS_KERNEL_SOCKET_HH

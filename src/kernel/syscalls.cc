@@ -1,0 +1,75 @@
+#include "kernel/syscalls.hh"
+
+namespace reqobs::kernel {
+
+std::string
+syscallName(std::int64_t id)
+{
+    switch (static_cast<Syscall>(id)) {
+      case Syscall::Read: return "read";
+      case Syscall::Write: return "write";
+      case Syscall::Close: return "close";
+      case Syscall::Mmap: return "mmap";
+      case Syscall::Brk: return "brk";
+      case Syscall::Select: return "select";
+      case Syscall::Nanosleep: return "nanosleep";
+      case Syscall::Socket: return "socket";
+      case Syscall::Accept: return "accept";
+      case Syscall::Sendto: return "sendto";
+      case Syscall::Recvfrom: return "recvfrom";
+      case Syscall::Sendmsg: return "sendmsg";
+      case Syscall::Recvmsg: return "recvmsg";
+      case Syscall::Bind: return "bind";
+      case Syscall::Listen: return "listen";
+      case Syscall::Clone: return "clone";
+      case Syscall::Exit: return "exit";
+      case Syscall::Futex: return "futex";
+      case Syscall::EpollWait: return "epoll_wait";
+      case Syscall::EpollCtl: return "epoll_ctl";
+      case Syscall::Openat: return "openat";
+      case Syscall::Accept4: return "accept4";
+      case Syscall::EpollCreate1: return "epoll_create1";
+      case Syscall::IoUringEnter: return "io_uring_enter";
+    }
+    return "sys_" + std::to_string(id);
+}
+
+bool
+isRecvFamily(std::int64_t id)
+{
+    switch (static_cast<Syscall>(id)) {
+      case Syscall::Read:
+      case Syscall::Recvfrom:
+      case Syscall::Recvmsg:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isSendFamily(std::int64_t id)
+{
+    switch (static_cast<Syscall>(id)) {
+      case Syscall::Write:
+      case Syscall::Sendto:
+      case Syscall::Sendmsg:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isPollFamily(std::int64_t id)
+{
+    switch (static_cast<Syscall>(id)) {
+      case Syscall::Select:
+      case Syscall::EpollWait:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace reqobs::kernel

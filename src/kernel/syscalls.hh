@@ -1,0 +1,65 @@
+/**
+ * @file
+ * System-call numbers and classification.
+ *
+ * Numbers follow the x86-64 Linux ABI so that eBPF probes written against
+ * real syscall ids (e.g. the paper's Listing 1 filters id 232 for
+ * epoll_wait) work unchanged against the simulated tracepoints.
+ */
+
+#ifndef REQOBS_KERNEL_SYSCALLS_HH
+#define REQOBS_KERNEL_SYSCALLS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace reqobs::kernel {
+
+/** x86-64 syscall numbers used by the simulated workloads. */
+enum class Syscall : std::int64_t
+{
+    Read = 0,
+    Write = 1,
+    Close = 3,
+    Mmap = 9,
+    Brk = 12,
+    Select = 23,
+    Nanosleep = 35,
+    Socket = 41,
+    Accept = 43,
+    Sendto = 44,
+    Recvfrom = 45,
+    Sendmsg = 46,
+    Recvmsg = 47,
+    Bind = 49,
+    Listen = 50,
+    Clone = 56,
+    Exit = 60,
+    Futex = 202,
+    EpollWait = 232,
+    EpollCtl = 233,
+    Openat = 257,
+    Accept4 = 288,
+    EpollCreate1 = 291,
+    IoUringEnter = 426,
+};
+
+/** Raw numeric id (what the tracepoint context carries). */
+constexpr std::int64_t
+syscallId(Syscall s)
+{
+    return static_cast<std::int64_t>(s);
+}
+
+/** Human-readable name ("epoll_wait"); "sys_<id>" if unknown. */
+std::string syscallName(std::int64_t id);
+
+/** @name The paper's three syscall families (§III). @{ */
+bool isRecvFamily(std::int64_t id); ///< read/recvfrom/recvmsg
+bool isSendFamily(std::int64_t id); ///< write/sendto/sendmsg
+bool isPollFamily(std::int64_t id); ///< epoll_wait/select/poll
+/** @} */
+
+} // namespace reqobs::kernel
+
+#endif // REQOBS_KERNEL_SYSCALLS_HH

@@ -1,0 +1,83 @@
+#include "kernel/system_spec.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace reqobs::kernel {
+
+CpuConfig
+SystemSpec::toCpuConfig() const
+{
+    CpuConfig cfg;
+    const double physical =
+        static_cast<double>(sockets) * coresPerSocket;
+    const double smt_bonus = 0.3 * (threadsPerCore - 1);
+    cfg.cores = static_cast<unsigned>(
+        std::lround(physical * (1.0 + smt_bonus)));
+    cfg.speed = static_cast<double>(maxFreqMhz) / 3000.0;
+    return cfg;
+}
+
+SystemSpec
+amdEpyc7302()
+{
+    SystemSpec s;
+    s.name = "AMD";
+    s.cpuModel = "AMD EPYC 7302";
+    s.os = "Ubuntu 20.04.1 (5.15.0-52-generic)";
+    s.sockets = 2;
+    s.coresPerSocket = 16;
+    s.threadsPerCore = 2;
+    s.minFreqMhz = 1500;
+    s.maxFreqMhz = 3000;
+    s.l1Cache = "1/1 MB";
+    s.l2Cache = "16 MB";
+    s.l3Cache = "256 MB";
+    s.memory = "512 GB";
+    s.disk = "2 TB";
+    return s;
+}
+
+SystemSpec
+intelXeonE52620()
+{
+    SystemSpec s;
+    s.name = "INTEL";
+    s.cpuModel = "Intel Xeon CPU E5-2620";
+    s.os = "Red Hat 4.8.5-36 (4.20.13-1.el7.elrepo)";
+    s.sockets = 2;
+    s.coresPerSocket = 8;
+    s.threadsPerCore = 1;
+    s.minFreqMhz = 1200;
+    s.maxFreqMhz = 3000;
+    s.l1Cache = "32/32 KB";
+    s.l2Cache = "256 KB";
+    s.l3Cache = "20 MB";
+    s.memory = "128 GB";
+    s.disk = "2 TB";
+    return s;
+}
+
+std::string
+formatSystemSpec(const SystemSpec &spec)
+{
+    std::ostringstream os;
+    os << "[" << spec.name << "]\n"
+       << "  CPU Model          " << spec.cpuModel << "\n"
+       << "  OS (Kernel)        " << spec.os << "\n"
+       << "  Sockets            " << spec.sockets << "\n"
+       << "  Cores/Socket       " << spec.coresPerSocket << "\n"
+       << "  Threads/Core       " << spec.threadsPerCore << "\n"
+       << "  Min/Max Frequency  " << spec.minFreqMhz << "/"
+       << spec.maxFreqMhz << " MHz\n"
+       << "  L1 Inst/Data Cache " << spec.l1Cache << "\n"
+       << "  L2 Cache           " << spec.l2Cache << "\n"
+       << "  L3 Cache           " << spec.l3Cache << "\n"
+       << "  Memory             " << spec.memory << "\n"
+       << "  Disk               " << spec.disk << "\n"
+       << "  (sim) GPS cores    " << spec.toCpuConfig().cores << "\n"
+       << "  (sim) speed factor " << spec.toCpuConfig().speed << "\n";
+    return os.str();
+}
+
+} // namespace reqobs::kernel

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The two evaluation servers from Table I of the paper, expressed as
+ * simulation presets. Only the parameters that influence the simulated
+ * behaviour (cores, threads, relative speed) feed the CPU model; the
+ * remaining fields are carried for faithful Table I output and
+ * documentation.
+ */
+
+#ifndef REQOBS_KERNEL_SYSTEM_SPEC_HH
+#define REQOBS_KERNEL_SYSTEM_SPEC_HH
+
+#include <string>
+
+#include "kernel/cpu.hh"
+
+namespace reqobs::kernel {
+
+/** Table I row set for one server. */
+struct SystemSpec
+{
+    std::string name;
+    std::string cpuModel;
+    std::string os;
+    unsigned sockets = 0;
+    unsigned coresPerSocket = 0;
+    unsigned threadsPerCore = 0;
+    unsigned minFreqMhz = 0;
+    unsigned maxFreqMhz = 0;
+    std::string l1Cache;
+    std::string l2Cache;
+    std::string l3Cache;
+    std::string memory;
+    std::string disk;
+
+    /** Logical CPUs visible to the scheduler. */
+    unsigned logicalCpus() const
+    {
+        return sockets * coresPerSocket * threadsPerCore;
+    }
+
+    /**
+     * CPU-model configuration derived from the spec. SMT siblings are
+     * derated: a hyperthread contributes ~0.3 of a physical core, so the
+     * effective GPS capacity is cores * (1 + 0.3*(smt-1)).
+     */
+    CpuConfig toCpuConfig() const;
+};
+
+/** AMD EPYC 7302 server (Table I, left column). */
+SystemSpec amdEpyc7302();
+
+/** Intel Xeon E5-2620 server (Table I, right column). */
+SystemSpec intelXeonE52620();
+
+/** Render one spec as the corresponding Table I column. */
+std::string formatSystemSpec(const SystemSpec &spec);
+
+} // namespace reqobs::kernel
+
+#endif // REQOBS_KERNEL_SYSTEM_SPEC_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Coroutine task type for simulated threads.
+ *
+ * Every simulated application thread is one C++20 coroutine returning
+ * Task. The coroutine suspends at kernel syscall awaiters (epoll_wait,
+ * recv, send, compute, ...) and the kernel resumes it when the simulated
+ * operation completes, so application logic reads like straight-line
+ * blocking code:
+ *
+ * @code
+ *   kernel::Task worker(kernel::Kernel &k, kernel::Tid tid, Fd epfd)
+ *   {
+ *       for (;;) {
+ *           auto ready = co_await k.epollWait(tid, epfd, 16, -1);
+ *           for (auto &r : ready) {
+ *               auto rx = co_await k.recv(tid, r.fd, Syscall::Recvfrom);
+ *               if (!rx.ok) continue;
+ *               co_await k.compute(tid, demand);
+ *               co_await k.send(tid, r.fd, response, Syscall::Sendto);
+ *           }
+ *       }
+ *   }
+ * @endcode
+ *
+ * Lifetime: Tasks are lazily started and owned by the Kernel, which
+ * resumes them through the event queue and destroys any still-suspended
+ * frames on teardown.
+ */
+
+#ifndef REQOBS_KERNEL_TASK_HH
+#define REQOBS_KERNEL_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace reqobs::kernel {
+
+/** Coroutine handle wrapper for a simulated thread body. */
+class Task
+{
+  public:
+    struct promise_type
+    {
+        /** Hook the kernel installs to learn about thread exit. */
+        std::function<void()> onFinal;
+
+        Task
+        get_return_object()
+        {
+            return Task(Handle::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<promise_type> h) noexcept
+            {
+                if (h.promise().onFinal)
+                    h.promise().onFinal();
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        /** Suspend at the end: the kernel owns and destroys the frame. */
+        FinalAwaiter final_suspend() noexcept { return {}; }
+
+        void return_void() {}
+
+        /** Simulated threads must not leak exceptions into the kernel. */
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+
+    /** Transfer the raw handle out (the kernel takes ownership). */
+    Handle
+    release()
+    {
+        return std::exchange(handle_, Handle{});
+    }
+
+  private:
+    Handle handle_;
+};
+
+} // namespace reqobs::kernel
+
+#endif // REQOBS_KERNEL_TASK_HH

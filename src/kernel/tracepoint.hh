@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The raw_syscalls:sys_enter / sys_exit tracepoint machinery.
+ *
+ * Exactly mirrors what the real kernel exposes to eBPF: every syscall
+ * dispatch fires sys_enter with (id, pid_tgid), and completion fires
+ * sys_exit with (id, ret, pid_tgid). Attached probes return the simulated
+ * ticks they consumed; the kernel charges that cost to the calling thread,
+ * which is how the bench_overhead experiment measures probe overhead on
+ * tail latency.
+ */
+
+#ifndef REQOBS_KERNEL_TRACEPOINT_HH
+#define REQOBS_KERNEL_TRACEPOINT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/types.hh"
+#include "sim/time.hh"
+
+namespace reqobs::kernel {
+
+/** Which tracepoint fired. */
+enum class TracepointId { SysEnter, SysExit };
+
+/** Context passed to attached probes (the eBPF ctx). */
+struct RawSyscallEvent
+{
+    TracepointId point = TracepointId::SysEnter;
+    std::int64_t syscall = 0; ///< syscall number (args->id)
+    std::int64_t ret = 0;     ///< return value (sys_exit only)
+    PidTgid pidTgid = 0;
+    sim::Tick timestamp = 0;  ///< bpf_ktime_get_ns() at dispatch
+};
+
+/**
+ * A probe attached to a tracepoint. Returns the simulated cost (ticks)
+ * of running the probe, charged to the traced thread.
+ */
+using TracepointProbe = std::function<sim::Tick(const RawSyscallEvent &)>;
+
+/** Handle for detaching a probe. */
+using ProbeHandle = std::uint64_t;
+
+/**
+ * Registry of probes for the two raw_syscalls tracepoints. The simulated
+ * kernel owns one instance and fires it from the syscall dispatch path.
+ */
+class TracepointRegistry
+{
+  public:
+    /** Attach @p probe to @p point. @return handle for detach(). */
+    ProbeHandle attach(TracepointId point, TracepointProbe probe);
+
+    /** Detach a previously attached probe; unknown handles are ignored. */
+    void detach(ProbeHandle handle);
+
+    /**
+     * Fire a tracepoint: run every attached probe in attach order.
+     * @return total probe cost in ticks.
+     */
+    sim::Tick fire(const RawSyscallEvent &event);
+
+    /** Number of live probes on @p point. */
+    std::size_t probeCount(TracepointId point) const;
+
+    /** Total events dispatched through this registry. */
+    std::uint64_t firedCount() const { return fired_; }
+
+  private:
+    struct Entry
+    {
+        ProbeHandle handle;
+        TracepointId point;
+        TracepointProbe probe;
+    };
+
+    std::vector<Entry> probes_;
+    ProbeHandle nextHandle_ = 1;
+    std::uint64_t fired_ = 0;
+};
+
+} // namespace reqobs::kernel
+
+#endif // REQOBS_KERNEL_TRACEPOINT_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Common identifier and message types for the simulated OS.
+ */
+
+#ifndef REQOBS_KERNEL_TYPES_HH
+#define REQOBS_KERNEL_TYPES_HH
+
+#include <cstdint>
+
+#include "sim/time.hh"
+
+namespace reqobs::kernel {
+
+/** Thread id (Linux: the per-task pid). */
+using Tid = std::uint32_t;
+
+/** Process id (Linux: tgid). */
+using Pid = std::uint32_t;
+
+/** File-descriptor number within a process. */
+using Fd = int;
+
+/**
+ * The packed id returned by bpf_get_current_pid_tgid():
+ * tgid in the upper 32 bits, thread id in the lower 32.
+ */
+using PidTgid = std::uint64_t;
+
+constexpr PidTgid
+makePidTgid(Pid tgid, Tid tid)
+{
+    return (static_cast<std::uint64_t>(tgid) << 32) | tid;
+}
+
+constexpr Pid tgidOf(PidTgid v) { return static_cast<Pid>(v >> 32); }
+constexpr Tid tidOf(PidTgid v) { return static_cast<Tid>(v & 0xffffffffu); }
+
+/**
+ * One application-level message travelling through a socket. The
+ * simulation is message-oriented: TCP framing/reassembly is assumed done,
+ * so one request (or one response chunk) is one Message. `bytes` feeds the
+ * network serialisation model.
+ */
+struct Message
+{
+    std::uint64_t requestId = 0; ///< client-assigned; echoed in responses
+    std::uint32_t bytes = 0;     ///< payload size for the network model
+    sim::Tick created = 0;       ///< when the originator produced it
+    bool isResponse = false;
+    /** Response chunk index / count (WebSearch emits several per reply). */
+    std::uint16_t chunk = 0;
+    std::uint16_t chunks = 1;
+};
+
+/** Result of waiting on an epoll/select instance: a ready descriptor. */
+struct ReadyFd
+{
+    Fd fd = -1;
+    bool readable = false;
+    bool writable = false;
+};
+
+} // namespace reqobs::kernel
+
+#endif // REQOBS_KERNEL_TYPES_HH

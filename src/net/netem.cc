@@ -1,0 +1,63 @@
+#include "net/netem.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace reqobs::net {
+
+std::string
+NetemConfig::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.0fms delay, %.1f%% loss",
+                  sim::toMilliseconds(delay), lossProbability * 100.0);
+    return buf;
+}
+
+NetemQdisc::NetemQdisc(const NetemConfig &config, sim::Rng rng)
+    : config_(config), rng_(rng)
+{
+    if (config.lossProbability < 0.0 || config.lossProbability > 1.0)
+        sim::fatal("NetemQdisc: loss probability out of [0, 1]");
+    if (config.lossCorrelation < 0.0 || config.lossCorrelation >= 1.0)
+        sim::fatal("NetemQdisc: loss correlation out of [0, 1)");
+    if (config.delay < 0 || config.jitter < 0)
+        sim::fatal("NetemQdisc: negative delay/jitter");
+}
+
+NetemQdisc::Verdict
+NetemQdisc::process()
+{
+    ++packets_;
+    Verdict v;
+
+    if (config_.lossProbability > 0.0) {
+        // netem-style correlated loss: with probability `corr` repeat the
+        // previous packet's fate, otherwise draw fresh.
+        bool drop;
+        if (config_.lossCorrelation > 0.0 &&
+            rng_.uniform() < config_.lossCorrelation) {
+            drop = lastDropped_;
+        } else {
+            drop = rng_.uniform() < config_.lossProbability;
+        }
+        lastDropped_ = drop;
+        if (drop) {
+            ++drops_;
+            v.dropped = true;
+            return v;
+        }
+    }
+
+    v.delay = config_.delay;
+    if (config_.jitter > 0) {
+        const sim::Tick j = static_cast<sim::Tick>(
+            rng_.uniform(-static_cast<double>(config_.jitter),
+                         static_cast<double>(config_.jitter)));
+        v.delay = std::max<sim::Tick>(0, v.delay + j);
+    }
+    return v;
+}
+
+} // namespace reqobs::net

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * tc-netem equivalent: per-packet delay, jitter and correlated loss.
+ *
+ * The paper injects network impairments with `tc qdisc ... netem delay
+ * <d> loss <p>%` on the loopback device between co-located client and
+ * server containers (§V-A). This class reproduces netem's per-packet
+ * decisions: constant delay plus uniform jitter, and a correlated
+ * Bernoulli loss process (netem's `loss p% c` correlation form).
+ */
+
+#ifndef REQOBS_NET_NETEM_HH
+#define REQOBS_NET_NETEM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hh"
+#include "sim/time.hh"
+
+namespace reqobs::net {
+
+/** Impairment parameters for one link direction. */
+struct NetemConfig
+{
+    sim::Tick delay = 0;          ///< constant one-way delay
+    sim::Tick jitter = 0;         ///< +- uniform jitter around delay
+    double lossProbability = 0.0; ///< P(drop) per packet, in [0, 1]
+    /**
+     * Loss correlation in [0, 1): netem's correlated-loss model,
+     * p_n = corr * drop_{n-1} + (1 - corr) * Bernoulli(p).
+     */
+    double lossCorrelation = 0.0;
+
+    /** "0ms delay, 0% loss" etc., matching Table II's column labels. */
+    std::string describe() const;
+};
+
+/** Stateful per-packet impairment generator (one direction). */
+class NetemQdisc
+{
+  public:
+    NetemQdisc(const NetemConfig &config, sim::Rng rng);
+
+    /** Decision for one packet. */
+    struct Verdict
+    {
+        bool dropped = false;
+        sim::Tick delay = 0; ///< meaningful only when !dropped
+    };
+
+    /** Sample the fate of the next packet in sequence. */
+    Verdict process();
+
+    const NetemConfig &config() const { return config_; }
+
+    /** @name Counters. @{ */
+    std::uint64_t packets() const { return packets_; }
+    std::uint64_t drops() const { return drops_; }
+    /** @} */
+
+  private:
+    NetemConfig config_;
+    sim::Rng rng_;
+    bool lastDropped_ = false;
+    std::uint64_t packets_ = 0;
+    std::uint64_t drops_ = 0;
+};
+
+} // namespace reqobs::net
+
+#endif // REQOBS_NET_NETEM_HH

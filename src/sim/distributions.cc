@@ -1,0 +1,200 @@
+#include "sim/distributions.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace reqobs::sim {
+
+namespace {
+Tick
+clampTick(double v)
+{
+    if (v < 0.0)
+        return 0;
+    if (v >= static_cast<double>(kTickMax))
+        return kTickMax;
+    return static_cast<Tick>(v);
+}
+} // namespace
+
+// ---------------------------------------------------------------- FixedDist
+
+FixedDist::FixedDist(Tick value) : value_(value)
+{
+    if (value < 0)
+        fatal("FixedDist: negative value %lld", (long long)value);
+}
+
+Tick FixedDist::sample(Rng &) const { return value_; }
+double FixedDist::mean() const { return static_cast<double>(value_); }
+
+std::string
+FixedDist::describe() const
+{
+    return "fixed(" + formatTicks(value_) + ")";
+}
+
+// ---------------------------------------------------------- ExponentialDist
+
+ExponentialDist::ExponentialDist(Tick mean)
+    : meanTicks_(static_cast<double>(mean))
+{
+    if (mean <= 0)
+        fatal("ExponentialDist: mean must be positive");
+}
+
+Tick
+ExponentialDist::sample(Rng &rng) const
+{
+    double u;
+    do {
+        u = rng.uniform();
+    } while (u <= 0.0);
+    return clampTick(-meanTicks_ * std::log(u));
+}
+
+double ExponentialDist::mean() const { return meanTicks_; }
+
+std::string
+ExponentialDist::describe() const
+{
+    return "exp(mean=" + formatTicks(static_cast<Tick>(meanTicks_)) + ")";
+}
+
+// ------------------------------------------------------------ LogNormalDist
+
+LogNormalDist::LogNormalDist(Tick mean, double sigma)
+    : sigma_(sigma), meanTicks_(static_cast<double>(mean))
+{
+    if (mean <= 0)
+        fatal("LogNormalDist: mean must be positive");
+    if (sigma < 0.0)
+        fatal("LogNormalDist: sigma must be non-negative");
+    // E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+    mu_ = std::log(meanTicks_) - 0.5 * sigma * sigma;
+}
+
+Tick
+LogNormalDist::sample(Rng &rng) const
+{
+    return clampTick(std::exp(mu_ + sigma_ * rng.normal()));
+}
+
+double LogNormalDist::mean() const { return meanTicks_; }
+
+std::string
+LogNormalDist::describe() const
+{
+    std::ostringstream os;
+    os << "lognormal(mean=" << formatTicks(static_cast<Tick>(meanTicks_))
+       << ", sigma=" << sigma_ << ")";
+    return os.str();
+}
+
+// -------------------------------------------------------- BoundedParetoDist
+
+BoundedParetoDist::BoundedParetoDist(Tick minimum, Tick cap, double alpha)
+    : lo_(static_cast<double>(minimum)), hi_(static_cast<double>(cap)),
+      alpha_(alpha)
+{
+    if (minimum <= 0 || cap <= minimum)
+        fatal("BoundedParetoDist: require 0 < min < cap");
+    if (alpha <= 1.0)
+        fatal("BoundedParetoDist: alpha must exceed 1 for a finite mean");
+}
+
+Tick
+BoundedParetoDist::sample(Rng &rng) const
+{
+    // Inverse-CDF of the bounded Pareto.
+    const double u = rng.uniform();
+    const double la = std::pow(lo_, alpha_);
+    const double ha = std::pow(hi_, alpha_);
+    const double x =
+        std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+    return clampTick(x);
+}
+
+double
+BoundedParetoDist::mean() const
+{
+    const double la = std::pow(lo_, alpha_);
+    const double ha = std::pow(hi_, alpha_);
+    return la / (1.0 - la / ha) * alpha_ / (alpha_ - 1.0) *
+           (1.0 / std::pow(lo_, alpha_ - 1.0) -
+            1.0 / std::pow(hi_, alpha_ - 1.0));
+}
+
+std::string
+BoundedParetoDist::describe() const
+{
+    std::ostringstream os;
+    os << "pareto(min=" << formatTicks(static_cast<Tick>(lo_))
+       << ", cap=" << formatTicks(static_cast<Tick>(hi_))
+       << ", alpha=" << alpha_ << ")";
+    return os.str();
+}
+
+// -------------------------------------------------------------- UniformDist
+
+UniformDist::UniformDist(Tick lo, Tick hi) : lo_(lo), hi_(hi)
+{
+    if (lo < 0 || hi < lo)
+        fatal("UniformDist: require 0 <= lo <= hi");
+}
+
+Tick
+UniformDist::sample(Rng &rng) const
+{
+    if (hi_ == lo_)
+        return lo_;
+    return lo_ + static_cast<Tick>(
+                     rng.uniformInt(static_cast<std::uint64_t>(hi_ - lo_) + 1));
+}
+
+double UniformDist::mean() const { return 0.5 * (lo_ + hi_); }
+
+std::string
+UniformDist::describe() const
+{
+    return "uniform(" + formatTicks(lo_) + ", " + formatTicks(hi_) + ")";
+}
+
+// -------------------------------------------------------------- MixtureDist
+
+MixtureDist::MixtureDist(std::shared_ptr<const Distribution> fast,
+                         std::shared_ptr<const Distribution> slow,
+                         double p_slow)
+    : fast_(std::move(fast)), slow_(std::move(slow)), pSlow_(p_slow)
+{
+    if (!fast_ || !slow_)
+        fatal("MixtureDist: null component distribution");
+    if (p_slow < 0.0 || p_slow > 1.0)
+        fatal("MixtureDist: p_slow must lie in [0, 1]");
+}
+
+Tick
+MixtureDist::sample(Rng &rng) const
+{
+    return rng.uniform() < pSlow_ ? slow_->sample(rng) : fast_->sample(rng);
+}
+
+double
+MixtureDist::mean() const
+{
+    return (1.0 - pSlow_) * fast_->mean() + pSlow_ * slow_->mean();
+}
+
+std::string
+MixtureDist::describe() const
+{
+    std::ostringstream os;
+    os << "mix(" << fast_->describe() << ", " << slow_->describe()
+       << ", p_slow=" << pSlow_ << ")";
+    return os.str();
+}
+
+} // namespace reqobs::sim

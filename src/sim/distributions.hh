@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Sampling distributions used for inter-arrival times, service demands
+ * and network perturbations.
+ *
+ * All distributions draw from a caller-supplied Rng so that components can
+ * keep independent random streams. Durations are produced in Ticks
+ * (nanoseconds) and clamped to be non-negative.
+ */
+
+#ifndef REQOBS_SIM_DISTRIBUTIONS_HH
+#define REQOBS_SIM_DISTRIBUTIONS_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/rng.hh"
+#include "sim/time.hh"
+
+namespace reqobs::sim {
+
+/**
+ * Abstract duration distribution.
+ *
+ * Implementations must be stateless apart from their parameters; any state
+ * (e.g. the generator) is owned by the caller, so one distribution object
+ * can be shared across components.
+ */
+class Distribution
+{
+  public:
+    virtual ~Distribution() = default;
+
+    /** Draw one sample, in ticks, >= 0. */
+    virtual Tick sample(Rng &rng) const = 0;
+
+    /** Expected value, in ticks (used by calibration code). */
+    virtual double mean() const = 0;
+
+    /** Human-readable description, e.g. "exp(mean=1.2ms)". */
+    virtual std::string describe() const = 0;
+};
+
+/** Always returns the same value. */
+class FixedDist : public Distribution
+{
+  public:
+    explicit FixedDist(Tick value);
+    Tick sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    Tick value_;
+};
+
+/** Exponential with the given mean (memoryless; Poisson inter-arrivals). */
+class ExponentialDist : public Distribution
+{
+  public:
+    explicit ExponentialDist(Tick mean);
+    Tick sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    double meanTicks_;
+};
+
+/**
+ * Log-normal parameterised by its *linear-space* mean and the shape
+ * parameter sigma (std-dev of the underlying normal). Heavy right tail;
+ * the usual model for request service times.
+ */
+class LogNormalDist : public Distribution
+{
+  public:
+    LogNormalDist(Tick mean, double sigma);
+    Tick sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+    double sigma() const { return sigma_; }
+
+  private:
+    double mu_;    ///< log-space location
+    double sigma_; ///< log-space scale
+    double meanTicks_;
+};
+
+/**
+ * Bounded Pareto: heavy tail capped at @p cap to keep experiment time
+ * finite. Alpha must be > 1 so the mean exists.
+ */
+class BoundedParetoDist : public Distribution
+{
+  public:
+    BoundedParetoDist(Tick minimum, Tick cap, double alpha);
+    Tick sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    double lo_, hi_, alpha_;
+};
+
+/** Uniform over [lo, hi]. */
+class UniformDist : public Distribution
+{
+  public:
+    UniformDist(Tick lo, Tick hi);
+    Tick sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    Tick lo_, hi_;
+};
+
+/**
+ * Two-point mixture: with probability @p pSlow sample from @p slow,
+ * otherwise from @p fast. Models bimodal service times (e.g. cache
+ * hit/miss paths, or moses-style translation length variance).
+ */
+class MixtureDist : public Distribution
+{
+  public:
+    MixtureDist(std::shared_ptr<const Distribution> fast,
+                std::shared_ptr<const Distribution> slow, double p_slow);
+    Tick sample(Rng &rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    std::shared_ptr<const Distribution> fast_, slow_;
+    double pSlow_;
+};
+
+} // namespace reqobs::sim
+
+#endif // REQOBS_SIM_DISTRIBUTIONS_HH

@@ -1,0 +1,81 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace reqobs::sim {
+
+bool
+EventId::pending() const
+{
+    return state_ && !state_->cancelled && !state_->fired;
+}
+
+void
+EventId::cancel()
+{
+    if (state_ && !state_->fired)
+        state_->cancelled = true;
+}
+
+EventId
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    if (when < lastPopped_)
+        panic("EventQueue: scheduling into the past (%lld < %lld)",
+              (long long)when, (long long)lastPopped_);
+    auto state = std::make_shared<EventId::State>();
+    state->when = when;
+    state->seq = nextSeq_++;
+    state->fn = std::move(fn);
+    heap_.push(state);
+    return EventId(state);
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap_.empty() && heap_.top()->cancelled)
+        heap_.pop();
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    // Lazily drop cancelled entries so the reported bound is exact.
+    auto *self = const_cast<EventQueue *>(this);
+    self->skipCancelled();
+    return heap_.empty() ? kTickMax : heap_.top()->when;
+}
+
+bool
+EventQueue::empty() const
+{
+    auto *self = const_cast<EventQueue *>(this);
+    self->skipCancelled();
+    return heap_.empty();
+}
+
+bool
+EventQueue::popAndRun(Tick &now)
+{
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+    StatePtr ev = heap_.top();
+    heap_.pop();
+    if (ev->when < lastPopped_)
+        panic("EventQueue: time went backwards");
+    lastPopped_ = ev->when;
+    now = ev->when;
+    ev->fired = true;
+    ++executed_;
+    // Move the callback out so self-rescheduling callbacks can't touch a
+    // destroyed functor.
+    auto fn = std::move(ev->fn);
+    fn();
+    return true;
+}
+
+} // namespace reqobs::sim

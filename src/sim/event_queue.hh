@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Events are callbacks scheduled at absolute ticks. Ties are broken by
+ * insertion order so execution is fully deterministic. Events can be
+ * cancelled through the EventId handle returned at scheduling time
+ * (used heavily by timeouts: epoll timeouts, TCP retransmission timers).
+ */
+
+#ifndef REQOBS_SIM_EVENT_QUEUE_HH
+#define REQOBS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace reqobs::sim {
+
+/**
+ * Handle to a scheduled event. Default-constructed handles are inert.
+ * Copies share the same underlying event: cancelling any copy cancels
+ * the event.
+ */
+class EventId
+{
+  public:
+    EventId() = default;
+
+    /** True if the handle refers to an event that has not yet fired. */
+    bool pending() const;
+
+    /** Cancel the event if still pending; harmless otherwise. */
+    void cancel();
+
+  private:
+    friend class EventQueue;
+
+    struct State
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        std::function<void()> fn;
+        bool cancelled = false;
+        bool fired = false;
+    };
+
+    explicit EventId(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * Min-heap of events ordered by (tick, insertion sequence).
+ *
+ * The queue does not own a clock; Simulation advances time to the tick of
+ * each popped event. popAndRun() never runs an event scheduled in the past
+ * relative to the previously popped one (monotonic time is an invariant,
+ * checked in debug builds).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Schedule @p fn at absolute tick @p when. @pre when >= lastPopped. */
+    EventId schedule(Tick when, std::function<void()> fn);
+
+    /** Tick of the earliest pending event, or kTickMax if none. */
+    Tick nextTick() const;
+
+    /** True if no live (non-cancelled) events remain. */
+    bool empty() const;
+
+    /**
+     * Number of queued entries. Upper bound on live events: entries
+     * cancelled while buried in the heap are still counted until popped.
+     */
+    std::size_t size() const { return heap_.size(); }
+
+    /**
+     * Pop the earliest event and run it.
+     * @param[out] now Set to the event's tick before the callback runs.
+     * @return false if the queue was empty.
+     */
+    bool popAndRun(Tick &now);
+
+    /** Total events executed so far (for stats/debugging). */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    using StatePtr = std::shared_ptr<EventId::State>;
+
+    struct Later
+    {
+        bool
+        operator()(const StatePtr &a, const StatePtr &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    std::priority_queue<StatePtr, std::vector<StatePtr>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    Tick lastPopped_ = 0;
+
+    /** Drop cancelled entries from the top of the heap. */
+    void skipCancelled();
+
+    friend class EventId;
+};
+
+} // namespace reqobs::sim
+
+#endif // REQOBS_SIM_EVENT_QUEUE_HH

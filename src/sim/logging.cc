@@ -1,0 +1,76 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace reqobs::sim {
+
+namespace {
+LogLevel gLevel = LogLevel::Warn;
+
+void
+vprint(const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void setLogLevel(LogLevel level) { gLevel = level; }
+LogLevel logLevel() { return gLevel; }
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vprint("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vprint("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Warn)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vprint("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Inform)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vprint("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vprint("debug", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace reqobs::sim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal logging/assertion facilities in the gem5 spirit:
+ * panic() for internal invariant violations, fatal() for user error,
+ * warn()/inform() for status.
+ */
+
+#ifndef REQOBS_SIM_LOGGING_HH
+#define REQOBS_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace reqobs::sim {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Silent, Warn, Inform, Debug };
+
+/** Set the global log verbosity (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+/**
+ * Abort with a message: something happened that should never happen
+ * regardless of user input (an internal bug). Calls std::abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit with a message: the run cannot continue due to a condition that is
+ * the caller's fault (bad configuration, invalid arguments).
+ * Calls std::exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Alert the user to a suspicious but survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informative status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Verbose debugging output, off by default. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace reqobs::sim
+
+#endif // REQOBS_SIM_LOGGING_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * We implement xoshiro256++ seeded via SplitMix64 rather than relying on
+ * <random> engines/distributions, whose output is implementation-defined;
+ * this keeps experiment results bit-identical across platforms and
+ * standard-library versions.
+ */
+
+#ifndef REQOBS_SIM_RNG_HH
+#define REQOBS_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace reqobs::sim {
+
+/**
+ * xoshiro256++ generator. Small, fast, and high quality; period 2^256−1.
+ *
+ * Each component of the simulation that needs randomness should own its
+ * own Rng (forked from a master seed via fork()) so that adding events to
+ * one component does not perturb the random stream of another.
+ */
+class Rng
+{
+  public:
+    /** Seed via SplitMix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal deviate (Box–Muller, cached spare). */
+    double normal();
+
+    /**
+     * Create an independent child generator. The child's stream is a
+     * deterministic function of this generator's state, and drawing from
+     * the child does not advance the parent beyond the single fork draw.
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    double spareNormal_ = 0.0;
+    bool haveSpare_ = false;
+};
+
+} // namespace reqobs::sim
+
+#endif // REQOBS_SIM_RNG_HH

@@ -1,0 +1,24 @@
+#include "sim/time.hh"
+
+#include <cstdio>
+
+namespace reqobs::sim {
+
+std::string
+formatTicks(Tick t)
+{
+    char buf[64];
+    const double v = static_cast<double>(t);
+    if (t < 0 || v < 1e3) {
+        std::snprintf(buf, sizeof(buf), "%lldns", (long long)t);
+    } else if (v < 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.2fus", v / 1e3);
+    } else if (v < 1e9) {
+        std::snprintf(buf, sizeof(buf), "%.2fms", v / 1e6);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3fs", v / 1e9);
+    }
+    return buf;
+}
+
+} // namespace reqobs::sim

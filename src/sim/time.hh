@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Virtual-time definitions for the discrete-event simulation.
+ *
+ * All simulated time is expressed in integer nanoseconds ("ticks").
+ * Nothing in the library reads the wall clock: runs are exactly
+ * reproducible for a given seed.
+ */
+
+#ifndef REQOBS_SIM_TIME_HH
+#define REQOBS_SIM_TIME_HH
+
+#include <cstdint>
+#include <string>
+
+namespace reqobs::sim {
+
+/** Simulated time in nanoseconds. Signed so durations can be subtracted. */
+using Tick = std::int64_t;
+
+/** Sentinel meaning "no deadline" / "infinitely far in the future". */
+inline constexpr Tick kTickMax = INT64_MAX;
+
+/** @name Unit constructors. @{ */
+constexpr Tick nanoseconds(std::int64_t n) { return n; }
+constexpr Tick microseconds(std::int64_t n) { return n * 1'000; }
+constexpr Tick milliseconds(std::int64_t n) { return n * 1'000'000; }
+constexpr Tick seconds(std::int64_t n) { return n * 1'000'000'000; }
+/** @} */
+
+/** @name Unit extractors (floating point, for reporting). @{ */
+constexpr double toMicroseconds(Tick t) { return static_cast<double>(t) / 1e3; }
+constexpr double toMilliseconds(Tick t) { return static_cast<double>(t) / 1e6; }
+constexpr double toSeconds(Tick t) { return static_cast<double>(t) / 1e9; }
+/** @} */
+
+/**
+ * Render a tick count with an auto-selected unit, e.g. "12.35ms".
+ * Intended for logs and bench output, not for parsing.
+ */
+std::string formatTicks(Tick t);
+
+} // namespace reqobs::sim
+
+#endif // REQOBS_SIM_TIME_HH

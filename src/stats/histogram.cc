@@ -1,0 +1,141 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace reqobs::stats {
+
+LatencyHistogram::LatencyHistogram(unsigned sub_bucket_bits,
+                                   unsigned max_value_bits)
+    : subBucketBits_(sub_bucket_bits), maxValueBits_(max_value_bits),
+      subBucketCount_(1ULL << sub_bucket_bits)
+{
+    if (sub_bucket_bits == 0 || sub_bucket_bits > 16)
+        sim::fatal("LatencyHistogram: sub_bucket_bits out of range");
+    if (max_value_bits <= sub_bucket_bits || max_value_bits > 62)
+        sim::fatal("LatencyHistogram: max_value_bits out of range");
+    // One linear region of subBucketCount slots plus half that many per
+    // additional doubling (upper half of each power-of-two range).
+    const unsigned doublings = max_value_bits - sub_bucket_bits;
+    counts_.assign(subBucketCount_ + doublings * (subBucketCount_ / 2), 0);
+}
+
+std::size_t
+LatencyHistogram::indexFor(std::uint64_t value) const
+{
+    const std::uint64_t cap = (1ULL << maxValueBits_) - 1;
+    value = std::min(value, cap);
+    if (value < subBucketCount_)
+        return static_cast<std::size_t>(value);
+    // Position of the highest set bit determines the doubling region.
+    const unsigned msb = 63 - std::countl_zero(value);
+    const unsigned region = msb - subBucketBits_ + 1; // >= 1
+    // Within the region, the top subBucketBits_ bits (minus the implicit
+    // leading one) index the sub-bucket.
+    const std::uint64_t sub =
+        (value >> (msb - subBucketBits_ + 1)) - subBucketCount_ / 2;
+    return subBucketCount_ + (region - 1) * (subBucketCount_ / 2) +
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+LatencyHistogram::valueFor(std::size_t index) const
+{
+    if (index < subBucketCount_)
+        return index;
+    const std::size_t rest = index - subBucketCount_;
+    const unsigned region = static_cast<unsigned>(rest / (subBucketCount_ / 2));
+    const std::uint64_t sub = rest % (subBucketCount_ / 2);
+    const unsigned shift = region + 1;
+    // Upper edge of the bucket (inclusive).
+    const std::uint64_t base = (subBucketCount_ / 2 + sub) << shift;
+    return base + (1ULL << shift) - 1;
+}
+
+void
+LatencyHistogram::record(std::uint64_t value)
+{
+    record(value, 1);
+}
+
+void
+LatencyHistogram::record(std::uint64_t value, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    counts_[indexFor(value)] += count;
+    total_ += count;
+    rawMin_ = std::min(rawMin_, value);
+    rawMax_ = std::max(rawMax_, value);
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    rawMin_ = UINT64_MAX;
+    rawMax_ = 0;
+}
+
+std::uint64_t
+LatencyHistogram::minValue() const
+{
+    return total_ ? rawMin_ : 0;
+}
+
+std::uint64_t
+LatencyHistogram::maxValue() const
+{
+    return total_ ? rawMax_ : 0;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i])
+            acc += static_cast<double>(counts_[i]) *
+                   static_cast<double>(valueFor(i));
+    }
+    return acc / static_cast<double>(total_);
+}
+
+std::uint64_t
+LatencyHistogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the target sample (1-based, ceil).
+    const std::uint64_t target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(q * static_cast<double>(total_) + 0.5));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= target)
+            return valueFor(i);
+    }
+    return valueFor(counts_.size() - 1);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.subBucketBits_ != subBucketBits_ ||
+        other.maxValueBits_ != maxValueBits_) {
+        sim::fatal("LatencyHistogram::merge: geometry mismatch");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    rawMin_ = std::min(rawMin_, other.rawMin_);
+    rawMax_ = std::max(rawMax_, other.rawMax_);
+}
+
+} // namespace reqobs::stats

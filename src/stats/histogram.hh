@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Log-bucketed latency histogram with quantile queries.
+ *
+ * The layout follows HdrHistogram/hdrhistogram-style log-linear bucketing:
+ * values are grouped into buckets whose width doubles every
+ * `subBucketCount` entries, giving bounded relative error (~1/subBucketCount)
+ * across many orders of magnitude with a few KiB of counters. This is what
+ * the load generator uses to record client-side latency and extract p50/p99.
+ */
+
+#ifndef REQOBS_STATS_HISTOGRAM_HH
+#define REQOBS_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace reqobs::stats {
+
+/** Log-linear histogram over non-negative 64-bit values. */
+class LatencyHistogram
+{
+  public:
+    /**
+     * @param sub_bucket_bits log2 of sub-buckets per doubling
+     *        (6 => ~1.5% relative error).
+     * @param max_value_bits  values above 2^max_value_bits clamp.
+     */
+    explicit LatencyHistogram(unsigned sub_bucket_bits = 6,
+                              unsigned max_value_bits = 40);
+
+    /** Record one value (clamped to the representable range). */
+    void record(std::uint64_t value);
+
+    /** Record @p count occurrences of @p value. */
+    void record(std::uint64_t value, std::uint64_t count);
+
+    void reset();
+
+    std::uint64_t count() const { return total_; }
+
+    /** Smallest / largest recorded values (bucket-quantised). */
+    std::uint64_t minValue() const;
+    std::uint64_t maxValue() const;
+
+    /** Arithmetic mean of recorded values (bucket midpoints). */
+    double mean() const;
+
+    /**
+     * Value at quantile @p q in [0, 1]. Returns the upper edge of the
+     * bucket containing the q-th sample; 0 when empty.
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** Shorthand: quantile(0.50) / (0.95) / (0.99). */
+    std::uint64_t p50() const { return quantile(0.50); }
+    std::uint64_t p95() const { return quantile(0.95); }
+    std::uint64_t p99() const { return quantile(0.99); }
+
+    /** Merge counts from another histogram of identical geometry. */
+    void merge(const LatencyHistogram &other);
+
+    /** Number of counter slots (for tests). */
+    std::size_t slots() const { return counts_.size(); }
+
+  private:
+    unsigned subBucketBits_;
+    unsigned maxValueBits_;
+    std::uint64_t subBucketCount_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t rawMin_ = UINT64_MAX;
+    std::uint64_t rawMax_ = 0;
+
+    std::size_t indexFor(std::uint64_t value) const;
+    std::uint64_t valueFor(std::size_t index) const;
+};
+
+} // namespace reqobs::stats
+
+#endif // REQOBS_STATS_HISTOGRAM_HH

@@ -1,0 +1,74 @@
+#include "stats/regression.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace reqobs::stats {
+
+void
+LinearRegression::add(double x, double y)
+{
+    ++n_;
+    sx_ += x;
+    sy_ += y;
+    sxx_ += x * x;
+    syy_ += y * y;
+    sxy_ += x * y;
+}
+
+void
+LinearRegression::reset()
+{
+    n_ = 0;
+    sx_ = sy_ = sxx_ = syy_ = sxy_ = 0.0;
+}
+
+LinearFit
+LinearRegression::fit() const
+{
+    LinearFit f;
+    f.n = n_;
+    if (n_ < 2)
+        return f;
+    const double n = static_cast<double>(n_);
+    const double varX = sxx_ - sx_ * sx_ / n;
+    const double varY = syy_ - sy_ * sy_ / n;
+    const double covXY = sxy_ - sx_ * sy_ / n;
+    if (varX <= 0.0) {
+        f.intercept = sy_ / n;
+        return f;
+    }
+    f.slope = covXY / varX;
+    f.intercept = (sy_ - f.slope * sx_) / n;
+    // SSE = varY - slope * covXY (all as raw sums of squares about means).
+    const double sse = varY - f.slope * covXY;
+    if (varY > 0.0)
+        f.r2 = 1.0 - std::max(0.0, sse) / varY;
+    f.residualStd = std::sqrt(std::max(0.0, sse) / n);
+    return f;
+}
+
+LinearFit
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        sim::fatal("fitLinear: size mismatch (%zu vs %zu)", xs.size(),
+                   ys.size());
+    LinearRegression reg;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        reg.add(xs[i], ys[i]);
+    return reg.fit();
+}
+
+std::vector<double>
+residuals(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    const LinearFit f = fitLinear(xs, ys);
+    std::vector<double> out(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        out[i] = ys[i] - f.predict(xs[i]);
+    return out;
+}
+
+} // namespace reqobs::stats

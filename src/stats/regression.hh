@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ordinary least-squares simple linear regression with R² and residuals.
+ *
+ * Used by the Fig. 2 / Table II analysis: fit RPS_real against RPS_obsv
+ * and report the coefficient of determination and residual spread.
+ */
+
+#ifndef REQOBS_STATS_REGRESSION_HH
+#define REQOBS_STATS_REGRESSION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace reqobs::stats {
+
+/** Result of a simple (one-predictor) OLS fit y = slope·x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0;          ///< coefficient of determination
+    double residualStd = 0.0; ///< std-dev of residuals
+    std::size_t n = 0;
+
+    /** Predicted y for a given x. */
+    double predict(double x) const { return slope * x + intercept; }
+};
+
+/** Accumulating simple linear regression (no sample storage). */
+class LinearRegression
+{
+  public:
+    /** Add one (x, y) observation. */
+    void add(double x, double y);
+
+    void reset();
+
+    std::size_t count() const { return n_; }
+
+    /**
+     * Compute the fit. With fewer than 2 points, or a degenerate
+     * (zero-variance) predictor, the fit is flat with r2 = 0.
+     */
+    LinearFit fit() const;
+
+  private:
+    std::size_t n_ = 0;
+    double sx_ = 0.0, sy_ = 0.0, sxx_ = 0.0, syy_ = 0.0, sxy_ = 0.0;
+};
+
+/**
+ * Residuals of y against the OLS fit computed from the same samples.
+ * Sized like the inputs. @pre xs.size() == ys.size().
+ */
+std::vector<double> residuals(const std::vector<double> &xs,
+                              const std::vector<double> &ys);
+
+/** Convenience: OLS fit over paired vectors. @pre equal sizes. */
+LinearFit fitLinear(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+} // namespace reqobs::stats
+
+#endif // REQOBS_STATS_REGRESSION_HH

@@ -1,0 +1,75 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace reqobs::stats {
+
+double
+percentile(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(samples.begin(), samples.end());
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const std::size_t idx = rank == 0 ? 0 : rank - 1;
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
+double
+mean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : samples)
+        s += v;
+    return s / static_cast<double>(samples.size());
+}
+
+double
+variance(const std::vector<double> &samples)
+{
+    if (samples.size() < 2)
+        return 0.0;
+    const double m = mean(samples);
+    double s = 0.0;
+    for (double v : samples)
+        s += (v - m) * (v - m);
+    return s / static_cast<double>(samples.size());
+}
+
+std::vector<double>
+normalize(const std::vector<double> &samples)
+{
+    std::vector<double> out(samples.size(), 0.0);
+    if (samples.empty())
+        return out;
+    const auto [lo_it, hi_it] =
+        std::minmax_element(samples.begin(), samples.end());
+    const double lo = *lo_it, hi = *hi_it;
+    if (hi == lo)
+        return out;
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        out[i] = (samples[i] - lo) / (hi - lo);
+    return out;
+}
+
+std::vector<double>
+normalizeByMax(const std::vector<double> &samples)
+{
+    std::vector<double> out(samples.size(), 0.0);
+    if (samples.empty())
+        return out;
+    const double hi = *std::max_element(samples.begin(), samples.end());
+    if (hi == 0.0)
+        return out;
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        out[i] = samples[i] / hi;
+    return out;
+}
+
+} // namespace reqobs::stats

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small batch-statistics helpers shared by benches and tests:
+ * exact percentiles over sample vectors and min-max normalization
+ * (the paper plots normalized RPS / variance / durations).
+ */
+
+#ifndef REQOBS_STATS_SUMMARY_HH
+#define REQOBS_STATS_SUMMARY_HH
+
+#include <vector>
+
+namespace reqobs::stats {
+
+/**
+ * Exact percentile by sorting a copy (nearest-rank).
+ * @param q in [0, 1]. Returns 0 for empty input.
+ */
+double percentile(std::vector<double> samples, double q);
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &samples);
+
+/** Population variance; 0 when size < 2. */
+double variance(const std::vector<double> &samples);
+
+/**
+ * Min-max normalize into [0, 1]. Constant inputs map to all-zeros.
+ * Used to put bench output on the paper's normalized axes.
+ */
+std::vector<double> normalize(const std::vector<double> &samples);
+
+/** Normalize by the maximum (paper's "normalized RPS" axes). */
+std::vector<double> normalizeByMax(const std::vector<double> &samples);
+
+} // namespace reqobs::stats
+
+#endif // REQOBS_STATS_SUMMARY_HH

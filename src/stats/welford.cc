@@ -1,0 +1,118 @@
+#include "stats/welford.hh"
+
+#include <cmath>
+
+namespace reqobs::stats {
+
+void
+Welford::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Welford::reset()
+{
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+}
+
+double
+Welford::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+Welford::sampleVariance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+Welford::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Welford::merge(const Welford &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+}
+
+// ---------------------------------------------------------- IntegerMoments
+
+IntegerMoments::IntegerMoments(unsigned shift) : shift_(shift) {}
+
+void
+IntegerMoments::add(std::uint64_t x)
+{
+    const std::uint64_t q = x >> shift_;
+    ++n_;
+    sum_ += q;
+    const std::uint64_t sq = q * q;
+    // Detect 64-bit wrap of either the square or the running sum.
+    if (q != 0 && sq / q != q) {
+        saturated_ = true;
+        return;
+    }
+    if (sumSq_ > UINT64_MAX - sq) {
+        saturated_ = true;
+        return;
+    }
+    sumSq_ += sq;
+}
+
+void
+IntegerMoments::reset()
+{
+    n_ = 0;
+    sum_ = 0;
+    sumSq_ = 0;
+    saturated_ = false;
+}
+
+double
+IntegerMoments::mean() const
+{
+    if (n_ == 0)
+        return 0.0;
+    const double scale = static_cast<double>(1ULL << shift_);
+    return static_cast<double>(sum_) / static_cast<double>(n_) * scale;
+}
+
+double
+IntegerMoments::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(n_);
+    const double ex = static_cast<double>(sum_) / n;
+    const double ex2 = static_cast<double>(sumSq_) / n;
+    const double var_q = ex2 - ex * ex; // quantised units²
+    const double scale = static_cast<double>(1ULL << shift_);
+    return (var_q < 0.0 ? 0.0 : var_q) * scale * scale;
+}
+
+} // namespace reqobs::stats

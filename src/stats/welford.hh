@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Streaming moment estimators.
+ *
+ * Two flavours:
+ *  - Welford: numerically stable floating-point mean/variance, used by
+ *    userspace analysis code.
+ *  - IntegerMoments: the E[x²] − E[x]² form from Eq. 2 of the paper,
+ *    computed with unsigned 64-bit accumulators exactly as an eBPF probe
+ *    must (no floating point inside the kernel VM). Tests assert the two
+ *    agree within integer truncation error.
+ */
+
+#ifndef REQOBS_STATS_WELFORD_HH
+#define REQOBS_STATS_WELFORD_HH
+
+#include <cstdint>
+
+namespace reqobs::stats {
+
+/** Numerically stable streaming mean/variance (Welford's algorithm). */
+class Welford
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Remove all observations. */
+    void reset();
+
+    /** Number of observations. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (divide by n); 0 when n < 2. */
+    double variance() const;
+
+    /** Sample variance (divide by n−1); 0 when n < 2. */
+    double sampleVariance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Merge another estimator's observations into this one. */
+    void merge(const Welford &other);
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Integer moment accumulator matching what the paper's eBPF probe can
+ * compute in-kernel: running sums of x and x², variance via
+ * E[x²] − E[x]² (Eq. 2). Inputs are nanosecond deltas; to avoid u64
+ * overflow of the Σx² accumulator the probe right-shifts samples by
+ * @p shift bits first (the paper's probes quantise the same way since
+ * 64-bit saturation of ns² sums is reached after ~few seconds of deltas).
+ */
+class IntegerMoments
+{
+  public:
+    /** @param shift Right-shift applied to each sample before squaring. */
+    explicit IntegerMoments(unsigned shift = 10);
+
+    /** Add one non-negative sample (e.g. a Δt in ns). */
+    void add(std::uint64_t x);
+
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+
+    /** Mean in original units (shift undone). */
+    double mean() const;
+
+    /** Population variance in original units² (shift undone). */
+    double variance() const;
+
+    /** Quantisation shift in use. */
+    unsigned shift() const { return shift_; }
+
+    /** True if the Σx² accumulator saturated (result no longer exact). */
+    bool saturated() const { return saturated_; }
+
+  private:
+    unsigned shift_;
+    std::uint64_t n_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t sumSq_ = 0;
+    bool saturated_ = false;
+};
+
+} // namespace reqobs::stats
+
+#endif // REQOBS_STATS_WELFORD_HH

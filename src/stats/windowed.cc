@@ -1,0 +1,132 @@
+#include "stats/windowed.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace reqobs::stats {
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : buf_(capacity, 0.0)
+{
+    if (capacity == 0)
+        sim::fatal("SlidingWindow: capacity must be positive");
+}
+
+void
+SlidingWindow::push(double x)
+{
+    if (size_ == buf_.size()) {
+        const double old = buf_[head_];
+        sum_ -= old;
+        sumSq_ -= old * old;
+    } else {
+        ++size_;
+    }
+    buf_[head_] = x;
+    sum_ += x;
+    sumSq_ += x * x;
+    head_ = (head_ + 1) % buf_.size();
+}
+
+void
+SlidingWindow::reset()
+{
+    std::fill(buf_.begin(), buf_.end(), 0.0);
+    head_ = 0;
+    size_ = 0;
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+}
+
+double
+SlidingWindow::mean() const
+{
+    if (size_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(size_);
+}
+
+double
+SlidingWindow::variance() const
+{
+    if (size_ < 2)
+        return 0.0;
+    const double m = mean();
+    const double v = sumSq_ / static_cast<double>(size_) - m * m;
+    return v < 0.0 ? 0.0 : v;
+}
+
+double
+SlidingWindow::min() const
+{
+    if (size_ == 0)
+        return 0.0;
+    double m = buf_[(head_ + buf_.size() - size_) % buf_.size()];
+    for (std::size_t i = 0; i < size_; ++i)
+        m = std::min(m, buf_[(head_ + buf_.size() - size_ + i) % buf_.size()]);
+    return m;
+}
+
+double
+SlidingWindow::max() const
+{
+    if (size_ == 0)
+        return 0.0;
+    double m = buf_[(head_ + buf_.size() - size_) % buf_.size()];
+    for (std::size_t i = 0; i < size_; ++i)
+        m = std::max(m, buf_[(head_ + buf_.size() - size_ + i) % buf_.size()]);
+    return m;
+}
+
+// ----------------------------------------------------------- TumblingWindow
+
+TumblingWindow::TumblingWindow(std::size_t length) : length_(length)
+{
+    if (length == 0)
+        sim::fatal("TumblingWindow: length must be positive");
+}
+
+bool
+TumblingWindow::push(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    sumSq_ += x * x;
+    if (n_ < length_)
+        return false;
+
+    const double n = static_cast<double>(n_);
+    last_.count = n_;
+    last_.mean = sum_ / n;
+    const double v = sumSq_ / n - last_.mean * last_.mean;
+    last_.variance = v < 0.0 ? 0.0 : v;
+    last_.minimum = min_;
+    last_.maximum = max_;
+    ++completed_;
+
+    n_ = 0;
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+    return true;
+}
+
+void
+TumblingWindow::reset()
+{
+    n_ = 0;
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    last_ = Aggregate{};
+    completed_ = 0;
+}
+
+} // namespace reqobs::stats

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fixed-capacity sliding-window statistics.
+ *
+ * Used by the userspace side of the observability agent to compute
+ * rolling means/variances over the most recent N inter-syscall deltas
+ * (the paper's estimates use windows of >= 2048 syscalls).
+ */
+
+#ifndef REQOBS_STATS_WINDOWED_HH
+#define REQOBS_STATS_WINDOWED_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reqobs::stats {
+
+/**
+ * Ring buffer of doubles with O(1) mean/variance updates.
+ *
+ * Maintains running Σx and Σx² over the window. Accuracy is adequate for
+ * the magnitudes involved here (ns deltas within a run); for long-lived
+ * aggregation prefer Welford.
+ */
+class SlidingWindow
+{
+  public:
+    /** @param capacity Window length. @pre capacity > 0. */
+    explicit SlidingWindow(std::size_t capacity);
+
+    /** Push one sample, evicting the oldest when full. */
+    void push(double x);
+
+    void reset();
+
+    /** Samples currently held (<= capacity). */
+    std::size_t size() const { return size_; }
+
+    std::size_t capacity() const { return buf_.size(); }
+
+    bool full() const { return size_ == buf_.size(); }
+
+    /** Mean over the window; 0 when empty. */
+    double mean() const;
+
+    /** Population variance over the window; 0 when size < 2. */
+    double variance() const;
+
+    /** Minimum over the window (O(n) scan); 0 when empty. */
+    double min() const;
+
+    /** Maximum over the window (O(n) scan); 0 when empty. */
+    double max() const;
+
+  private:
+    std::vector<double> buf_;
+    std::size_t head_ = 0; ///< next write position
+    std::size_t size_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+};
+
+/**
+ * Tumbling (non-overlapping) window: accumulates until @p length samples
+ * arrive, then reports one aggregate and starts over. This matches how
+ * the in-kernel probes export: one metric sample per full window flushed
+ * through the ring buffer.
+ */
+class TumblingWindow
+{
+  public:
+    struct Aggregate
+    {
+        std::uint64_t count = 0;
+        double mean = 0.0;
+        double variance = 0.0;
+        double minimum = 0.0;
+        double maximum = 0.0;
+    };
+
+    explicit TumblingWindow(std::size_t length);
+
+    /**
+     * Add a sample.
+     * @return true exactly when the window completed; the completed
+     *         aggregate is then available via last().
+     */
+    bool push(double x);
+
+    /** Most recently completed aggregate. */
+    const Aggregate &last() const { return last_; }
+
+    /** Completed windows so far. */
+    std::uint64_t completed() const { return completed_; }
+
+    void reset();
+
+  private:
+    std::size_t length_;
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    Aggregate last_;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace reqobs::stats
+
+#endif // REQOBS_STATS_WINDOWED_HH

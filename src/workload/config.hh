@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Workload descriptions and the registry of the paper's nine benchmarks.
+ *
+ * A WorkloadConfig captures everything that shapes an application's
+ * syscall footprint: the threading model, which recv/send/poll syscalls
+ * it uses (§IV-A lists these per application), how many workers and
+ * client connections it runs, and its service-time distribution. Service
+ * demand is calibrated from the saturation throughput the paper reports
+ * for the AMD server ("The RPS at which failures occurred ...").
+ */
+
+#ifndef REQOBS_WORKLOAD_CONFIG_HH
+#define REQOBS_WORKLOAD_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/syscalls.hh"
+#include "sim/time.hh"
+
+namespace reqobs::workload {
+
+/** Request-handling structure of the application (§IV-A). */
+enum class ThreadingModel
+{
+    /**
+     * N event-loop threads, each owning a share of the connections and
+     * doing epoll/recv/process/send itself (CloudSuite Data Caching).
+     */
+    PerThreadEventLoop,
+    /** Same, but with the legacy select(2) loop (tailbench). */
+    SelectPool,
+    /**
+     * One dispatcher thread epolls + recvs and hands requests to a
+     * worker pool over an internal futex-backed queue; workers process
+     * and send (Triton).
+     */
+    DispatcherWorkers,
+    /**
+     * Two processes: a front end facing the clients and a back end
+     * doing the heavy lifting, joined by internal sockets (CloudSuite
+     * Web Search: front end + index search containers).
+     */
+    TwoStage,
+};
+
+/** Full description of one benchmark application. */
+struct WorkloadConfig
+{
+    std::string name;
+    ThreadingModel model = ThreadingModel::PerThreadEventLoop;
+
+    /** @name Syscall vocabulary (Table in §IV-A). @{ */
+    kernel::Syscall recvSyscall = kernel::Syscall::Recvfrom;
+    kernel::Syscall sendSyscall = kernel::Syscall::Sendto;
+    kernel::Syscall pollSyscall = kernel::Syscall::EpollWait;
+    /** @} */
+
+    unsigned workers = 16;       ///< request-processing threads
+    /**
+     * Serve through io_uring-style async I/O instead of the poll/recv/
+     * send syscall loop (the paper's §V-C blind spot). Only meaningful
+     * for PerThreadEventLoop-shaped workloads.
+     */
+    bool useIoUring = false;
+    unsigned connections = 32;   ///< client connections to provision
+    unsigned backendWorkers = 8; ///< TwoStage only
+    /** TwoStage: one-way latency of the internal hop. */
+    sim::Tick interStageLatency = sim::microseconds(20);
+
+    /**
+     * Saturation throughput to calibrate service demand against
+     * (requests/s at which the worker pool is 100% busy). The paper's
+     * failure RPS sits slightly below this.
+     */
+    double saturationRps = 1000.0;
+    /** Lognormal sigma of the per-request service demand. */
+    double serviceSigma = 0.30;
+    /**
+     * TwoStage: fraction of the demand spent in the front end
+     * (the rest runs in the back end).
+     */
+    double frontendDemandShare = 0.08;
+
+    /** Response chunking: responses use 1..maxResponseChunks sends. */
+    unsigned maxResponseChunks = 1;
+
+    /**
+     * @name Saturation-contention model.
+     *
+     * When the server is backlogged (requests queue behind the one being
+     * served), real systems suffer correlated slowdowns — lock convoys,
+     * allocator/GC pauses, softirq storms — whose granularity scales
+     * with the work unit. We model them as machine-wide stalls: once
+     * per cooldown, while backlogged, CPU speed drops to
+     * stallSpeedFactor for stallDurationMultiple * meanDemand. This is
+     * the mechanism behind the paper's Fig. 3 variance knee; see
+     * DESIGN.md §7 for the ablation.
+     * @{
+     */
+    bool contentionStalls = true;
+    double stallDurationMultiple = 4.0; ///< stall length, in mean demands
+    double stallCooldownMultiple = 20.0; ///< min gap between stalls
+    double stallSpeedFactor = 0.02;      ///< CPU speed while stalled
+    /** @} */
+
+    std::uint32_t requestBytes = 256;
+    std::uint32_t responseBytes = 1024;
+
+    /** Failure RPS the paper reports for this workload (AMD server). */
+    double paperFailureRps = 0.0;
+
+    /** Mean per-request CPU demand implied by saturationRps. */
+    sim::Tick meanDemand() const;
+
+    /** Fraction of saturated time lost to contention stalls. */
+    double stallTimeShare() const;
+
+    /** Demand spent in the front end (TwoStage), per request. */
+    sim::Tick frontendDemand() const;
+
+    /** Demand spent in the back end (TwoStage), per request. */
+    sim::Tick backendDemand() const;
+};
+
+/** All nine paper benchmarks, calibrated for the AMD preset. */
+std::vector<WorkloadConfig> paperWorkloads();
+
+/**
+ * Look up one benchmark by name; fatal if unknown. A "-iouring" suffix
+ * returns the base workload converted to the async-I/O variant
+ * (e.g. "data-caching-iouring").
+ */
+WorkloadConfig workloadByName(const std::string &name);
+
+/** Convert a workload to its io_uring variant. */
+WorkloadConfig ioUringVariant(WorkloadConfig base);
+
+} // namespace reqobs::workload
+
+#endif // REQOBS_WORKLOAD_CONFIG_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the GPS CPU model: fluid sharing, jitter activation,
+ * DVFS speed changes and cancellation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernel/cpu.hh"
+#include "sim/simulation.hh"
+
+namespace reqobs::kernel {
+namespace {
+
+CpuConfig
+quietCpu(unsigned cores, double speed = 1.0)
+{
+    CpuConfig cfg;
+    cfg.cores = cores;
+    cfg.speed = speed;
+    cfg.jitterSigma = 0.0; // deterministic service for timing asserts
+    return cfg;
+}
+
+TEST(CpuModelTest, SingleJobTakesItsDemand)
+{
+    sim::Simulation sim;
+    CpuModel cpu(sim, quietCpu(4));
+    sim::Tick done = -1;
+    cpu.submit(sim::microseconds(100), [&] { done = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(static_cast<double>(done),
+                static_cast<double>(sim::microseconds(100)), 2.0);
+    EXPECT_EQ(cpu.completedJobs(), 1u);
+}
+
+TEST(CpuModelTest, JobsWithinCoreCountDoNotSlowEachOther)
+{
+    sim::Simulation sim;
+    CpuModel cpu(sim, quietCpu(4));
+    std::vector<sim::Tick> done;
+    for (int i = 0; i < 4; ++i)
+        cpu.submit(1000, [&] { done.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(done.size(), 4u);
+    for (sim::Tick t : done)
+        EXPECT_NEAR(static_cast<double>(t), 1000.0, 2.0);
+}
+
+TEST(CpuModelTest, OversubscriptionSharesFluidly)
+{
+    sim::Simulation sim;
+    CpuModel cpu(sim, quietCpu(1));
+    std::vector<sim::Tick> done;
+    // Two equal jobs on one core: both finish at ~2x the demand.
+    cpu.submit(1000, [&] { done.push_back(sim.now()); });
+    cpu.submit(1000, [&] { done.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_NEAR(static_cast<double>(done[0]), 2000.0, 4.0);
+    EXPECT_NEAR(static_cast<double>(done[1]), 2000.0, 4.0);
+}
+
+TEST(CpuModelTest, ShortJobLeavesLongJobDelayed)
+{
+    sim::Simulation sim;
+    CpuModel cpu(sim, quietCpu(1));
+    sim::Tick short_done = 0, long_done = 0;
+    cpu.submit(1000, [&] { short_done = sim.now(); });
+    cpu.submit(3000, [&] { long_done = sim.now(); });
+    sim.run();
+    // Shared until the short job drains at 2000; the long one then runs
+    // alone for its remaining 2000 -> 4000.
+    EXPECT_NEAR(static_cast<double>(short_done), 2000.0, 4.0);
+    EXPECT_NEAR(static_cast<double>(long_done), 4000.0, 6.0);
+}
+
+TEST(CpuModelTest, LateArrivalSlowsInFlightWork)
+{
+    sim::Simulation sim;
+    CpuModel cpu(sim, quietCpu(1));
+    sim::Tick first_done = 0;
+    cpu.submit(2000, [&] { first_done = sim.now(); });
+    sim.schedule(1000, [&] { cpu.submit(5000, [] {}); });
+    sim.run();
+    // Alone for 1000 (1000 served), then shared: remaining 1000 at half
+    // speed -> finishes at 3000.
+    EXPECT_NEAR(static_cast<double>(first_done), 3000.0, 6.0);
+}
+
+TEST(CpuModelTest, SpeedScalesServiceRate)
+{
+    sim::Simulation sim;
+    CpuModel cpu(sim, quietCpu(1, 2.0));
+    sim::Tick done = 0;
+    cpu.submit(1000, [&] { done = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(static_cast<double>(done), 500.0, 2.0);
+}
+
+TEST(CpuModelTest, DvfsMidFlight)
+{
+    sim::Simulation sim;
+    CpuModel cpu(sim, quietCpu(1));
+    sim::Tick done = 0;
+    cpu.submit(2000, [&] { done = sim.now(); });
+    sim.schedule(1000, [&] { cpu.setSpeed(0.5); });
+    sim.run();
+    // 1000 served at speed 1, remaining 1000 at speed 0.5 -> 1000+2000.
+    EXPECT_NEAR(static_cast<double>(done), 3000.0, 6.0);
+    EXPECT_DOUBLE_EQ(cpu.speed(), 0.5);
+}
+
+TEST(CpuModelTest, CancelPreventsCompletion)
+{
+    sim::Simulation sim;
+    CpuModel cpu(sim, quietCpu(1));
+    bool ran = false;
+    const CpuModel::JobId id = cpu.submit(1000, [&] { ran = true; });
+    cpu.cancel(id);
+    sim.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(cpu.activeJobs(), 0u);
+    cpu.cancel(12345); // unknown id is a no-op
+}
+
+TEST(CpuModelTest, ZeroDemandCompletesImmediately)
+{
+    sim::Simulation sim;
+    CpuModel cpu(sim, quietCpu(1));
+    sim::Tick done = -1;
+    cpu.submit(0, [&] { done = sim.now(); });
+    sim.run();
+    EXPECT_GE(done, 0);
+    EXPECT_LE(done, 2);
+}
+
+TEST(CpuModelTest, ServedTicksTracksWork)
+{
+    sim::Simulation sim;
+    CpuModel cpu(sim, quietCpu(2));
+    cpu.submit(1000, [] {});
+    cpu.submit(500, [] {});
+    sim.run();
+    EXPECT_NEAR(cpu.servedTicks(), 1500.0, 5.0);
+}
+
+TEST(CpuModelTest, JitterInflatesOnlyWhenOversubscribed)
+{
+    // With jitter on but jobs <= cores, demand must be exact.
+    sim::Simulation sim;
+    CpuConfig cfg;
+    cfg.cores = 8;
+    cfg.jitterSigma = 0.5;
+    CpuModel cpu(sim, cfg);
+    sim::Tick done = 0;
+    cpu.submit(1000, [&] { done = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(static_cast<double>(done), 1000.0, 2.0);
+}
+
+TEST(CpuModelTest, CompletionCallbackCanResubmit)
+{
+    sim::Simulation sim;
+    CpuModel cpu(sim, quietCpu(1));
+    int rounds = 0;
+    std::function<void()> again = [&] {
+        if (++rounds < 3)
+            cpu.submit(100, again);
+    };
+    cpu.submit(100, again);
+    sim.run();
+    EXPECT_EQ(rounds, 3);
+    EXPECT_EQ(cpu.completedJobs(), 3u);
+}
+
+TEST(CpuModelDeathTest, InvalidConfigIsFatal)
+{
+    sim::Simulation sim;
+    EXPECT_DEATH(CpuModel(sim, CpuConfig{0, 1.0, 0.0, 0.0}), "core");
+    CpuModel cpu(sim, quietCpu(1));
+    EXPECT_DEATH(cpu.setSpeed(0.0), "positive");
+}
+
+} // namespace
+} // namespace reqobs::kernel

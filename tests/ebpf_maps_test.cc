@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for eBPF maps: hash semantics (flags, capacity, pointer
+ * stability), array bounds, and the ring buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ebpf/maps.hh"
+
+namespace reqobs::ebpf {
+namespace {
+
+TEST(HashMapTest, UpdateLookupDelete)
+{
+    HashMap m(8, 8, 16);
+    const std::uint64_t key = 42, value = 1234;
+    EXPECT_EQ(m.put(key, value), 0);
+    std::uint64_t out = 0;
+    EXPECT_TRUE(m.get(key, out));
+    EXPECT_EQ(out, value);
+    EXPECT_EQ(m.remove(key), 0);
+    EXPECT_FALSE(m.get(key, out));
+    EXPECT_EQ(m.remove(key), -2); // ENOENT
+}
+
+TEST(HashMapTest, UpdateFlagsSemantics)
+{
+    HashMap m(8, 8, 16);
+    const std::uint64_t k = 1;
+    EXPECT_EQ(m.put(k, std::uint64_t{10}, BPF_EXIST), -2);  // no entry yet
+    EXPECT_EQ(m.put(k, std::uint64_t{10}, BPF_NOEXIST), 0); // create
+    EXPECT_EQ(m.put(k, std::uint64_t{20}, BPF_NOEXIST), -17); // EEXIST
+    EXPECT_EQ(m.put(k, std::uint64_t{20}, BPF_EXIST), 0);
+    std::uint64_t out = 0;
+    m.get(k, out);
+    EXPECT_EQ(out, 20u);
+}
+
+TEST(HashMapTest, CapacityEnforced)
+{
+    HashMap m(8, 8, 4);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        EXPECT_EQ(m.put(k, k), 0);
+    EXPECT_EQ(m.put(std::uint64_t{99}, std::uint64_t{1}), -7); // E2BIG
+    // Updating an existing key still works at capacity.
+    EXPECT_EQ(m.put(std::uint64_t{0}, std::uint64_t{5}), 0);
+    EXPECT_EQ(m.size(), 4u);
+}
+
+TEST(HashMapTest, ValuePointersStableAcrossInserts)
+{
+    HashMap m(8, 8, 4096);
+    const std::uint64_t k0 = 7;
+    m.put(k0, std::uint64_t{111});
+    std::uint8_t *p =
+        m.lookup(reinterpret_cast<const std::uint8_t *>(&k0));
+    ASSERT_NE(p, nullptr);
+    // Force rehash churn; the held pointer must stay valid (kernel maps
+    // guarantee this to in-flight programs).
+    for (std::uint64_t k = 100; k < 3000; ++k)
+        m.put(k, k);
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, 8);
+    EXPECT_EQ(v, 111u);
+}
+
+TEST(HashMapTest, ForEachVisitsEverything)
+{
+    HashMap m(8, 8, 16);
+    for (std::uint64_t k = 0; k < 5; ++k)
+        m.put(k, k * 10);
+    std::uint64_t sum = 0;
+    m.forEach([&](const std::uint8_t *, const std::uint8_t *v) {
+        std::uint64_t x;
+        std::memcpy(&x, v, 8);
+        sum += x;
+    });
+    EXPECT_EQ(sum, 0u + 10 + 20 + 30 + 40);
+}
+
+TEST(ArrayMapTest, SlotsPrezeroedAndBounded)
+{
+    ArrayMap m(8, 4);
+    EXPECT_EQ(m.at<std::uint64_t>(0), 0u);
+    EXPECT_EQ(m.put(std::uint32_t{2}, std::uint64_t{77}), 0);
+    EXPECT_EQ(m.at<std::uint64_t>(2), 77u);
+    // Out of range.
+    const std::uint32_t big = 10;
+    EXPECT_EQ(m.lookup(reinterpret_cast<const std::uint8_t *>(&big)),
+              nullptr);
+    EXPECT_EQ(m.put(big, std::uint64_t{1}), -7);
+    // Arrays cannot delete.
+    EXPECT_EQ(m.remove(std::uint32_t{0}), -22);
+}
+
+TEST(ArrayMapTest, InPlaceMutationThroughLookup)
+{
+    ArrayMap m(8, 1);
+    const std::uint32_t idx = 0;
+    std::uint8_t *p = m.lookup(reinterpret_cast<const std::uint8_t *>(&idx));
+    ASSERT_NE(p, nullptr);
+    std::uint64_t v = 123;
+    std::memcpy(p, &v, 8);
+    EXPECT_EQ(m.at<std::uint64_t>(0), 123u);
+}
+
+TEST(RingBufTest, OutputAndConsume)
+{
+    RingBufMap rb(1024);
+    const char msg[] = "hello";
+    EXPECT_EQ(rb.output(reinterpret_cast<const std::uint8_t *>(msg),
+                        sizeof(msg)),
+              0);
+    EXPECT_EQ(rb.size(), 1u);
+    std::vector<std::string> got;
+    rb.consume([&](const std::uint8_t *d, std::uint32_t len) {
+        got.emplace_back(reinterpret_cast<const char *>(d), len);
+    });
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_STREQ(got[0].c_str(), "hello");
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_EQ(rb.bytesQueued(), 0u);
+}
+
+TEST(RingBufTest, DropsWhenFull)
+{
+    RingBufMap rb(64);
+    std::uint8_t data[40] = {};
+    EXPECT_EQ(rb.output(data, 40), 0);
+    EXPECT_EQ(rb.output(data, 40), -28); // ENOSPC
+    EXPECT_EQ(rb.drops(), 1u);
+    rb.consume([](const std::uint8_t *, std::uint32_t) {});
+    EXPECT_EQ(rb.output(data, 40), 0); // space reclaimed
+}
+
+TEST(RingBufTest, RejectsInvalidSizes)
+{
+    RingBufMap rb(64);
+    std::uint8_t b = 0;
+    EXPECT_EQ(rb.output(&b, 0), -22);
+    EXPECT_EQ(rb.output(&b, 65), -22);
+    // Ring buffers have no lookup/update/delete.
+    EXPECT_EQ(rb.lookup(&b), nullptr);
+    EXPECT_EQ(rb.update(&b, &b, 0), -22);
+    EXPECT_EQ(rb.erase(&b), -22);
+}
+
+TEST(MapDeathTest, TypedAccessChecksSizes)
+{
+    HashMap m(8, 8, 4);
+    std::uint32_t small_key = 1;
+    std::uint64_t out;
+    EXPECT_DEATH(m.get(small_key, out), "key size");
+}
+
+} // namespace
+} // namespace reqobs::ebpf

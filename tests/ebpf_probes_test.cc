@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Probe-library tests: the Listing-1 duration probe pair, the
+ * inter-syscall delta probe and the ring-buffer stream probe, all
+ * executed as verified bytecode against the simulated kernel's
+ * tracepoints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ebpf/assembler.hh"
+#include "ebpf/probes.hh"
+#include "ebpf/runtime.hh"
+#include "ebpf/verifier.hh"
+#include <cstring>
+#include "kernel/kernel.hh"
+#include "sim/simulation.hh"
+
+namespace reqobs::ebpf {
+namespace {
+
+using kernel::Fd;
+using kernel::Kernel;
+using kernel::Message;
+using kernel::Pid;
+using kernel::Syscall;
+using kernel::Task;
+using kernel::Tid;
+using probes::SyscallStats;
+
+struct ProbeHarness
+{
+    sim::Simulation sim{7};
+    Kernel kernel{sim};
+    EbpfRuntime rt{kernel};
+    Pid pid = kernel.createProcess("app");
+
+    void
+    attach(ProgramSpec spec, kernel::TracepointId point)
+    {
+        const auto vr = rt.loadAndAttach(std::move(spec), point);
+        ASSERT_TRUE(vr.ok) << vr.error;
+    }
+};
+
+TEST(DurationProbeTest, MeasuresNanosleepDurations)
+{
+    ProbeHarness h;
+    const auto maps = probes::createDurationMaps(h.rt, "sleep");
+    h.attach(probes::buildDurationEnter(h.rt, h.pid,
+                                        syscallId(Syscall::Nanosleep), maps),
+             kernel::TracepointId::SysEnter);
+    h.attach(probes::buildDurationExit(h.rt, h.pid,
+                                       syscallId(Syscall::Nanosleep), maps),
+             kernel::TracepointId::SysExit);
+
+    h.kernel.spawnThread(h.pid, [](Kernel &k, Tid tid) -> Task {
+        co_await k.sleepFor(tid, sim::milliseconds(2));
+        co_await k.sleepFor(tid, sim::milliseconds(4));
+    });
+    h.sim.runFor(sim::milliseconds(10));
+
+    const auto stats = h.rt.arrayAt(maps.statsFd).at<SyscallStats>(0);
+    EXPECT_EQ(stats.count, 2u);
+    // Durations include the probe cost itself; allow generous slack.
+    EXPECT_NEAR(static_cast<double>(stats.sumNs),
+                static_cast<double>(sim::milliseconds(6)),
+                static_cast<double>(sim::microseconds(10)));
+    EXPECT_GT(stats.sumSqQ, 0u);
+}
+
+TEST(DurationProbeTest, FiltersByTgid)
+{
+    ProbeHarness h;
+    const Pid other = h.kernel.createProcess("other");
+    const auto maps = probes::createDurationMaps(h.rt, "sleep");
+    h.attach(probes::buildDurationEnter(h.rt, h.pid,
+                                        syscallId(Syscall::Nanosleep), maps),
+             kernel::TracepointId::SysEnter);
+    h.attach(probes::buildDurationExit(h.rt, h.pid,
+                                       syscallId(Syscall::Nanosleep), maps),
+             kernel::TracepointId::SysExit);
+    // Only the *other* process sleeps: nothing may be recorded.
+    h.kernel.spawnThread(other, [](Kernel &k, Tid tid) -> Task {
+        co_await k.sleepFor(tid, sim::milliseconds(1));
+    });
+    h.sim.runFor(sim::milliseconds(5));
+    EXPECT_EQ(h.rt.arrayAt(maps.statsFd).at<SyscallStats>(0).count, 0u);
+}
+
+TEST(DurationProbeTest, FiltersBySyscall)
+{
+    ProbeHarness h;
+    const auto maps = probes::createDurationMaps(h.rt, "epoll");
+    h.attach(probes::buildDurationEnter(h.rt, h.pid,
+                                        syscallId(Syscall::EpollWait), maps),
+             kernel::TracepointId::SysEnter);
+    h.attach(probes::buildDurationExit(h.rt, h.pid,
+                                       syscallId(Syscall::EpollWait), maps),
+             kernel::TracepointId::SysExit);
+    h.kernel.spawnThread(h.pid, [](Kernel &k, Tid tid) -> Task {
+        co_await k.sleepFor(tid, sim::milliseconds(1)); // not epoll_wait
+    });
+    h.sim.runFor(sim::milliseconds(5));
+    EXPECT_EQ(h.rt.arrayAt(maps.statsFd).at<SyscallStats>(0).count, 0u);
+}
+
+TEST(DurationProbeTest, TracksConcurrentThreadsIndependently)
+{
+    // Two threads sleeping overlapping intervals: the per-pid_tgid start
+    // map must keep them separate (this is why Listing 1 keys by
+    // pid_tgid).
+    ProbeHarness h;
+    const auto maps = probes::createDurationMaps(h.rt, "sleep");
+    h.attach(probes::buildDurationEnter(h.rt, h.pid,
+                                        syscallId(Syscall::Nanosleep), maps),
+             kernel::TracepointId::SysEnter);
+    h.attach(probes::buildDurationExit(h.rt, h.pid,
+                                       syscallId(Syscall::Nanosleep), maps),
+             kernel::TracepointId::SysExit);
+    for (int i = 0; i < 2; ++i) {
+        h.kernel.spawnThread(h.pid, [i](Kernel &k, Tid tid) -> Task {
+            co_await k.sleepFor(tid, sim::milliseconds(i == 0 ? 3 : 5));
+        });
+    }
+    h.sim.runFor(sim::milliseconds(10));
+    const auto stats = h.rt.arrayAt(maps.statsFd).at<SyscallStats>(0);
+    EXPECT_EQ(stats.count, 2u);
+    EXPECT_NEAR(static_cast<double>(stats.sumNs),
+                static_cast<double>(sim::milliseconds(8)),
+                static_cast<double>(sim::microseconds(10)));
+}
+
+TEST(DeltaProbeTest, AccumulatesInterSendDeltas)
+{
+    ProbeHarness h;
+    auto [fd, sock] = h.kernel.installSocket(h.pid, 1);
+    const auto maps = probes::createDeltaMaps(h.rt, "send");
+    h.attach(probes::buildDeltaExit(h.rt, h.pid,
+                                    {syscallId(Syscall::Sendto)}, maps),
+             kernel::TracepointId::SysExit);
+
+    // Send 4 messages spaced exactly 1ms apart.
+    h.kernel.spawnThread(h.pid, [fd = fd](Kernel &k, Tid tid) -> Task {
+        for (int i = 0; i < 4; ++i) {
+            co_await k.send(tid, fd, Message{}, Syscall::Sendto);
+            co_await k.sleepFor(tid, sim::milliseconds(1));
+        }
+    });
+    h.sim.runFor(sim::milliseconds(10));
+
+    const auto stats = h.rt.arrayAt(maps.statsFd).at<SyscallStats>(0);
+    EXPECT_EQ(stats.count, 3u); // deltas = sends - 1
+    EXPECT_NEAR(static_cast<double>(stats.sumNs),
+                static_cast<double>(sim::milliseconds(3)),
+                static_cast<double>(sim::microseconds(30)));
+    // Deltas ~equal -> variance derived from the sums is ~0.
+    const double scale = 1 << probes::kDeltaShift;
+    const double mean_q =
+        static_cast<double>(stats.sumNs) / 3.0 / scale;
+    const double ex2_q = static_cast<double>(stats.sumSqQ) / 3.0;
+    EXPECT_NEAR(ex2_q, mean_q * mean_q, 0.02 * mean_q * mean_q);
+}
+
+TEST(DeltaProbeTest, FamilyMatchingCoversAllMembers)
+{
+    ProbeHarness h;
+    auto [fd, sock] = h.kernel.installSocket(h.pid, 1);
+    const auto maps = probes::createDeltaMaps(h.rt, "send");
+    h.attach(probes::buildDeltaExit(h.rt, h.pid,
+                                    {syscallId(Syscall::Write),
+                                     syscallId(Syscall::Sendto),
+                                     syscallId(Syscall::Sendmsg)},
+                                    maps),
+             kernel::TracepointId::SysExit);
+    h.kernel.spawnThread(h.pid, [fd = fd](Kernel &k, Tid tid) -> Task {
+        co_await k.send(tid, fd, Message{}, Syscall::Write);
+        co_await k.send(tid, fd, Message{}, Syscall::Sendmsg);
+        co_await k.send(tid, fd, Message{}, Syscall::Sendto);
+        co_await k.recv(tid, fd, Syscall::Read); // not in the family
+    });
+    h.sim.runFor(sim::milliseconds(5));
+    EXPECT_EQ(h.rt.arrayAt(maps.statsFd).at<SyscallStats>(0).count, 2u);
+}
+
+TEST(StreamProbeTest, EmitsRecordsForEveryEvent)
+{
+    ProbeHarness h;
+    const auto maps = probes::createStreamMaps(h.rt, 1 << 16, "trace");
+    h.attach(probes::buildStreamProbe(h.rt, h.pid, false, maps),
+             kernel::TracepointId::SysEnter);
+    h.attach(probes::buildStreamProbe(h.rt, h.pid, true, maps),
+             kernel::TracepointId::SysExit);
+
+    h.kernel.spawnThread(h.pid, [](Kernel &k, Tid tid) -> Task {
+        co_await k.sleepFor(tid, sim::milliseconds(1));
+    });
+    h.sim.runFor(sim::milliseconds(5));
+
+    std::vector<probes::StreamRecord> recs;
+    h.rt.ringbufAt(maps.ringFd)
+        .consume([&](const std::uint8_t *d, std::uint32_t len) {
+            ASSERT_EQ(len, sizeof(probes::StreamRecord));
+            probes::StreamRecord r;
+            std::memcpy(&r, d, len);
+            recs.push_back(r);
+        });
+    ASSERT_EQ(recs.size(), 2u); // enter + exit of the one nanosleep
+    EXPECT_EQ(recs[0].id, (std::uint64_t)syscallId(Syscall::Nanosleep));
+    EXPECT_EQ(recs[0].point, 0u);
+    EXPECT_EQ(recs[1].point, 1u);
+    EXPECT_GT(recs[1].ts, recs[0].ts);
+    EXPECT_EQ(kernel::tgidOf(recs[0].pidTgid), h.pid);
+}
+
+TEST(RuntimeTest, ProbeCostIsChargedToThreads)
+{
+    ProbeHarness h;
+    const auto maps = probes::createDeltaMaps(h.rt, "send");
+    h.attach(probes::buildDeltaExit(h.rt, h.pid,
+                                    {syscallId(Syscall::Sendto)}, maps),
+             kernel::TracepointId::SysExit);
+    auto [fd, sock] = h.kernel.installSocket(h.pid, 1);
+    h.kernel.spawnThread(h.pid, [fd = fd](Kernel &k, Tid tid) -> Task {
+        co_await k.send(tid, fd, Message{}, Syscall::Sendto);
+    });
+    h.sim.runFor(sim::milliseconds(1));
+    EXPECT_GT(h.rt.eventsProcessed(), 0u);
+    EXPECT_GT(h.rt.insnsInterpreted(), 0u);
+    EXPECT_GT(h.rt.totalProbeCost(), 0);
+}
+
+TEST(RuntimeTest, RejectedProgramsAreNotAttached)
+{
+    ProbeHarness h;
+    ProgramSpec bad;
+    bad.name = "bad";
+    ProgramBuilder b;
+    b.mov(R0, R5).exit_(); // uninitialised read
+    bad.insns = b.build();
+    const auto vr =
+        h.rt.loadAndAttach(std::move(bad), kernel::TracepointId::SysExit);
+    EXPECT_FALSE(vr.ok);
+    EXPECT_EQ(h.rt.loadedPrograms(), 0u);
+    EXPECT_EQ(h.kernel.tracepoints().probeCount(
+                  kernel::TracepointId::SysExit),
+              0u);
+}
+
+TEST(RuntimeTest, UnloadDetaches)
+{
+    ProbeHarness h;
+    const auto maps = probes::createDeltaMaps(h.rt, "send");
+    ProgId id = 0;
+    const auto vr = h.rt.loadAndAttach(
+        probes::buildDeltaExit(h.rt, h.pid, {syscallId(Syscall::Sendto)},
+                               maps),
+        kernel::TracepointId::SysExit, &id);
+    ASSERT_TRUE(vr.ok) << vr.error;
+    EXPECT_EQ(h.rt.loadedPrograms(), 1u);
+    h.rt.unload(id);
+    EXPECT_EQ(h.rt.loadedPrograms(), 0u);
+    EXPECT_EQ(h.kernel.tracepoints().probeCount(
+                  kernel::TracepointId::SysExit),
+              0u);
+}
+
+TEST(RuntimeTest, AllPaperProbesPassTheVerifier)
+{
+    ProbeHarness h;
+    const auto dmaps = probes::createDurationMaps(h.rt, "d");
+    const auto emaps = probes::createDeltaMaps(h.rt, "e");
+    const auto smaps = probes::createStreamMaps(h.rt, 4096, "s");
+    const std::vector<std::int64_t> family{
+        syscallId(Syscall::Write), syscallId(Syscall::Sendto),
+        syscallId(Syscall::Sendmsg)};
+
+    for (ProgramSpec spec :
+         {probes::buildDurationEnter(h.rt, 1234, 232, dmaps),
+          probes::buildDurationExit(h.rt, 1234, 232, dmaps),
+          probes::buildDeltaExit(h.rt, 1234, family, emaps),
+          probes::buildStreamProbe(h.rt, 1234, true, smaps)}) {
+        const auto vr = verify(spec);
+        EXPECT_TRUE(vr.ok) << spec.name << ": " << vr.error;
+    }
+}
+
+} // namespace
+} // namespace reqobs::ebpf

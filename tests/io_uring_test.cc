@@ -1,0 +1,148 @@
+/**
+ * @file
+ * io_uring substrate tests: completion/submission semantics, the
+ * enter-only-when-empty syscall behaviour, CQ overflow accounting, and
+ * the §V-C observability blind spot end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "kernel/io_uring.hh"
+#include "kernel/kernel.hh"
+#include "sim/simulation.hh"
+
+namespace reqobs::kernel {
+namespace {
+
+struct Rig
+{
+    sim::Simulation sim{3};
+    Kernel kernel{sim};
+    Pid pid = kernel.createProcess("ring-app");
+};
+
+TEST(IoUringTest, CompletionsArriveWithoutRecvSyscalls)
+{
+    Rig rig;
+    auto [fd, sock] = rig.kernel.installSocket(rig.pid, 1);
+    IoUring ring(rig.kernel, rig.pid);
+    ring.registerRecv(fd);
+
+    std::uint64_t syscalls_before = 0;
+    std::vector<std::uint64_t> got;
+    rig.kernel.spawnThread(
+        rig.pid, [&](Kernel &k, Tid tid) -> Task {
+            syscalls_before = k.syscallCount();
+            co_await ring.enter(tid); // blocks: one io_uring_enter
+            while (ring.hasCqe())
+                got.push_back(ring.popCqe().msg.requestId);
+        });
+    auto *sk = sock.get();
+    rig.sim.schedule(sim::milliseconds(1), [&rig, sk] {
+        for (std::uint64_t id = 1; id <= 3; ++id) {
+            Message m;
+            m.requestId = id;
+            sk->deliver(std::move(m), rig.sim.now());
+        }
+    });
+    rig.sim.runFor(sim::milliseconds(5));
+    EXPECT_EQ(got, (std::vector<std::uint64_t>{1, 2, 3}));
+    EXPECT_EQ(ring.completions(), 3u);
+    // Exactly one syscall (the blocking enter) for three messages.
+    EXPECT_EQ(rig.kernel.syscallCount() - syscalls_before, 1u);
+}
+
+TEST(IoUringTest, EnterIsFreeWhenCompletionsPend)
+{
+    Rig rig;
+    auto [fd, sock] = rig.kernel.installSocket(rig.pid, 1);
+    IoUring ring(rig.kernel, rig.pid);
+    ring.registerRecv(fd);
+    sock->deliver(Message{}, 0);
+    rig.sim.runFor(sim::milliseconds(1)); // async completion lands
+
+    const std::uint64_t before = rig.kernel.syscallCount();
+    bool ran = false;
+    rig.kernel.spawnThread(rig.pid, [&](Kernel &, Tid tid) -> Task {
+        co_await ring.enter(tid); // CQ non-empty: no syscall at all
+        ran = true;
+    });
+    rig.sim.runFor(sim::milliseconds(1));
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(rig.kernel.syscallCount(), before);
+}
+
+TEST(IoUringTest, SubmitSendTransmitsWithoutSyscall)
+{
+    Rig rig;
+    auto [fd, sock] = rig.kernel.installSocket(rig.pid, 1);
+    IoUring ring(rig.kernel, rig.pid);
+    std::vector<std::uint64_t> out;
+    sock->setTxHandler([&](Message &&m) { out.push_back(m.requestId); });
+
+    const std::uint64_t before = rig.kernel.syscallCount();
+    Message m;
+    m.requestId = 7;
+    ring.submitSend(fd, std::move(m));
+    rig.sim.runFor(sim::milliseconds(1));
+    EXPECT_EQ(out, (std::vector<std::uint64_t>{7}));
+    EXPECT_EQ(ring.submissions(), 1u);
+    EXPECT_EQ(rig.kernel.syscallCount(), before);
+}
+
+TEST(IoUringTest, CqOverflowDropsAndCounts)
+{
+    Rig rig;
+    auto [fd, sock] = rig.kernel.installSocket(rig.pid, 1);
+    IoUringConfig cfg;
+    cfg.cqCapacity = 4;
+    IoUring ring(rig.kernel, rig.pid, cfg);
+    ring.registerRecv(fd);
+    for (int i = 0; i < 10; ++i)
+        sock->deliver(Message{}, 0);
+    rig.sim.runFor(sim::milliseconds(1));
+    EXPECT_EQ(ring.cqDepth(), 4u);
+    EXPECT_EQ(ring.overflowDrops(), 6u);
+}
+
+TEST(IoUringTest, RegistrationErrorsAreFatal)
+{
+    Rig rig;
+    auto [fd, sock] = rig.kernel.installSocket(rig.pid, 1);
+    IoUring ring(rig.kernel, rig.pid);
+    ring.registerRecv(fd);
+    EXPECT_DEATH(ring.registerRecv(fd), "already armed");
+    EXPECT_DEATH(ring.registerRecv(999), "not a socket");
+}
+
+TEST(IoUringBlindSpotTest, AgentGoesBlindOnIoUringWorkload)
+{
+    // §V-C end-to-end: same workload, same agent; the classic path is
+    // observable, the io_uring path is not.
+    auto run = [](const char *name) {
+        core::ExperimentConfig cfg;
+        cfg.workload = workload::workloadByName(name);
+        cfg.workload.saturationRps = 4000.0;
+        cfg.offeredRps = 0.6 * cfg.workload.saturationRps;
+        cfg.requests = 5000;
+        cfg.seed = 9;
+        return core::runExperiment(cfg);
+    };
+    const auto classic = run("data-caching");
+    const auto ring = run("data-caching-iouring");
+
+    // Both actually serve the load...
+    EXPECT_NEAR(classic.achievedRps, 2400.0, 250.0);
+    EXPECT_NEAR(ring.achievedRps, 2400.0, 250.0);
+    // ...but only the classic path is visible to the syscall probes.
+    EXPECT_GT(classic.observedRps, 0.9 * classic.achievedRps);
+    EXPECT_LT(ring.observedRps, 0.05 * ring.achievedRps);
+    EXPECT_GT(classic.pollMeanDurNs, 0.0);
+    EXPECT_EQ(ring.pollMeanDurNs, 0.0);
+    // And the ring path needs far fewer syscalls overall.
+    EXPECT_LT(ring.syscalls, classic.syscalls / 3);
+}
+
+} // namespace
+} // namespace reqobs::kernel

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Cross-module property tests, parameterized over seeds:
+ *  - GPS CPU work conservation and completion-order sanity;
+ *  - TCP never reorders a connection, under any impairment;
+ *  - two co-located applications are observed independently (tgid
+ *    filtering), with no metric cross-talk;
+ *  - agent windows accumulate until minWindowSyscalls (low-rate apps);
+ *  - experiment determinism across module boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "client/load_generator.hh"
+#include "core/agent.hh"
+#include "core/experiment.hh"
+#include "core/profile.hh"
+#include "kernel/kernel.hh"
+#include "net/tcp.hh"
+#include "workload/server_app.hh"
+
+namespace reqobs {
+namespace {
+
+// ----------------------------------------------------- CPU conservation
+
+class CpuPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(CpuPropertyTest, GpsConservesWork)
+{
+    // Random jobs with jitter disabled: total served CPU time must equal
+    // the total submitted demand, and the busy period must be at least
+    // demand/cores.
+    sim::Simulation sim(GetParam());
+    kernel::CpuConfig cfg;
+    cfg.cores = 4;
+    cfg.jitterSigma = 0.0;
+    kernel::CpuModel cpu(sim, cfg);
+    sim::Rng rng(GetParam());
+
+    double total_demand = 0.0;
+    int completed = 0;
+    const int jobs = 50;
+    for (int i = 0; i < jobs; ++i) {
+        const sim::Tick d =
+            1000 + static_cast<sim::Tick>(rng.uniformInt(100000));
+        total_demand += static_cast<double>(d);
+        sim.schedule(rng.uniformInt(50000), [&cpu, &completed, d] {
+            cpu.submit(d, [&completed] { ++completed; });
+        });
+    }
+    sim.run();
+    EXPECT_EQ(completed, jobs);
+    EXPECT_NEAR(cpu.servedTicks(), total_demand, 0.01 * total_demand);
+    EXPECT_GE(static_cast<double>(sim.now()),
+              total_demand / cfg.cores * 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ------------------------------------------------------- TCP ordering
+
+struct TcpCase
+{
+    std::uint64_t seed;
+    double loss;
+    sim::Tick jitter;
+};
+
+class TcpOrderPropertyTest : public ::testing::TestWithParam<TcpCase>
+{};
+
+TEST_P(TcpOrderPropertyTest, NeverReordersUnderAnyImpairment)
+{
+    const TcpCase &c = GetParam();
+    sim::Simulation sim(c.seed);
+    net::NetemConfig netem;
+    netem.delay = sim::milliseconds(5);
+    netem.jitter = c.jitter;
+    netem.lossProbability = c.loss;
+    netem.lossCorrelation = c.loss > 0 ? 0.5 : 0.0;
+    net::TcpConfig tcp;
+    std::vector<std::uint64_t> order;
+    net::TcpPipe pipe(sim, netem, tcp, sim.forkRng(),
+                      [&](kernel::Message &&m) {
+                          order.push_back(m.requestId);
+                      });
+    sim::Rng rng(c.seed);
+    for (std::uint64_t i = 0; i < 300; ++i) {
+        kernel::Message m;
+        m.requestId = i;
+        m.bytes = 1 + static_cast<std::uint32_t>(rng.uniformInt(4096));
+        pipe.send(std::move(m));
+        sim.runFor(rng.uniformInt(2'000'000));
+    }
+    sim.runFor(sim::seconds(600));
+    ASSERT_EQ(order.size(), 300u);
+    for (std::uint64_t i = 0; i < 300; ++i)
+        ASSERT_EQ(order[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Impairments, TcpOrderPropertyTest,
+    ::testing::Values(TcpCase{1, 0.0, 0}, TcpCase{2, 0.0, 2'000'000},
+                      TcpCase{3, 0.02, 0}, TcpCase{4, 0.1, 2'000'000},
+                      TcpCase{5, 0.3, 5'000'000}));
+
+// -------------------------------------------- co-located applications
+
+TEST(IsolationTest, TwoAgentsObserveTheirOwnAppOnly)
+{
+    sim::Simulation sim(71);
+    kernel::Kernel kernel(sim);
+
+    auto make_wl = [](const char *base, double rps) {
+        auto wl = workload::workloadByName(base);
+        wl.saturationRps = rps;
+        wl.connections = 8;
+        return wl;
+    };
+    // Same machine, two very different services.
+    auto wl_a = make_wl("data-caching", 4000.0);
+    auto wl_b = make_wl("img-dnn", 400.0);
+    workload::ServerApp app_a(kernel, wl_a);
+    workload::ServerApp app_b(kernel, wl_b);
+
+    client::ClientConfig cc_a;
+    cc_a.offeredRps = 2000.0;
+    cc_a.warmup = 0;
+    client::ClientConfig cc_b = cc_a;
+    cc_b.offeredRps = 200.0;
+    client::LoadGenerator gen_a(sim, app_a, net::NetemConfig{},
+                                net::TcpConfig{}, cc_a);
+    client::LoadGenerator gen_b(sim, app_b, net::NetemConfig{},
+                                net::TcpConfig{}, cc_b);
+
+    core::ObservabilityAgent agent_a(kernel, app_a.frontPid(),
+                                     core::profileFor(wl_a));
+    core::ObservabilityAgent agent_b(kernel, app_b.frontPid(),
+                                     core::profileFor(wl_b));
+
+    app_a.start();
+    app_b.start();
+    agent_a.start();
+    agent_b.start();
+    gen_a.start();
+    gen_b.start();
+    sim.runFor(sim::seconds(4));
+
+    // Each agent's Eq. 1 tracks its own application's rate, not the
+    // machine-wide syscall soup.
+    EXPECT_NEAR(agent_a.overallObservedRps(), 2000.0, 150.0);
+    EXPECT_NEAR(agent_b.overallObservedRps(), 200.0, 20.0);
+    agent_a.stop();
+    agent_b.stop();
+    gen_a.stop();
+    gen_b.stop();
+}
+
+// ---------------------------------------------- agent window behaviour
+
+TEST(AgentWindowTest, LowRateWorkloadsAccumulateUntilMinWindow)
+{
+    sim::Simulation sim(5);
+    kernel::Kernel kernel(sim);
+    auto wl = workload::workloadByName("data-caching");
+    wl.saturationRps = 1000.0;
+    wl.connections = 4;
+    workload::ServerApp app(kernel, wl);
+    client::ClientConfig cc;
+    cc.offeredRps = 100.0; // ~10 sends per 100ms sample period
+    cc.warmup = 0;
+    client::LoadGenerator gen(sim, app, net::NetemConfig{},
+                              net::TcpConfig{}, cc);
+    core::AgentConfig acfg;
+    acfg.samplePeriod = sim::milliseconds(100);
+    acfg.minWindowSyscalls = 256;
+    core::ObservabilityAgent agent(kernel, app.frontPid(),
+                                   core::profileFor(wl), acfg);
+    app.start();
+    agent.start();
+    gen.start();
+    sim.runFor(sim::seconds(10));
+
+    // ~1000 sends over the run, min window 256 -> at most 4 samples,
+    // each with >= 256 deltas; never a tiny noisy window.
+    ASSERT_FALSE(agent.samples().empty());
+    EXPECT_LE(agent.samples().size(), 4u);
+    for (const auto &s : agent.samples())
+        EXPECT_GE(s.send.count, 256u);
+    agent.stop();
+    gen.stop();
+}
+
+// ------------------------------------------------------- determinism
+
+class DeterminismTest : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(DeterminismTest, IdenticalSeedsIdenticalRuns)
+{
+    auto run = [&] {
+        core::ExperimentConfig cfg;
+        cfg.workload = workload::workloadByName(GetParam());
+        cfg.workload.saturationRps =
+            std::min(cfg.workload.saturationRps, 3000.0);
+        cfg.offeredRps = 0.8 * cfg.workload.saturationRps;
+        cfg.requests = 4000;
+        cfg.seed = 1234;
+        return core::runExperiment(cfg);
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.syscalls, b.syscalls);
+    EXPECT_EQ(a.probeInsns, b.probeInsns);
+    EXPECT_DOUBLE_EQ(a.observedRps, b.observedRps);
+    EXPECT_DOUBLE_EQ(a.sendVarNs2, b.sendVarNs2);
+    EXPECT_EQ(a.p99Ns, b.p99Ns);
+    EXPECT_EQ(a.samples.size(), b.samples.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, DeterminismTest,
+                         ::testing::Values("data-caching", "moses",
+                                           "web-search", "triton-grpc",
+                                           "data-caching-iouring"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &ch : n)
+                                 if (ch == '-')
+                                     ch = '_';
+                             return n;
+                         });
+
+} // namespace
+} // namespace reqobs

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Workload tests: the registry of the paper's nine benchmarks, demand
+ * calibration, and one served-request check per threading model with
+ * syscall-vocabulary verification against §IV-A.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernel/kernel.hh"
+#include "sim/simulation.hh"
+#include "workload/config.hh"
+#include "workload/server_app.hh"
+
+namespace reqobs::workload {
+namespace {
+
+using kernel::RawSyscallEvent;
+using kernel::Syscall;
+using kernel::syscallId;
+using kernel::TracepointId;
+
+TEST(RegistryTest, AllNinePaperWorkloadsPresent)
+{
+    const auto all = paperWorkloads();
+    ASSERT_EQ(all.size(), 9u);
+    const std::set<std::string> names = {
+        "img-dnn", "xapian", "silo", "specjbb", "moses",
+        "data-caching", "web-search", "triton-http", "triton-grpc"};
+    for (const auto &cfg : all)
+        EXPECT_TRUE(names.count(cfg.name)) << cfg.name;
+}
+
+TEST(RegistryTest, FailureRpsMatchesThePaper)
+{
+    EXPECT_DOUBLE_EQ(workloadByName("img-dnn").paperFailureRps, 1950.0);
+    EXPECT_DOUBLE_EQ(workloadByName("xapian").paperFailureRps, 970.0);
+    EXPECT_DOUBLE_EQ(workloadByName("silo").paperFailureRps, 2100.0);
+    EXPECT_DOUBLE_EQ(workloadByName("specjbb").paperFailureRps, 3700.0);
+    EXPECT_DOUBLE_EQ(workloadByName("moses").paperFailureRps, 900.0);
+    EXPECT_DOUBLE_EQ(workloadByName("data-caching").paperFailureRps,
+                     62000.0);
+    EXPECT_DOUBLE_EQ(workloadByName("web-search").paperFailureRps, 420.0);
+    EXPECT_DOUBLE_EQ(workloadByName("triton-http").paperFailureRps, 21.0);
+    EXPECT_DOUBLE_EQ(workloadByName("triton-grpc").paperFailureRps, 21.0);
+}
+
+TEST(RegistryTest, SyscallVocabularyMatchesSectionFourA)
+{
+    // "in Tailbench, all applications use recvfrom and sendto ... and a
+    //  legacy syscall called select"
+    for (const char *name : {"img-dnn", "xapian", "silo", "specjbb",
+                             "moses"}) {
+        const auto cfg = workloadByName(name);
+        EXPECT_EQ(cfg.recvSyscall, Syscall::Recvfrom) << name;
+        EXPECT_EQ(cfg.sendSyscall, Syscall::Sendto) << name;
+        EXPECT_EQ(cfg.pollSyscall, Syscall::Select) << name;
+    }
+    // "Data Caching employs read and sendmsg"
+    const auto dc = workloadByName("data-caching");
+    EXPECT_EQ(dc.recvSyscall, Syscall::Read);
+    EXPECT_EQ(dc.sendSyscall, Syscall::Sendmsg);
+    // "Web Search utilizes read and write"
+    const auto ws = workloadByName("web-search");
+    EXPECT_EQ(ws.recvSyscall, Syscall::Read);
+    EXPECT_EQ(ws.sendSyscall, Syscall::Write);
+    // "Triton with GRPC ... recvmsg and sendmsg, ... HTTP ... recvfrom
+    //  and sendto"
+    EXPECT_EQ(workloadByName("triton-grpc").recvSyscall, Syscall::Recvmsg);
+    EXPECT_EQ(workloadByName("triton-grpc").sendSyscall, Syscall::Sendmsg);
+    EXPECT_EQ(workloadByName("triton-http").recvSyscall, Syscall::Recvfrom);
+    EXPECT_EQ(workloadByName("triton-http").sendSyscall, Syscall::Sendto);
+}
+
+TEST(RegistryTest, DemandCalibration)
+{
+    WorkloadConfig cfg;
+    cfg.workers = 10;
+    cfg.saturationRps = 1000.0;
+    cfg.contentionStalls = false;
+    // 10 workers at 1000 rps -> 10ms per request.
+    EXPECT_NEAR(static_cast<double>(cfg.meanDemand()),
+                static_cast<double>(sim::milliseconds(10)), 1000.0);
+    cfg.contentionStalls = true;
+    cfg.stallDurationMultiple = 4.0;
+    cfg.stallCooldownMultiple = 20.0;
+    EXPECT_NEAR(cfg.stallTimeShare(), 4.0 / 24.0, 1e-12);
+    // Stall share shrinks the usable demand budget.
+    EXPECT_LT(cfg.meanDemand(), sim::milliseconds(10));
+}
+
+TEST(RegistryDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(workloadByName("no-such-bench"), "unknown workload");
+}
+
+// ---------------------------------------------------------- served models
+
+/** Drives one workload directly (no network) and records its syscalls. */
+struct AppHarness
+{
+    sim::Simulation sim{11};
+    kernel::Kernel kernel;
+    std::set<std::int64_t> seen;
+
+    explicit AppHarness(unsigned cores = 16)
+        : kernel(sim,
+                 [cores] {
+                     kernel::KernelConfig kc;
+                     kc.cpu.cores = cores;
+                     kc.cpu.jitterSigma = 0.0;
+                     return kc;
+                 }())
+    {
+        for (auto point : {TracepointId::SysEnter, TracepointId::SysExit}) {
+            kernel.tracepoints().attach(point,
+                                        [this](const RawSyscallEvent &ev) {
+                                            seen.insert(ev.syscall);
+                                            return sim::Tick{0};
+                                        });
+        }
+    }
+
+    /** Deliver @p n requests to every connection and run for a while. */
+    std::uint64_t
+    serve(WorkloadConfig cfg, int n, sim::Tick spacing)
+    {
+        cfg.connections = 4;
+        // Keep the demand small so the test runs fast.
+        cfg.saturationRps = 4000.0;
+        ServerApp app(kernel, cfg);
+        std::vector<std::shared_ptr<kernel::Socket>> socks;
+        for (unsigned c = 0; c < cfg.connections; ++c)
+            socks.push_back(app.addConnection(c + 1));
+        app.start();
+        std::uint64_t id = 1;
+        for (int i = 0; i < n; ++i) {
+            for (auto &s : socks) {
+                auto *sk = s.get();
+                kernel::Message m;
+                m.requestId = id++;
+                m.bytes = 64;
+                sim.schedule(spacing * (i + 1),
+                             [this, sk, m] { sk->deliver(m, sim.now()); });
+            }
+        }
+        sim.runFor(spacing * (n + 2) + sim::milliseconds(200));
+        return app.requestsCompleted();
+    }
+};
+
+class ThreadingModelTest
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(ThreadingModelTest, ServesEveryRequestAndUsesItsVocabulary)
+{
+    AppHarness h;
+    WorkloadConfig cfg = workloadByName(GetParam());
+    const std::uint64_t served = h.serve(cfg, 5, sim::milliseconds(2));
+    EXPECT_EQ(served, 20u); // 5 rounds x 4 connections
+
+    // The configured request-path syscalls must appear...
+    EXPECT_TRUE(h.seen.count(syscallId(cfg.recvSyscall)));
+    EXPECT_TRUE(h.seen.count(syscallId(cfg.sendSyscall)));
+    EXPECT_TRUE(h.seen.count(syscallId(cfg.pollSyscall)));
+    // ...and the *other* families' syscalls must not (except the
+    // TwoStage internal hop, which legitimately uses read/write, and
+    // the dispatcher's futex waits).
+    if (cfg.model != ThreadingModel::TwoStage) {
+        for (Syscall s : {Syscall::Recvfrom, Syscall::Recvmsg,
+                          Syscall::Read}) {
+            if (s != cfg.recvSyscall) {
+                EXPECT_FALSE(h.seen.count(syscallId(s)))
+                    << kernel::syscallName(syscallId(s));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ThreadingModelTest,
+                         ::testing::Values("data-caching", "img-dnn",
+                                           "triton-grpc", "web-search"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(ServerAppTest, DispatcherUsesFutexWorkers)
+{
+    AppHarness h;
+    WorkloadConfig cfg = workloadByName("triton-http");
+    h.serve(cfg, 3, sim::milliseconds(5));
+    EXPECT_TRUE(h.seen.count(syscallId(Syscall::Futex)));
+}
+
+TEST(ServerAppTest, TwoStageRunsTwoProcesses)
+{
+    sim::Simulation sim(1);
+    kernel::Kernel kernel(sim);
+    ServerApp app(kernel, workloadByName("web-search"));
+    EXPECT_NE(app.frontPid(), 0u);
+    EXPECT_NE(app.backPid(), 0u);
+    EXPECT_NE(app.frontPid(), app.backPid());
+    EXPECT_EQ(kernel.processName(app.backPid()), "web-search-index");
+}
+
+TEST(ServerAppTest, SingleStageHasNoBackend)
+{
+    sim::Simulation sim(1);
+    kernel::Kernel kernel(sim);
+    ServerApp app(kernel, workloadByName("silo"));
+    EXPECT_EQ(app.backPid(), 0u);
+}
+
+TEST(ServerAppDeathTest, MisuseIsFatal)
+{
+    sim::Simulation sim(1);
+    kernel::Kernel kernel(sim);
+    ServerApp app(kernel, workloadByName("silo"));
+    EXPECT_DEATH(app.start(), "no connections");
+    app.addConnection(1);
+    app.start();
+    EXPECT_DEATH(app.addConnection(2), "after start");
+    EXPECT_DEATH(app.start(), "twice");
+}
+
+} // namespace
+} // namespace reqobs::workload
