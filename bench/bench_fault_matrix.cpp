@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Fault matrix: how much injected infrastructure misbehaviour the
+ * in-kernel observability pipeline tolerates before the paper's headline
+ * result (Eq. 1 R² >= ~0.94, Table II) breaks.
+ *
+ * Part 1 repeats the Fig. 2 correlation for every paper workload under
+ * each fault class (kernel syscall faults, kernel timing faults, eBPF
+ * runtime faults, network faults) and prints R² per cell.
+ *
+ * Part 2 sweeps the intensity of a combined fault plan on one workload
+ * and reports the degradation of each observed signal: Eq. 1 (R² and
+ * point error), Eq. 2 / Fig. 3 (CV²), and the Fig. 4 poll-duration
+ * signal, alongside the injector's event counts and the agent's health.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "fault/fault.hh"
+
+namespace {
+
+using namespace reqobs;
+
+struct FaultClass
+{
+    std::string name;
+    fault::FaultPlan plan;
+};
+
+std::vector<FaultClass>
+faultClasses()
+{
+    std::vector<FaultClass> out;
+    out.push_back({"clean", {}});
+
+    fault::FaultPlan syscall;
+    syscall.eintrProbability = 0.02;
+    syscall.eagainProbability = 0.02;
+    syscall.partialIoProbability = 0.02;
+    out.push_back({"syscall", syscall});
+
+    fault::FaultPlan timing;
+    timing.spuriousWakeupProbability = 0.05;
+    timing.clockJitterNs = sim::microseconds(5);
+    out.push_back({"timing", timing});
+
+    fault::FaultPlan ebpf_f;
+    ebpf_f.mapUpdateFailProbability = 0.05;
+    ebpf_f.ringbufDropProbability = 0.05;
+    out.push_back({"ebpf", ebpf_f});
+
+    fault::FaultPlan net_f;
+    net_f.linkFlapPeriod = sim::milliseconds(400);
+    net_f.linkFlapDownTime = sim::milliseconds(8);
+    net_f.connResetProbability = 0.005;
+    out.push_back({"net", net_f});
+
+    return out;
+}
+
+/** bench::sweep with a fault plan applied to every level. */
+std::vector<bench::LevelResult>
+faultSweep(const workload::WorkloadConfig &wl,
+           const std::vector<double> &fractions,
+           const fault::FaultPlan &plan)
+{
+    std::vector<bench::LevelResult> out;
+    for (double f : fractions) {
+        core::ExperimentConfig cfg = bench::benchConfig(wl);
+        cfg.fault = plan;
+        bench::LevelResult lr;
+        lr.loadFraction = f;
+        lr.result = bench::runPoint(cfg, f);
+        out.push_back(std::move(lr));
+    }
+    return out;
+}
+
+std::uint64_t
+totalInjected(const fault::FaultCounts &c)
+{
+    return c.eintr + c.eagain + c.partialOps + c.spuriousWakeups +
+           c.mapUpdateFails + c.ringbufDrops + c.attachFails +
+           c.linkFlapHolds + c.connResets;
+}
+
+/** Combined plan scaled by one intensity knob in [0, 1]. */
+fault::FaultPlan
+combinedPlan(double x)
+{
+    fault::FaultPlan p;
+    p.eintrProbability = x;
+    p.eagainProbability = x;
+    p.partialIoProbability = x;
+    p.spuriousWakeupProbability = 2.0 * x;
+    p.clockJitterNs = static_cast<sim::Tick>(x * 100.0 * 1000.0); // <=100us
+    p.mapUpdateFailProbability = x;
+    p.ringbufDropProbability = x;
+    p.connResetProbability = x / 10.0;
+    if (x > 0.0) {
+        p.linkFlapPeriod = sim::milliseconds(400);
+        p.linkFlapDownTime =
+            static_cast<sim::Tick>(x * 50.0 * 1e6); // <=10ms at x=0.2
+    }
+    return p;
+}
+
+void
+partOneMatrix()
+{
+    bench::printHeader("Fault matrix: Eq. 1 R^2 per workload per fault "
+                       "class");
+    const auto classes = faultClasses();
+    const std::vector<double> fractions = {0.4, 0.6, 0.8, 1.0};
+
+    std::printf("%-14s", "workload");
+    for (const auto &fc : classes)
+        std::printf(" %9s", fc.name.c_str());
+    std::printf("\n");
+    std::printf("%.74s\n",
+                "--------------------------------------------------------"
+                "-------------------");
+
+    std::vector<std::uint64_t> injected(classes.size(), 0);
+    for (const auto &wl : workload::paperWorkloads()) {
+        std::printf("%-14s", wl.name.c_str());
+        for (std::size_t i = 0; i < classes.size(); ++i) {
+            const auto levels = faultSweep(wl, fractions, classes[i].plan);
+            std::printf(" %9.4f", bench::fitObsVsReal(levels).r2);
+            for (const auto &lvl : levels)
+                injected[i] += totalInjected(lvl.result.faultCounts);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-14s", "faults/sweep");
+    for (std::size_t i = 0; i < classes.size(); ++i)
+        std::printf(" %9llu",
+                    static_cast<unsigned long long>(
+                        injected[i] / workload::paperWorkloads().size()));
+    std::printf("\n");
+
+    std::printf("\nExpected shape: the clean column reproduces Fig. 2; "
+                "the hardened pipeline\nholds R^2 near the clean value "
+                "for every class at these (realistic) rates.\n");
+}
+
+void
+partTwoIntensity()
+{
+    bench::printHeader("Fault intensity sweep (data-caching): signal "
+                       "degradation");
+    const auto wl = workload::workloadByName("data-caching");
+    const std::vector<double> fractions = {0.4, 0.6, 0.8, 1.0};
+    const std::vector<double> intensities = {0.0, 0.01, 0.05, 0.2};
+
+    std::printf("%-9s %8s %9s %9s %10s %8s %8s %9s\n", "intensity", "R^2",
+                "rps_err%", "cv2@0.8", "poll_us", "stale", "mapfail",
+                "injected");
+    std::printf("%.74s\n",
+                "--------------------------------------------------------"
+                "-------------------");
+    for (double x : intensities) {
+        const auto levels = faultSweep(wl, fractions, combinedPlan(x));
+        const double r2 = bench::fitObsVsReal(levels).r2;
+
+        // The 0.8-load level carries the Fig. 3/4 shaped signals.
+        const auto &mid = levels[2].result;
+        double cv2 = 0.0;
+        int n = 0;
+        for (const auto &s : mid.samples) {
+            if (s.send.count > 0) {
+                cv2 += s.send.cvSquared();
+                ++n;
+            }
+        }
+        if (n > 0)
+            cv2 /= n;
+        const double err =
+            mid.achievedRps > 0.0
+                ? 100.0 * (mid.observedRps - mid.achievedRps) /
+                      mid.achievedRps
+                : 0.0;
+        std::uint64_t injected = 0, stale = 0, mapfail = 0;
+        for (const auto &lvl : levels) {
+            injected += totalInjected(lvl.result.faultCounts);
+            stale += lvl.result.agentHealth.staleWindows;
+            mapfail += lvl.result.probeMapUpdateFails;
+        }
+        std::printf("%-9.2f %8.4f %9.2f %9.3f %10.1f %8llu %8llu %9llu\n",
+                    x, r2, err, cv2, mid.pollMeanDurNs / 1e3,
+                    static_cast<unsigned long long>(stale),
+                    static_cast<unsigned long long>(mapfail),
+                    static_cast<unsigned long long>(injected));
+    }
+
+    std::printf("\nExpected shape: R^2 and the rps error stay near their "
+                "clean values through\nmoderate intensities; heavy clock "
+                "jitter (intensity 0.2 => +/-20us on every\ntracepoint "
+                "timestamp) is what finally smears the Eq. 1 windows.\n");
+}
+
+void
+partThreeAttachFailure()
+{
+    bench::printHeader("Partial-operation mode: forced probe-attach "
+                       "failure (data-caching, 0.8 load)");
+    const auto wl = workload::workloadByName("data-caching");
+
+    struct Scenario
+    {
+        std::string label;
+        std::vector<std::string> programs;
+    };
+    const std::vector<Scenario> scenarios = {
+        {"all probes live", {"(none)"}},
+        {"send probe dead", {"send.delta_exit"}},
+        {"send+recv dead", {"send.delta_exit", "recv.delta_exit"}},
+        {"all probes dead", {}},
+    };
+
+    std::printf("%-16s %5s %5s %5s %10s %10s %8s %8s\n", "scenario",
+                "send", "recv", "poll", "rps_obsv", "poll_us", "samples",
+                "stale");
+    std::printf("%.74s\n",
+                "--------------------------------------------------------"
+                "-------------------");
+    for (const auto &sc : scenarios) {
+        core::ExperimentConfig cfg = bench::benchConfig(wl);
+        if (!(sc.programs.size() == 1 && sc.programs[0] == "(none)")) {
+            cfg.fault.attachFailProbability = 1.0;
+            cfg.fault.attachFailPrograms = sc.programs;
+        }
+        const auto r = bench::runPoint(cfg, 0.8);
+        const auto &h = r.agentHealth;
+        std::printf("%-16s %5s %5s %5s %10.1f %10.1f %8zu %8llu\n",
+                    sc.label.c_str(), h.sendAttached ? "up" : "DOWN",
+                    h.recvAttached ? "up" : "DOWN",
+                    h.pollAttached ? "up" : "DOWN", r.observedRps,
+                    r.pollMeanDurNs / 1e3, r.samples.size(),
+                    static_cast<unsigned long long>(h.staleWindows));
+    }
+
+    std::printf("\nExpected shape: each lost probe family blanks its own "
+                "signal and nothing\nelse; with everything dead the agent "
+                "idles at max sampling backoff instead\nof crashing.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    partOneMatrix();
+    partTwoIntensity();
+    partThreeAttachFailure();
+    return 0;
+}

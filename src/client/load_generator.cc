@@ -7,9 +7,10 @@ namespace reqobs::client {
 LoadGenerator::LoadGenerator(sim::Simulation &sim, workload::ServerApp &app,
                              const net::NetemConfig &netem,
                              const net::TcpConfig &tcp,
-                             const ClientConfig &config)
-    : sim_(sim), app_(app), config_(config), rng_(sim.forkRng()),
-      alive_(std::make_shared<bool>(true))
+                             const ClientConfig &config,
+                             fault::FaultInjector *fault)
+    : sim_(sim), app_(app), config_(config), fault_(fault),
+      rng_(sim.forkRng()), alive_(std::make_shared<bool>(true))
 {
     if (config.offeredRps <= 0.0)
         sim::fatal("LoadGenerator: offered RPS must be positive");
@@ -23,7 +24,8 @@ LoadGenerator::LoadGenerator(sim::Simulation &sim, workload::ServerApp &app,
         auto sock = app.addConnection(c + 1);
         links_.push_back(std::make_unique<net::Link>(
             sim, netem, tcp, std::move(sock),
-            [this](kernel::Message &&msg) { onResponse(std::move(msg)); }));
+            [this](kernel::Message &&msg) { onResponse(std::move(msg)); },
+            fault_));
     }
 }
 
@@ -82,6 +84,13 @@ LoadGenerator::fireRequest()
 {
     if (!running_)
         return;
+    // Connection reset: the client fired the request but the connection
+    // ate it. It counts as sent (open-loop arrivals keep flowing and the
+    // maxRequests budget is spent) yet can never complete.
+    if (fault_ && fault_->injectConnReset()) {
+        ++sent_;
+        return;
+    }
     kernel::Message req;
     req.requestId = nextRequestId_++;
     req.bytes = app_.config().requestBytes;

@@ -48,7 +48,8 @@ class LoadGenerator
      */
     LoadGenerator(sim::Simulation &sim, workload::ServerApp &app,
                   const net::NetemConfig &netem, const net::TcpConfig &tcp,
-                  const ClientConfig &config);
+                  const ClientConfig &config,
+                  fault::FaultInjector *fault = nullptr);
 
     ~LoadGenerator();
 
@@ -95,6 +96,7 @@ class LoadGenerator
     sim::Simulation &sim_;
     workload::ServerApp &app_;
     ClientConfig config_;
+    fault::FaultInjector *fault_ = nullptr;
     sim::Rng rng_;
     std::unique_ptr<sim::ExponentialDist> interArrival_;
     std::vector<std::unique_ptr<net::Link>> links_;

@@ -33,29 +33,51 @@ ObservabilityAgent::start()
     recvMaps_ = ebpf::probes::createDeltaMaps(*runtime_, "recv");
     pollMaps_ = ebpf::probes::createDurationMaps(*runtime_, "poll");
 
-    auto attach = [this](ebpf::ProgramSpec spec,
-                         kernel::TracepointId point) {
+    // Returns whether the probe is live. A rejected or fault-failed
+    // attach is fatal unless the agent is configured for
+    // partial-operation mode, in which case the family is simply marked
+    // unhealthy and sampling continues on whatever did attach.
+    auto attach = [this](ebpf::ProgramSpec spec, const char *name,
+                         kernel::TracepointId point) -> bool {
+        spec.name = name;
         ebpf::VerifyResult vr =
             runtime_->loadAndAttach(std::move(spec), point);
-        if (!vr)
+        if (!vr) {
+            if (config_.tolerateAttachFailures)
+                return false;
             sim::fatal("probe rejected by the verifier: %s",
                        vr.error.c_str());
+        }
+        return true;
     };
 
-    attach(ebpf::probes::buildDeltaExit(*runtime_, tgid_,
-                                        profile_.sendFamily, sendMaps_),
-           kernel::TracepointId::SysExit);
-    attach(ebpf::probes::buildDeltaExit(*runtime_, tgid_,
-                                        profile_.recvFamily, recvMaps_),
-           kernel::TracepointId::SysExit);
-    attach(ebpf::probes::buildDurationEnter(*runtime_, tgid_,
-                                            profile_.pollSyscall, pollMaps_),
-           kernel::TracepointId::SysEnter);
-    attach(ebpf::probes::buildDurationExit(*runtime_, tgid_,
-                                           profile_.pollSyscall, pollMaps_),
-           kernel::TracepointId::SysExit);
+    const unsigned shift = ebpf::probes::kDeltaShift;
+    const bool guarded = config_.guardedProbes;
+    health_ = AgentHealth{};
+    health_.sendAttached =
+        attach(ebpf::probes::buildDeltaExit(*runtime_, tgid_,
+                                            profile_.sendFamily, sendMaps_,
+                                            shift, guarded),
+               "send.delta_exit", kernel::TracepointId::SysExit);
+    health_.recvAttached =
+        attach(ebpf::probes::buildDeltaExit(*runtime_, tgid_,
+                                            profile_.recvFamily, recvMaps_,
+                                            shift, guarded),
+               "recv.delta_exit", kernel::TracepointId::SysExit);
+    const bool poll_enter =
+        attach(ebpf::probes::buildDurationEnter(*runtime_, tgid_,
+                                                profile_.pollSyscall,
+                                                pollMaps_),
+               "poll.duration_enter", kernel::TracepointId::SysEnter);
+    const bool poll_exit =
+        attach(ebpf::probes::buildDurationExit(*runtime_, tgid_,
+                                               profile_.pollSyscall,
+                                               pollMaps_, shift, guarded),
+               "poll.duration_exit", kernel::TracepointId::SysExit);
+    health_.pollAttached = poll_enter && poll_exit;
 
     running_ = true;
+    backoff_ = 1;
     sendSnap_ = SyscallStats{};
     recvSnap_ = SyscallStats{};
     pollSnap_ = SyscallStats{};
@@ -82,8 +104,8 @@ void
 ObservabilityAgent::scheduleSample()
 {
     auto alive = alive_;
-    sampleTimer_ =
-        kernel_.sim().schedule(config_.samplePeriod, [this, alive] {
+    sampleTimer_ = kernel_.sim().schedule(
+        config_.samplePeriod * backoff_, [this, alive] {
             if (!*alive || !running_)
                 return;
             takeSample();
@@ -94,20 +116,42 @@ ObservabilityAgent::scheduleSample()
 void
 ObservabilityAgent::takeSample()
 {
-    const SyscallStats send_now = readStats(sendMaps_.statsFd);
-    const std::uint64_t fresh = send_now.count - sendSnap_.count;
-    if (fresh < config_.minWindowSyscalls)
-        return; // keep accumulating this window
+    // A detached family's map never advances; reading it anyway would
+    // only feed zero windows. Partial-operation mode: read what's live.
+    const SyscallStats send_now =
+        health_.sendAttached ? readStats(sendMaps_.statsFd) : SyscallStats{};
+    const SyscallStats recv_now =
+        health_.recvAttached ? readStats(recvMaps_.statsFd) : SyscallStats{};
+    const SyscallStats poll_now =
+        health_.pollAttached ? readStats(pollMaps_.statsFd) : SyscallStats{};
 
-    const SyscallStats recv_now = readStats(recvMaps_.statsFd);
-    const SyscallStats poll_now = readStats(pollMaps_.statsFd);
+    // Freshness gate on the first attached family (send preferred: it is
+    // Eq. 1's signal). With everything detached every window is stale and
+    // the agent idles at maximum backoff instead of crashing.
+    const std::uint64_t fresh =
+        health_.sendAttached ? send_now.count - sendSnap_.count
+        : health_.recvAttached ? recv_now.count - recvSnap_.count
+                               : poll_now.count - pollSnap_.count;
+    if (fresh < config_.minWindowSyscalls) {
+        // keep accumulating this window
+        ++health_.staleWindows;
+        if (config_.staleBackoff && backoff_ < config_.maxBackoffFactor)
+            backoff_ *= 2;
+        health_.backoffFactor = backoff_;
+        return;
+    }
+    backoff_ = 1;
+    health_.backoffFactor = backoff_;
+    health_.mapUpdateFails = runtime_->mapUpdateFails();
+    health_.ringbufDrops = runtime_->ringbufDrops();
 
     MetricsSample s;
     s.t = kernel_.sim().now();
     s.send = diffStats(sendSnap_, send_now);
     s.recv = diffStats(recvSnap_, recv_now);
     s.rpsObsv = rpsFromWindow(s.send);
-    if (poll_now.count > pollSnap_.count) {
+    if (poll_now.count > pollSnap_.count &&
+        poll_now.sumNs >= pollSnap_.sumNs) {
         s.pollCount = poll_now.count - pollSnap_.count;
         s.pollMeanDurNs =
             static_cast<double>(poll_now.sumNs - pollSnap_.sumNs) /
@@ -119,6 +163,7 @@ ObservabilityAgent::takeSample()
     if (s.pollCount > 0)
         slack_.observe(s.pollMeanDurNs);
     s.slack = slack_.slack();
+    s.health = health_;
 
     samples_.push_back(s);
     sendSnap_ = send_now;

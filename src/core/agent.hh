@@ -42,6 +42,45 @@ struct AgentConfig
     SaturationConfig saturation;
     SlackConfig slack;
     ebpf::RuntimeConfig runtime;
+    /**
+     * Degradation-hardening knobs. All default off: the hardened paths
+     * cost extra probe instructions / change scheduling, so clean runs
+     * keep the exact pre-hardening behaviour. runExperiment() switches
+     * them on automatically when a FaultPlan is active.
+     * @{
+     */
+    /** Survive probe-attach failures in partial-operation mode. */
+    bool tolerateAttachFailures = false;
+    /** Emit guarded probe bytecode (ret<0 / inverted-timestamp skips). */
+    bool guardedProbes = false;
+    /** Double the sampling period while windows stay stale. */
+    bool staleBackoff = false;
+    /** Backoff ceiling as a multiple of samplePeriod. */
+    unsigned maxBackoffFactor = 8;
+    /** @} */
+};
+
+/**
+ * Agent self-diagnostics, stamped on every MetricsSample and queryable
+ * live. Lets consumers of a degraded sample stream distinguish "the
+ * application is quiet" from "the observability pipeline is sick".
+ */
+struct AgentHealth
+{
+    bool sendAttached = false; ///< send delta probe live
+    bool recvAttached = false; ///< recv delta probe live
+    bool pollAttached = false; ///< both halves of the duration pair live
+    std::uint64_t mapUpdateFails = 0; ///< cumulative failed map updates
+    std::uint64_t ringbufDrops = 0;   ///< cumulative ring-buffer drops
+    std::uint64_t staleWindows = 0;   ///< sample ticks below the window min
+    unsigned backoffFactor = 1;       ///< current sampling-period multiplier
+
+    /** Any probe family missing or any in-kernel data loss observed. */
+    bool degraded() const
+    {
+        return !sendAttached || !recvAttached || !pollAttached ||
+               mapUpdateFails > 0 || ringbufDrops > 0;
+    }
 };
 
 /** One emitted metrics window. */
@@ -55,6 +94,7 @@ struct MetricsSample
     double pollMeanDurNs = 0.0; ///< mean poll-syscall duration
     bool saturated = false;     ///< detector state after this window
     double slack = 0.0;         ///< slack estimate after this window
+    AgentHealth health;         ///< pipeline self-diagnostics at emit time
 };
 
 /** See file comment. */
@@ -91,6 +131,9 @@ class ObservabilityAgent
     /** All emitted samples. */
     const std::vector<MetricsSample> &samples() const { return samples_; }
 
+    /** Live pipeline self-diagnostics. */
+    const AgentHealth &health() const { return health_; }
+
     /** @name Whole-run aggregates from the cumulative kernel counters. @{ */
     double overallObservedRps() const;
     double overallSendVariance() const;
@@ -115,6 +158,8 @@ class ObservabilityAgent
 
     bool running_ = false;
     sim::EventId sampleTimer_;
+    AgentHealth health_;
+    unsigned backoff_ = 1; ///< current samplePeriod multiplier
 
     /** Snapshot at the start of the currently-accumulating window. */
     ebpf::probes::SyscallStats sendSnap_{};

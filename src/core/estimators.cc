@@ -13,22 +13,35 @@ diffStats(const ebpf::probes::SyscallStats &older,
     if (newer.count <= older.count)
         return w;
     w.count = newer.count - older.count;
-    const double sum_ns = static_cast<double>(newer.sumNs - older.sumNs);
+    // Snapshots of a live counter pair can disagree (an injected map
+    // fault, a probe detached mid-window): never let the u64 difference
+    // wrap into an astronomical sum.
+    const double sum_ns = newer.sumNs >= older.sumNs
+                              ? static_cast<double>(newer.sumNs - older.sumNs)
+                              : 0.0;
     w.meanNs = sum_ns / static_cast<double>(w.count);
 
     const double scale = static_cast<double>(1ULL << shift);
     const double mean_q = w.meanNs / scale;
-    const double ex2_q = static_cast<double>(newer.sumSqQ - older.sumSqQ) /
-                         static_cast<double>(w.count);
+    const double sum_sq_q =
+        newer.sumSqQ >= older.sumSqQ
+            ? static_cast<double>(newer.sumSqQ - older.sumSqQ)
+            : 0.0;
+    const double ex2_q = sum_sq_q / static_cast<double>(w.count);
     const double var_q = ex2_q - mean_q * mean_q; // Eq. 2
     w.varianceNs2 = std::max(0.0, var_q) * scale * scale;
+    if (!std::isfinite(w.meanNs))
+        w.meanNs = 0.0;
+    if (!std::isfinite(w.varianceNs2))
+        w.varianceNs2 = 0.0;
     return w;
 }
 
 double
 rpsFromWindow(const DeltaWindow &window)
 {
-    if (window.count == 0 || window.meanNs <= 0.0)
+    if (window.count == 0 || window.meanNs <= 0.0 ||
+        !std::isfinite(window.meanNs))
         return 0.0;
     return 1e9 / window.meanNs; // Eq. 1
 }
@@ -72,7 +85,7 @@ SaturationDetector::baselineVariance() const
 bool
 SaturationDetector::observe(const DeltaWindow &window)
 {
-    if (window.count == 0)
+    if (window.count == 0 || !std::isfinite(window.cvSquared()))
         return saturated_;
     if (baseline_.size() < config_.baselineWindows) {
         baseline_.push_back(window.cvSquared());
@@ -110,7 +123,7 @@ SlackEstimator::SlackEstimator(const SlackConfig &config) : config_(config) {}
 void
 SlackEstimator::observe(double mean_duration_ns)
 {
-    if (mean_duration_ns < 0.0)
+    if (mean_duration_ns < 0.0 || !std::isfinite(mean_duration_ns))
         return;
     if (!primed_) {
         ewma_ = mean_duration_ns;

@@ -29,9 +29,18 @@ runExperiment(const ExperimentConfig &config)
 
     sim::Simulation sim(config.seed);
 
+    // The injector (and its RNG fork) exists only when the plan enables
+    // something: a zero plan must leave every other component's random
+    // stream exactly where a fault-free build would.
+    std::unique_ptr<fault::FaultInjector> inj;
+    if (config.fault.any())
+        inj = std::make_unique<fault::FaultInjector>(config.fault,
+                                                     sim.forkRng());
+
     kernel::KernelConfig kc;
     kc.cpu = config.system.toCpuConfig();
     kernel::Kernel kernel(sim, kc);
+    kernel.setFaultInjector(inj.get());
 
     workload::ServerApp app(kernel, config.workload);
 
@@ -42,13 +51,22 @@ runExperiment(const ExperimentConfig &config)
     cc.qosLatency = config.qosLatency > 0
                         ? config.qosLatency
                         : defaultQosLatency(config.workload, config.netem);
-    client::LoadGenerator gen(sim, app, config.netem, config.tcp, cc);
+    client::LoadGenerator gen(sim, app, config.netem, config.tcp, cc,
+                              inj.get());
 
     std::unique_ptr<ObservabilityAgent> agent;
     if (config.attachAgent) {
+        AgentConfig ac = config.agent;
+        if (inj) {
+            // Chaos runs get the hardened pipeline; clean runs keep the
+            // exact paper configuration (and its probe cost model).
+            ac.tolerateAttachFailures = true;
+            ac.guardedProbes = true;
+            ac.staleBackoff = true;
+        }
         agent = std::make_unique<ObservabilityAgent>(
-            kernel, app.frontPid(), profileFor(config.workload),
-            config.agent);
+            kernel, app.frontPid(), profileFor(config.workload), ac);
+        agent->runtime().setFaultInjector(inj.get());
     }
 
     app.start();
@@ -85,8 +103,13 @@ runExperiment(const ExperimentConfig &config)
         res.probeEvents = agent->runtime().eventsProcessed();
         res.probeInsns = agent->runtime().insnsInterpreted();
         res.probeCostNs = agent->runtime().totalProbeCost();
+        res.agentHealth = agent->health();
+        res.probeMapUpdateFails = agent->runtime().mapUpdateFails();
+        res.probeRingbufDrops = agent->runtime().ringbufDrops();
         agent->stop();
     }
+    if (inj)
+        res.faultCounts = inj->counts();
     gen.stop();
     return res;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/agent.hh"
+#include "fault/fault.hh"
 #include "kernel/system_spec.hh"
 #include "net/netem.hh"
 #include "net/tcp.hh"
@@ -38,6 +39,15 @@ struct ExperimentConfig
 
     bool attachAgent = true; ///< false = probe-free baseline runs
     AgentConfig agent;
+
+    /**
+     * Fault-injection plan. All-zero (the default) means no injector is
+     * even constructed: the run is bit-identical to a pre-fault-framework
+     * build. Any active knob creates a FaultInjector on its own forked
+     * RNG stream and switches the agent into its hardened configuration
+     * (tolerant attach, guarded probes, stale backoff).
+     */
+    fault::FaultPlan fault;
 };
 
 /** Ground truth + observed metrics for one run. */
@@ -64,6 +74,13 @@ struct ExperimentResult
 
     /** Windowed samples from the agent (empty when attachAgent=false). */
     std::vector<MetricsSample> samples;
+
+    /** @name Fault-injection outcome (zero when no plan was active). @{ */
+    fault::FaultCounts faultCounts;     ///< injector-side event counts
+    AgentHealth agentHealth;            ///< agent self-diagnostics at end
+    std::uint64_t probeMapUpdateFails = 0; ///< failed map updates (eBPF)
+    std::uint64_t probeRingbufDrops = 0;   ///< dropped ringbuf records
+    /** @} */
 };
 
 /** Per-workload default p99 QoS threshold. */

@@ -255,6 +255,11 @@ ProgramBuilder::jsgtImm(Reg d, std::int32_t i, const std::string &t)
     return jmpImm(BPF_JSGT, d, i, t);
 }
 ProgramBuilder &
+ProgramBuilder::jsltImm(Reg d, std::int32_t i, const std::string &t)
+{
+    return jmpImm(BPF_JSLT, d, i, t);
+}
+ProgramBuilder &
 ProgramBuilder::jeq(Reg d, Reg s, const std::string &t)
 {
     return jmpReg(BPF_JEQ, d, s, t);

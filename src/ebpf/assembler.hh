@@ -96,6 +96,8 @@ class ProgramBuilder
                            const std::string &target);
     ProgramBuilder &jsgtImm(Reg dst, std::int32_t imm,
                             const std::string &target);
+    ProgramBuilder &jsltImm(Reg dst, std::int32_t imm,
+                            const std::string &target);
     ProgramBuilder &jeq(Reg dst, Reg src, const std::string &target);
     ProgramBuilder &jne(Reg dst, Reg src, const std::string &target);
     ProgramBuilder &jgt(Reg dst, Reg src, const std::string &target);

@@ -15,6 +15,10 @@
 
 #include "sim/rng.hh"
 
+namespace reqobs::fault {
+class FaultInjector;
+} // namespace reqobs::fault
+
 namespace reqobs::ebpf {
 
 namespace helper {
@@ -44,6 +48,8 @@ struct ExecEnv
     std::uint64_t nowNs = 0;   ///< bpf_ktime_get_ns()
     std::uint64_t pidTgid = 0; ///< bpf_get_current_pid_tgid()
     sim::Rng *rng = nullptr;   ///< bpf_get_prandom_u32()
+    /** Optional fault injection for map/ringbuf helpers (may be null). */
+    fault::FaultInjector *fault = nullptr;
 };
 
 } // namespace reqobs::ebpf

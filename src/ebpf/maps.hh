@@ -196,6 +196,9 @@ class RingBufMap : public Map
     /** Kernel-side emit. @return 0, or -28 (ENOSPC) when full. */
     int output(const std::uint8_t *data, std::uint32_t len);
 
+    /** Count a drop decided outside output() (injected capacity loss). */
+    void noteDrop() { ++drops_; }
+
     /** Drain all pending records through @p fn. @return records seen. */
     std::size_t consume(
         const std::function<void(const std::uint8_t *, std::uint32_t)> &fn);

@@ -66,7 +66,7 @@ buildDurationEnter(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
 
 ProgramSpec
 buildDurationExit(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
-                  const DurationMaps &maps, unsigned shift)
+                  const DurationMaps &maps, unsigned shift, bool guarded)
 {
     ProgramBuilder b;
     emitTgidFilter(b, tgid);
@@ -81,8 +81,15 @@ buildDurationExit(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
         .addImm(R2, -8)
         .call(helper::kMapLookupElem)
         .jeqImm(R0, 0, "out");
+    b.ldxdw(R3, R0, 0);
+    // Clock jitter can order the exit timestamp before the entry one;
+    // the u64 subtraction would then register an astronomical duration.
+    // Skip the sample (the stale start slot is overwritten by the
+    // thread's next entry).
+    if (guarded)
+        b.jgt(R3, R9, "out");
     // duration = end_ns - *start_ns;   (keep in callee-saved r8)
-    b.ldxdw(R3, R0, 0).mov(R8, R9).sub(R8, R3);
+    b.mov(R8, R9).sub(R8, R3);
     // start.delete(&pid_tgid);  (key buffer still on the stack)
     b.ldMapFd(R1, maps.startFd)
         .mov(R2, R10)
@@ -132,7 +139,7 @@ createDeltaMaps(EbpfRuntime &rt, const std::string &prefix)
 ProgramSpec
 buildDeltaExit(EbpfRuntime &rt, std::uint32_t tgid,
                const std::vector<std::int64_t> &family, const DeltaMaps &maps,
-               unsigned shift)
+               unsigned shift, bool guarded)
 {
     if (family.empty())
         sim::fatal("buildDeltaExit: empty syscall family");
@@ -145,6 +152,12 @@ buildDeltaExit(EbpfRuntime &rt, std::uint32_t tgid,
     b.ja("out");
     b.label("match");
     emitTgidFilter(b, tgid);
+    // Failed syscalls (EINTR restarts, EAGAIN polls with data racing
+    // away) are not request completions; counting their exits inflates
+    // Eq. 1. The guarded variant filters on ret >= 0.
+    if (guarded) {
+        b.ldxdw(R2, R1, offsetof(TraceCtx, ret)).jsltImm(R2, 0, "out");
+    }
     // now = ctx->ts
     b.ldxdw(R9, R1, offsetof(TraceCtx, ts));
     // stats = &stats_array[0];
@@ -158,6 +171,10 @@ buildDeltaExit(EbpfRuntime &rt, std::uint32_t tgid,
     b.ldxdw(R3, R0, offsetof(SyscallStats, lastTs))
         .stxdw(R0, offsetof(SyscallStats, lastTs), R9)
         .jeqImm(R3, 0, "out"); // first event seeds the chain
+    // Jittered timestamps can run backwards; a u64 delta would wrap to
+    // ~2^64. Drop the inverted pair (last_ts already reseeded above).
+    if (guarded)
+        b.jgt(R3, R9, "out");
     // delta = now - last;
     b.mov(R2, R9).sub(R2, R3);
     // count++, sum += delta

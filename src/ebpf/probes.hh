@@ -82,10 +82,16 @@ DurationMaps createDurationMaps(EbpfRuntime &rt, const std::string &prefix);
 ProgramSpec buildDurationEnter(EbpfRuntime &rt, std::uint32_t tgid,
                                std::int64_t syscall, const DurationMaps &maps);
 
-/** sys_exit half of Listing 1: accumulate duration statistics. */
+/**
+ * sys_exit half of Listing 1: accumulate duration statistics.
+ * @p guarded emits extra defensive bytecode that skips samples whose
+ * timestamps are inverted (entry after exit, e.g. under clock jitter);
+ * off by default so the probe cost model of clean runs is unchanged.
+ */
 ProgramSpec buildDurationExit(EbpfRuntime &rt, std::uint32_t tgid,
                               std::int64_t syscall, const DurationMaps &maps,
-                              unsigned shift = kDeltaShift);
+                              unsigned shift = kDeltaShift,
+                              bool guarded = false);
 
 /** Maps used by one delta probe. */
 struct DeltaMaps
@@ -99,11 +105,15 @@ DeltaMaps createDeltaMaps(EbpfRuntime &rt, const std::string &prefix);
 /**
  * sys_exit inter-syscall-delta probe over a syscall family
  * (e.g. {write, sendto, sendmsg}).
+ * @p guarded adds defensive bytecode: failed syscalls (ret < 0, e.g.
+ * EINTR restarts) and clock-inverted deltas are excluded from the
+ * accumulators. Off by default to keep clean-run probe costs unchanged.
  */
 ProgramSpec buildDeltaExit(EbpfRuntime &rt, std::uint32_t tgid,
                            const std::vector<std::int64_t> &family,
                            const DeltaMaps &maps,
-                           unsigned shift = kDeltaShift);
+                           unsigned shift = kDeltaShift,
+                           bool guarded = false);
 
 /** Maps used by a stream probe. */
 struct StreamMaps

@@ -101,6 +101,12 @@ EbpfRuntime::loadAndAttach(ProgramSpec spec, kernel::TracepointId point,
     if (!vr)
         return vr;
 
+    if (fault_ && fault_->injectAttachFail(spec.name)) {
+        vr.ok = false;
+        vr.error = "attach failed (injected fault): " + spec.name;
+        return vr;
+    }
+
     auto loaded = std::make_unique<Loaded>();
     loaded->id = nextProg_++;
     loaded->spec = std::move(spec);
@@ -136,10 +142,27 @@ EbpfRuntime::unloadAll()
     programs_.clear();
 }
 
+std::vector<EbpfRuntime::ProbeCounters>
+EbpfRuntime::probeCounters() const
+{
+    std::vector<ProbeCounters> out;
+    out.reserve(programs_.size());
+    for (const auto &prog : programs_) {
+        ProbeCounters pc;
+        pc.name = prog->spec.name;
+        pc.events = prog->events;
+        pc.mapUpdateFails = prog->mapUpdateFails;
+        pc.ringbufDrops = prog->ringbufDrops;
+        out.push_back(std::move(pc));
+    }
+    return out;
+}
+
 sim::Tick
 EbpfRuntime::execute(Loaded &prog, const kernel::RawSyscallEvent &ev)
 {
     ++events_;
+    ++prog.events;
 
     TraceCtx ctx;
     ctx.id = static_cast<std::uint64_t>(ev.syscall);
@@ -151,9 +174,14 @@ EbpfRuntime::execute(Loaded &prog, const kernel::RawSyscallEvent &ev)
     env.nowNs = static_cast<std::uint64_t>(ev.timestamp);
     env.pidTgid = ev.pidTgid;
     env.rng = &rng_;
+    env.fault = fault_;
 
     RunResult r = vm_.run(prog.spec, reinterpret_cast<std::uint8_t *>(&ctx),
                           sizeof(ctx), env);
+    prog.mapUpdateFails += r.mapUpdateFails;
+    prog.ringbufDrops += r.ringbufDrops;
+    mapUpdateFails_ += r.mapUpdateFails;
+    ringbufDrops_ += r.ringbufDrops;
     if (r.aborted) {
         // Cannot happen for verified programs; a fault here is a bug in
         // this runtime, not in the probe.

@@ -86,6 +86,16 @@ class EbpfRuntime
     VerifyResult loadAndAttach(ProgramSpec spec, kernel::TracepointId point,
                                ProgId *id = nullptr);
 
+    /**
+     * Install a fault injector for runtime-layer faults (attach failure,
+     * forced map-full, ring-buffer drops). Pass nullptr to disable. The
+     * injector must outlive this runtime.
+     */
+    void setFaultInjector(fault::FaultInjector *injector)
+    {
+        fault_ = injector;
+    }
+
     /** Detach and unload one program. */
     void unload(ProgId id);
 
@@ -100,6 +110,27 @@ class EbpfRuntime
     sim::Tick totalProbeCost() const { return totalCost_; }
     /** @} */
 
+    /** @name Per-probe failure counters (§ fault observability). @{ */
+
+    /** Snapshot of one loaded program's failure counters. */
+    struct ProbeCounters
+    {
+        std::string name;
+        std::uint64_t events = 0;
+        std::uint64_t mapUpdateFails = 0; ///< -E2BIG and friends
+        std::uint64_t ringbufDrops = 0;   ///< -ENOSPC
+    };
+
+    /** One entry per currently loaded program. */
+    std::vector<ProbeCounters> probeCounters() const;
+
+    /** Whole-runtime failed map updates (survives unload). */
+    std::uint64_t mapUpdateFails() const { return mapUpdateFails_; }
+
+    /** Whole-runtime ring-buffer drops (survives unload). */
+    std::uint64_t ringbufDrops() const { return ringbufDrops_; }
+    /** @} */
+
   private:
     struct Loaded
     {
@@ -107,6 +138,9 @@ class EbpfRuntime
         ProgramSpec spec;
         kernel::TracepointId point;
         kernel::ProbeHandle handle;
+        std::uint64_t events = 0;
+        std::uint64_t mapUpdateFails = 0;
+        std::uint64_t ringbufDrops = 0;
     };
 
     kernel::Kernel &kernel_;
@@ -119,6 +153,9 @@ class EbpfRuntime
     ProgId nextProg_ = 1;
     std::uint64_t events_ = 0;
     sim::Tick totalCost_ = 0;
+    std::uint64_t mapUpdateFails_ = 0;
+    std::uint64_t ringbufDrops_ = 0;
+    fault::FaultInjector *fault_ = nullptr;
 
     sim::Tick execute(Loaded &prog, const kernel::RawSyscallEvent &ev);
 };

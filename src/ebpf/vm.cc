@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "fault/fault.hh"
+
 namespace reqobs::ebpf {
 
 namespace {
@@ -200,8 +202,20 @@ Vm::run(const ProgramSpec &prog, std::uint8_t *ctx, std::uint32_t ctx_len,
                         checkAccess(reg[R3], map->valueSize(), false);
                     if (!key || !val)
                         return fault(pc, "map_update: bad pointer");
-                    reg[R0] = static_cast<std::uint64_t>(static_cast<
-                        std::int64_t>(map->update(key, val, reg[R4])));
+                    // Injected map pressure mimics a full hash table
+                    // (-E2BIG); array slots cannot fill, so only hash
+                    // updates are eligible.
+                    int rc;
+                    if (env.fault && map->type() == MapType::Hash &&
+                        env.fault->injectMapUpdateFail()) {
+                        rc = -7; // -E2BIG
+                    } else {
+                        rc = map->update(key, val, reg[R4]);
+                    }
+                    if (rc < 0)
+                        ++res.mapUpdateFails;
+                    reg[R0] = static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(rc));
                     break;
                   }
                   case helper::kMapDeleteElem: {
@@ -222,8 +236,17 @@ Vm::run(const ProgramSpec &prog, std::uint8_t *ctx, std::uint32_t ctx_len,
                         checkAccess(reg[R2], static_cast<int>(len), false);
                     if (!data)
                         return fault(pc, "ringbuf_output: bad data pointer");
+                    int rc;
+                    if (env.fault && env.fault->injectRingbufDrop()) {
+                        rb->noteDrop(); // capacity pressure: record lost
+                        rc = -28;       // -ENOSPC
+                    } else {
+                        rc = rb->output(data, len);
+                    }
+                    if (rc == -28)
+                        ++res.ringbufDrops;
                     reg[R0] = static_cast<std::uint64_t>(
-                        static_cast<std::int64_t>(rb->output(data, len)));
+                        static_cast<std::int64_t>(rc));
                     break;
                   }
                   default:

@@ -27,6 +27,8 @@ struct RunResult
 {
     std::uint64_t r0 = 0;       ///< program return value
     std::uint64_t insns = 0;    ///< instructions retired
+    std::uint64_t mapUpdateFails = 0; ///< map updates returning < 0
+    std::uint64_t ringbufDrops = 0;   ///< ringbuf outputs returning -ENOSPC
     bool aborted = false;       ///< runtime fault (should not happen after
                                 ///< verification)
     std::string error;

@@ -1,0 +1,156 @@
+#include "fault/fault.hh"
+
+namespace reqobs::fault {
+
+bool
+FaultPlan::any() const
+{
+    return eintrProbability > 0.0 || eagainProbability > 0.0 ||
+           partialIoProbability > 0.0 || spuriousWakeupProbability > 0.0 ||
+           clockJitterNs > 0 || mapUpdateFailProbability > 0.0 ||
+           ringbufDropProbability > 0.0 || attachFailProbability > 0.0 ||
+           (linkFlapPeriod > 0 && linkFlapDownTime > 0) ||
+           connResetProbability > 0.0;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan, sim::Rng rng)
+    : plan_(plan), rng_(rng)
+{}
+
+bool
+FaultInjector::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return rng_.uniform() < p;
+}
+
+bool
+FaultInjector::injectEintr(unsigned restarts)
+{
+    if (restarts >= plan_.maxEintrRestarts)
+        return false;
+    if (!bernoulli(plan_.eintrProbability))
+        return false;
+    ++counts_.eintr;
+    return true;
+}
+
+bool
+FaultInjector::injectEagain()
+{
+    if (eagainBurstLeft_ > 0) {
+        --eagainBurstLeft_;
+        ++counts_.eagain;
+        return true;
+    }
+    if (!bernoulli(plan_.eagainProbability))
+        return false;
+    // Burst semantics: one trigger forces this recv and the next
+    // burstLength-1 eligible recvs to EAGAIN, modelling a transient
+    // condition (e.g. a checksum storm) rather than independent blips.
+    if (plan_.eagainBurstLength > 1)
+        eagainBurstLeft_ = plan_.eagainBurstLength - 1;
+    ++counts_.eagain;
+    return true;
+}
+
+unsigned
+FaultInjector::partialPieces(std::uint64_t bytes)
+{
+    if (bytes < 2 || !bernoulli(plan_.partialIoProbability))
+        return 1;
+    const unsigned cap = static_cast<unsigned>(
+        bytes < plan_.maxPartialPieces ? bytes : plan_.maxPartialPieces);
+    if (cap < 2)
+        return 1;
+    // Uniform in [2, cap].
+    const unsigned pieces =
+        2 + static_cast<unsigned>(rng_.uniformInt(cap - 1));
+    ++counts_.partialOps;
+    return pieces;
+}
+
+bool
+FaultInjector::injectSpuriousWakeup()
+{
+    if (!bernoulli(plan_.spuriousWakeupProbability))
+        return false;
+    ++counts_.spuriousWakeups;
+    return true;
+}
+
+std::int64_t
+FaultInjector::clockJitter()
+{
+    if (plan_.clockJitterNs <= 0)
+        return 0;
+    // Uniform in [-j, +j].
+    const std::uint64_t span =
+        2 * static_cast<std::uint64_t>(plan_.clockJitterNs) + 1;
+    return static_cast<std::int64_t>(rng_.uniformInt(span)) -
+           plan_.clockJitterNs;
+}
+
+bool
+FaultInjector::injectMapUpdateFail()
+{
+    if (!bernoulli(plan_.mapUpdateFailProbability))
+        return false;
+    ++counts_.mapUpdateFails;
+    return true;
+}
+
+bool
+FaultInjector::injectRingbufDrop()
+{
+    if (!bernoulli(plan_.ringbufDropProbability))
+        return false;
+    ++counts_.ringbufDrops;
+    return true;
+}
+
+bool
+FaultInjector::injectAttachFail(const std::string &program_name)
+{
+    if (plan_.attachFailProbability <= 0.0)
+        return false;
+    if (!plan_.attachFailPrograms.empty()) {
+        bool match = false;
+        for (const std::string &name : plan_.attachFailPrograms)
+            match = match || name == program_name;
+        if (!match)
+            return false;
+    }
+    if (!bernoulli(plan_.attachFailProbability))
+        return false;
+    ++counts_.attachFails;
+    return true;
+}
+
+sim::Tick
+FaultInjector::linkDownRemaining(sim::Tick now)
+{
+    if (plan_.linkFlapPeriod <= 0 || plan_.linkFlapDownTime <= 0)
+        return 0;
+    // Down during [k*period, k*period + downTime) for k >= 1; the first
+    // period is flap-free so warmup and connection setup stay clean.
+    const sim::Tick phase = now % plan_.linkFlapPeriod;
+    if (now < plan_.linkFlapPeriod || phase >= plan_.linkFlapDownTime)
+        return 0;
+    ++counts_.linkFlapHolds;
+    return plan_.linkFlapDownTime - phase;
+}
+
+bool
+FaultInjector::injectConnReset()
+{
+    if (!bernoulli(plan_.connResetProbability))
+        return false;
+    ++counts_.connResets;
+    return true;
+}
+
+} // namespace reqobs::fault

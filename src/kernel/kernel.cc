@@ -8,6 +8,7 @@ namespace reqobs::kernel {
 
 namespace {
 constexpr std::int64_t kEagain = -11;
+constexpr std::int64_t kEintr = -4;
 } // namespace
 
 Kernel::Kernel(sim::Simulation &sim, const KernelConfig &config)
@@ -83,6 +84,22 @@ Kernel::resumeHandle(std::coroutine_handle<> h)
         h.resume();
 }
 
+namespace {
+
+/** Tracepoint timestamp = virtual clock plus any injected jitter. */
+sim::Tick
+tracepointTimestamp(sim::Tick now, fault::FaultInjector *fault)
+{
+    if (!fault)
+        return now;
+    const std::int64_t jitter = fault->clockJitter();
+    if (jitter < 0 && now < -jitter)
+        return 0;
+    return now + jitter;
+}
+
+} // namespace
+
 sim::Tick
 Kernel::fireEnter(Tid tid, std::int64_t syscall)
 {
@@ -91,7 +108,7 @@ Kernel::fireEnter(Tid tid, std::int64_t syscall)
     ev.point = TracepointId::SysEnter;
     ev.syscall = syscall;
     ev.pidTgid = pidTgidOf(tid);
-    ev.timestamp = sim_.now();
+    ev.timestamp = tracepointTimestamp(sim_.now(), fault_);
     return tracepoints_.fire(ev);
 }
 
@@ -103,7 +120,7 @@ Kernel::fireExit(Tid tid, std::int64_t syscall, std::int64_t ret)
     ev.syscall = syscall;
     ev.ret = ret;
     ev.pidTgid = pidTgidOf(tid);
-    ev.timestamp = sim_.now();
+    ev.timestamp = tracepointTimestamp(sim_.now(), fault_);
     return tracepoints_.fire(ev);
 }
 
@@ -243,10 +260,14 @@ Kernel::socketPair(Pid pid_a, Pid pid_b, sim::Tick latency)
     auto sock_b = std::make_shared<Socket>(pair_id++);
 
     // Cross-wire: what A sends arrives at B after `latency`, and back.
+    // Weak capture: each handler lives inside its peer socket, so owning
+    // references here would cycle the pair and leak both.
     auto wire = [this, latency](const std::shared_ptr<Socket> &dst) {
-        return [this, latency, dst](Message &&msg) {
-            scheduleGuarded(latency, [this, dst, msg = std::move(msg)] {
-                dst->deliver(msg, sim_.now());
+        return [this, latency,
+                peer = std::weak_ptr<Socket>(dst)](Message &&msg) {
+            scheduleGuarded(latency, [this, peer, msg = std::move(msg)] {
+                if (auto dst = peer.lock())
+                    dst->deliver(msg, sim_.now());
             });
         };
     };
@@ -363,6 +384,23 @@ EpollWaitOp::await_suspend(std::coroutine_handle<> h)
         timer_ = k_.scheduleGuarded(enter_cost + timeout_,
                                     [this] { onTimeout(); });
     }
+    if (fault::FaultInjector *f = k_.faultInjector();
+        f && f->injectSpuriousWakeup()) {
+        spuriousTimer_ = k_.scheduleGuarded(
+            enter_cost + f->spuriousWakeupDelay(), [this] { onSpurious(); });
+    }
+}
+
+void
+EpollWaitOp::onSpurious()
+{
+    // A signal (or lost wakeup race) pops the waiter out with nothing
+    // ready: the syscall returns 0 events and userspace loops around.
+    if (state_ != State::Waiting)
+        return;
+    ep_->removeWaiter(waiterId_);
+    state_ = State::Done;
+    complete();
 }
 
 void
@@ -414,6 +452,7 @@ EpollWaitOp::complete()
 {
     state_ = State::Done;
     timer_.cancel();
+    spuriousTimer_.cancel();
     k_.finishSyscall(tid_, syscallId(Syscall::EpollWait),
                      static_cast<std::int64_t>(result_.size()), h_);
 }
@@ -455,6 +494,21 @@ SelectOp::await_suspend(std::coroutine_handle<> h)
         timer_ = k_.scheduleGuarded(enter_cost + timeout_,
                                     [this] { onTimeout(); });
     }
+    if (fault::FaultInjector *f = k_.faultInjector();
+        f && f->injectSpuriousWakeup()) {
+        spuriousTimer_ = k_.scheduleGuarded(
+            enter_cost + f->spuriousWakeupDelay(), [this] { onSpurious(); });
+    }
+}
+
+void
+SelectOp::onSpurious()
+{
+    if (state_ != State::Waiting)
+        return;
+    unobserve();
+    state_ = State::Done;
+    complete();
 }
 
 void
@@ -527,6 +581,7 @@ SelectOp::complete()
 {
     state_ = State::Done;
     timer_.cancel();
+    spuriousTimer_.cancel();
     k_.finishSyscall(tid_, syscallId(Syscall::Select),
                      static_cast<std::int64_t>(result_.size()), h_);
 }
@@ -537,17 +592,68 @@ void
 RecvOp::await_suspend(std::coroutine_handle<> h)
 {
     h_ = h;
+    start();
+}
+
+void
+RecvOp::start()
+{
     const sim::Tick enter_cost = k_.fireEnter(tid_, syscallId(which_));
     k_.scheduleGuarded(enter_cost + k_.config().syscallBaseCost, [this] {
-        auto sock = k_.socketAt(k_.threadOf(tid_).pid, fd_);
-        if (sock && sock->hasData()) {
-            result_.msg = sock->pop();
-            result_.ok = true;
-            result_.ret = static_cast<std::int64_t>(result_.msg.bytes);
-        } else {
-            result_.ret = kEagain;
+        fault::FaultInjector *f = k_.faultInjector();
+        if (f && f->injectEintr(restarts_)) {
+            // Interrupted by a signal before completing; SA_RESTART
+            // semantics reissue the syscall (fresh enter/exit pair).
+            ++restarts_;
+            const sim::Tick exit_cost =
+                k_.fireExit(tid_, syscallId(which_), kEintr);
+            k_.scheduleGuarded(exit_cost, [this] { start(); });
+            return;
         }
-        k_.finishSyscall(tid_, syscallId(which_), result_.ret, h_);
+        auto sock = k_.socketAt(k_.threadOf(tid_).pid, fd_);
+        if (!sock || !sock->hasData() || (f && f->injectEagain())) {
+            result_.ret = kEagain;
+            k_.finishSyscall(tid_, syscallId(which_), result_.ret, h_);
+            return;
+        }
+        result_.msg = sock->pop();
+        result_.ok = true;
+        result_.ret = static_cast<std::int64_t>(result_.msg.bytes);
+        const unsigned pieces =
+            f ? f->partialPieces(result_.msg.bytes) : 1;
+        if (pieces <= 1) {
+            k_.finishSyscall(tid_, syscallId(which_), result_.ret, h_);
+            return;
+        }
+        // Partial read: the kernel hands the payload out over several
+        // short syscalls. The message itself stays intact (it left the
+        // socket queue above); the observer just sees extra recv exits
+        // with partial byte counts.
+        bytesLeft_ = result_.msg.bytes;
+        piecesLeft_ = pieces;
+        pieceBytes_ = result_.msg.bytes / pieces;
+        partialStep();
+    });
+}
+
+void
+RecvOp::partialStep()
+{
+    const std::uint64_t this_bytes =
+        piecesLeft_ == 1 ? bytesLeft_ : pieceBytes_;
+    bytesLeft_ -= this_bytes;
+    --piecesLeft_;
+    const auto ret = static_cast<std::int64_t>(this_bytes);
+    if (piecesLeft_ == 0) {
+        result_.ret = ret;
+        k_.finishSyscall(tid_, syscallId(which_), ret, h_);
+        return;
+    }
+    const sim::Tick exit_cost = k_.fireExit(tid_, syscallId(which_), ret);
+    k_.scheduleGuarded(exit_cost, [this] {
+        const sim::Tick enter_cost = k_.fireEnter(tid_, syscallId(which_));
+        k_.scheduleGuarded(enter_cost + k_.config().syscallBaseCost,
+                           [this] { partialStep(); });
     });
 }
 
@@ -557,16 +663,65 @@ void
 SendOp::await_suspend(std::coroutine_handle<> h)
 {
     h_ = h;
+    start();
+}
+
+void
+SendOp::start()
+{
     const sim::Tick enter_cost = k_.fireEnter(tid_, syscallId(which_));
     k_.scheduleGuarded(enter_cost + k_.config().syscallBaseCost, [this] {
-        auto sock = k_.socketAt(k_.threadOf(tid_).pid, fd_);
-        if (sock) {
-            ret_ = static_cast<std::int64_t>(msg_.bytes);
-            sock->transmit(std::move(msg_));
-        } else {
-            ret_ = kEagain;
+        fault::FaultInjector *f = k_.faultInjector();
+        if (f && f->injectEintr(restarts_)) {
+            // Interrupted before any byte was queued; restart cleanly.
+            ++restarts_;
+            const sim::Tick exit_cost =
+                k_.fireExit(tid_, syscallId(which_), kEintr);
+            k_.scheduleGuarded(exit_cost, [this] { start(); });
+            return;
         }
-        k_.finishSyscall(tid_, syscallId(which_), ret_, h_);
+        auto sock = k_.socketAt(k_.threadOf(tid_).pid, fd_);
+        if (!sock) {
+            ret_ = kEagain;
+            k_.finishSyscall(tid_, syscallId(which_), ret_, h_);
+            return;
+        }
+        ret_ = static_cast<std::int64_t>(msg_.bytes);
+        const unsigned pieces = f ? f->partialPieces(msg_.bytes) : 1;
+        if (pieces <= 1) {
+            sock->transmit(std::move(msg_));
+            k_.finishSyscall(tid_, syscallId(which_), ret_, h_);
+            return;
+        }
+        // Partial write: several short send syscalls; the full message
+        // hits the wire once the last piece is written.
+        bytesLeft_ = msg_.bytes;
+        piecesLeft_ = pieces;
+        pieceBytes_ = msg_.bytes / pieces;
+        partialStep();
+    });
+}
+
+void
+SendOp::partialStep()
+{
+    const std::uint64_t this_bytes =
+        piecesLeft_ == 1 ? bytesLeft_ : pieceBytes_;
+    bytesLeft_ -= this_bytes;
+    --piecesLeft_;
+    const auto ret = static_cast<std::int64_t>(this_bytes);
+    if (piecesLeft_ == 0) {
+        auto sock = k_.socketAt(k_.threadOf(tid_).pid, fd_);
+        if (sock)
+            sock->transmit(std::move(msg_));
+        k_.finishSyscall(tid_, syscallId(which_), ret, h_);
+        return;
+    }
+    const sim::Tick exit_cost = k_.fireExit(tid_, syscallId(which_), ret);
+    k_.scheduleGuarded(exit_cost, [this] {
+        const sim::Tick enter_cost = k_.fireEnter(tid_, syscallId(which_));
+        k_.scheduleGuarded(enter_cost + k_.config().syscallBaseCost,
+                           [this] { partialStep(); });
     });
 }
 

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "kernel/cpu.hh"
 #include "kernel/epoll.hh"
 #include "kernel/socket.hh"
@@ -101,9 +102,11 @@ class EpollWaitOp
     State state_ = State::Waiting;
     EpollInstance::WaiterId waiterId_ = 0;
     sim::EventId timer_;
+    sim::EventId spuriousTimer_;
 
     void onWake();
     void onTimeout();
+    void onSpurious();
     void finishScan();
     void complete();
 };
@@ -136,9 +139,11 @@ class SelectOp : public ReadinessObserver
     State state_ = State::Waiting;
     bool observing_ = false;
     sim::EventId timer_;
+    sim::EventId spuriousTimer_;
 
     void unobserve();
     void onTimeout();
+    void onSpurious();
     void finishScan();
     void complete();
 };
@@ -162,6 +167,13 @@ class RecvOp
     Syscall which_;
     std::coroutine_handle<> h_;
     RecvResult result_;
+    unsigned restarts_ = 0;       ///< EINTR restarts so far
+    unsigned piecesLeft_ = 0;     ///< partial-read syscalls still to issue
+    std::uint64_t bytesLeft_ = 0;
+    std::uint64_t pieceBytes_ = 0;
+
+    void start();
+    void partialStep();
 };
 
 /** Awaitable send-family syscall (write / sendto / sendmsg). */
@@ -184,6 +196,13 @@ class SendOp
     Syscall which_;
     std::coroutine_handle<> h_;
     std::int64_t ret_ = 0;
+    unsigned restarts_ = 0;       ///< EINTR restarts so far
+    unsigned piecesLeft_ = 0;     ///< partial-write syscalls still to issue
+    std::uint64_t bytesLeft_ = 0;
+    std::uint64_t pieceBytes_ = 0;
+
+    void start();
+    void partialStep();
 };
 
 /** Awaitable accept(2): dequeues one pending connection. */
@@ -326,6 +345,17 @@ class Kernel
     /** Tracepoint registry the eBPF runtime attaches to. */
     TracepointRegistry &tracepoints() { return tracepoints_; }
 
+    /**
+     * Install a fault injector for kernel-layer faults (EINTR, EAGAIN,
+     * partial I/O, spurious wakeups, tracepoint clock jitter). Pass
+     * nullptr to disable. The injector must outlive the kernel.
+     */
+    void setFaultInjector(fault::FaultInjector *injector)
+    {
+        fault_ = injector;
+    }
+    fault::FaultInjector *faultInjector() const { return fault_; }
+
     CpuModel &cpu() { return *cpu_; }
     sim::Simulation &sim() { return sim_; }
     const KernelConfig &config() const { return config_; }
@@ -376,6 +406,7 @@ class Kernel
     Pid nextPid_ = 1000;
     Tid nextTid_ = 5000;
     std::uint64_t syscalls_ = 0;
+    fault::FaultInjector *fault_ = nullptr;
     /** Teardown guard shared with every scheduled completion event. */
     std::shared_ptr<bool> alive_;
 

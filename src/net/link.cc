@@ -6,7 +6,7 @@ namespace reqobs::net {
 
 Link::Link(sim::Simulation &sim, const NetemConfig &netem,
            const TcpConfig &tcp, std::shared_ptr<kernel::Socket> server_sock,
-           ResponseFn on_response)
+           ResponseFn on_response, fault::FaultInjector *fault)
     : serverSock_(std::move(server_sock))
 {
     if (!serverSock_)
@@ -19,9 +19,10 @@ Link::Link(sim::Simulation &sim, const NetemConfig &netem,
         sim, netem, tcp, sim.forkRng(),
         [this, sim_ptr](kernel::Message &&msg) {
             serverSock_->deliver(std::move(msg), sim_ptr->now());
-        });
+        },
+        fault);
     down_ = std::make_unique<TcpPipe>(sim, netem, tcp, sim.forkRng(),
-                                      std::move(on_response));
+                                      std::move(on_response), fault);
     serverSock_->setTxHandler(
         [this](kernel::Message &&msg) { down_->send(std::move(msg)); });
 }

@@ -36,7 +36,7 @@ class Link
      */
     Link(sim::Simulation &sim, const NetemConfig &netem,
          const TcpConfig &tcp, std::shared_ptr<kernel::Socket> server_sock,
-         ResponseFn on_response);
+         ResponseFn on_response, fault::FaultInjector *fault = nullptr);
 
     ~Link();
 

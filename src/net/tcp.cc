@@ -7,9 +7,10 @@
 namespace reqobs::net {
 
 TcpPipe::TcpPipe(sim::Simulation &sim, const NetemConfig &netem,
-                 const TcpConfig &tcp, sim::Rng rng, DeliverFn deliver)
+                 const TcpConfig &tcp, sim::Rng rng, DeliverFn deliver,
+                 fault::FaultInjector *fault)
     : sim_(sim), qdisc_(netem, rng), tcp_(tcp), deliver_(std::move(deliver)),
-      alive_(std::make_shared<bool>(true))
+      fault_(fault), alive_(std::make_shared<bool>(true))
 {
     if (!deliver_)
         sim::fatal("TcpPipe: null deliver function");
@@ -35,6 +36,10 @@ TcpPipe::send(kernel::Message &&msg)
 
     sim::Tick rto_wait = 0;
     sim::Tick rto = tcp_.minRto;
+    // Link flap: a segment sent into a down link sits in the qdisc until
+    // the link comes back (time-driven, no RNG — keeps determinism).
+    if (fault_)
+        rto_wait += fault_->linkDownRemaining(now);
     NetemQdisc::Verdict verdict = qdisc_.process();
     unsigned attempts = 0;
     if (verdict.dropped && fast_eligible && attempts < tcp_.maxRetries) {

@@ -22,6 +22,7 @@
 #include <functional>
 #include <memory>
 
+#include "fault/fault.hh"
 #include "kernel/types.hh"
 #include "net/netem.hh"
 #include "sim/simulation.hh"
@@ -60,8 +61,14 @@ class TcpPipe
   public:
     using DeliverFn = std::function<void(kernel::Message &&)>;
 
+    /**
+     * @param fault Optional injector; when set, segments sent while its
+     *              link-flap schedule holds the link down are delayed
+     *              until the link returns (modelled as extra RTO wait).
+     */
     TcpPipe(sim::Simulation &sim, const NetemConfig &netem,
-            const TcpConfig &tcp, sim::Rng rng, DeliverFn deliver);
+            const TcpConfig &tcp, sim::Rng rng, DeliverFn deliver,
+            fault::FaultInjector *fault = nullptr);
 
     ~TcpPipe() { *alive_ = false; }
 
@@ -85,6 +92,7 @@ class TcpPipe
     NetemQdisc qdisc_;
     TcpConfig tcp_;
     DeliverFn deliver_;
+    fault::FaultInjector *fault_ = nullptr;
     sim::Tick lastArrival_ = 0; ///< in-order delivery horizon
     sim::Tick lastSend_ = -1;   ///< previous segment's send time
     sim::Tick rttEstimate_ = 0;

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Chaos tests for the fault-injection framework and the hardened
+ * observability pipeline: injector unit behaviour, whole-run determinism
+ * under faults, clean-run identity, and survival (no crash, health flags
+ * set, finite metrics) under every fault class.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/experiment.hh"
+#include "fault/fault.hh"
+#include "sim/rng.hh"
+#include "workload/config.hh"
+
+namespace reqobs {
+namespace {
+
+using core::ExperimentConfig;
+using core::ExperimentResult;
+using core::MetricsSample;
+using fault::FaultInjector;
+using fault::FaultPlan;
+
+ExperimentConfig
+chaosConfig(const std::string &workload_name, double load_fraction,
+            std::uint64_t seed = 11)
+{
+    ExperimentConfig cfg;
+    cfg.workload = workload::workloadByName(workload_name);
+    cfg.workload.saturationRps =
+        std::min(cfg.workload.saturationRps, 4000.0);
+    cfg.offeredRps = load_fraction * cfg.workload.saturationRps;
+    cfg.requests = 5000;
+    cfg.seed = seed;
+    return cfg;
+}
+
+void
+expectFiniteSamples(const ExperimentResult &r)
+{
+    for (const MetricsSample &s : r.samples) {
+        EXPECT_TRUE(std::isfinite(s.rpsObsv));
+        EXPECT_GE(s.rpsObsv, 0.0);
+        EXPECT_TRUE(std::isfinite(s.send.meanNs));
+        EXPECT_TRUE(std::isfinite(s.send.varianceNs2));
+        EXPECT_GE(s.send.varianceNs2, 0.0);
+        EXPECT_TRUE(std::isfinite(s.recv.meanNs));
+        EXPECT_TRUE(std::isfinite(s.recv.varianceNs2));
+        EXPECT_TRUE(std::isfinite(s.pollMeanDurNs));
+        EXPECT_GE(s.pollMeanDurNs, 0.0);
+        EXPECT_TRUE(std::isfinite(s.slack));
+        EXPECT_GE(s.slack, 0.0);
+        EXPECT_LE(s.slack, 1.0);
+    }
+    EXPECT_TRUE(std::isfinite(r.observedRps));
+    EXPECT_TRUE(std::isfinite(r.sendVarNs2));
+    EXPECT_TRUE(std::isfinite(r.pollMeanDurNs));
+}
+
+/** A plan with every fault class enabled at noticeable rates. */
+FaultPlan
+everythingPlan()
+{
+    FaultPlan p;
+    p.eintrProbability = 0.05;
+    p.eagainProbability = 0.05;
+    p.partialIoProbability = 0.05;
+    p.spuriousWakeupProbability = 0.10;
+    p.clockJitterNs = sim::microseconds(5);
+    p.mapUpdateFailProbability = 0.10;
+    p.ringbufDropProbability = 0.10;
+    p.linkFlapPeriod = sim::milliseconds(300);
+    p.linkFlapDownTime = sim::milliseconds(5);
+    p.connResetProbability = 0.01;
+    return p;
+}
+
+// ------------------------------------------------------------ unit level
+
+TEST(FaultPlanTest, AnyIsFalseByDefaultAndTracksEveryKnob)
+{
+    EXPECT_FALSE(FaultPlan{}.any());
+
+    auto on = [](auto set) {
+        FaultPlan p;
+        set(p);
+        return p.any();
+    };
+    EXPECT_TRUE(on([](FaultPlan &p) { p.eintrProbability = 0.1; }));
+    EXPECT_TRUE(on([](FaultPlan &p) { p.eagainProbability = 0.1; }));
+    EXPECT_TRUE(on([](FaultPlan &p) { p.partialIoProbability = 0.1; }));
+    EXPECT_TRUE(
+        on([](FaultPlan &p) { p.spuriousWakeupProbability = 0.1; }));
+    EXPECT_TRUE(on([](FaultPlan &p) { p.clockJitterNs = 100; }));
+    EXPECT_TRUE(on([](FaultPlan &p) { p.mapUpdateFailProbability = 0.1; }));
+    EXPECT_TRUE(on([](FaultPlan &p) { p.ringbufDropProbability = 0.1; }));
+    EXPECT_TRUE(on([](FaultPlan &p) { p.attachFailProbability = 0.1; }));
+    EXPECT_TRUE(on([](FaultPlan &p) {
+        p.linkFlapPeriod = 100;
+        p.linkFlapDownTime = 10;
+    }));
+    EXPECT_TRUE(on([](FaultPlan &p) { p.connResetProbability = 0.1; }));
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityKnobsNeverConsumeTheStream)
+{
+    FaultPlan p;
+    p.clockJitterNs = 0; // everything off
+    FaultInjector inj(p, sim::Rng(42));
+    sim::Rng reference(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(inj.injectEintr(0));
+        EXPECT_FALSE(inj.injectEagain());
+        EXPECT_EQ(inj.partialPieces(4096), 1u);
+        EXPECT_FALSE(inj.injectSpuriousWakeup());
+        EXPECT_EQ(inj.clockJitter(), 0);
+        EXPECT_FALSE(inj.injectMapUpdateFail());
+        EXPECT_FALSE(inj.injectRingbufDrop());
+        EXPECT_FALSE(inj.injectAttachFail("send.delta_exit"));
+        EXPECT_FALSE(inj.injectConnReset());
+    }
+    // The injector's RNG state is untouched: it still produces the same
+    // next value as a freshly-seeded twin.
+    FaultInjector probe(p, sim::Rng(42));
+    (void)probe;
+    EXPECT_EQ(sim::Rng(42).next(), reference.next());
+}
+
+TEST(FaultInjectorTest, DecisionSequenceIsDeterministic)
+{
+    const FaultPlan p = everythingPlan();
+    FaultInjector a(p, sim::Rng(7));
+    FaultInjector b(p, sim::Rng(7));
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.injectEintr(0), b.injectEintr(0));
+        EXPECT_EQ(a.injectEagain(), b.injectEagain());
+        EXPECT_EQ(a.partialPieces(4096), b.partialPieces(4096));
+        EXPECT_EQ(a.clockJitter(), b.clockJitter());
+        EXPECT_EQ(a.injectMapUpdateFail(), b.injectMapUpdateFail());
+        EXPECT_EQ(a.injectConnReset(), b.injectConnReset());
+    }
+}
+
+TEST(FaultInjectorTest, EintrRespectsRestartCap)
+{
+    FaultPlan p;
+    p.eintrProbability = 1.0;
+    p.maxEintrRestarts = 2;
+    FaultInjector inj(p, sim::Rng(3));
+    EXPECT_TRUE(inj.injectEintr(0));
+    EXPECT_TRUE(inj.injectEintr(1));
+    EXPECT_FALSE(inj.injectEintr(2)); // cap reached: op must complete
+    EXPECT_FALSE(inj.injectEintr(5));
+}
+
+TEST(FaultInjectorTest, EagainBurstsRunTheirConfiguredLength)
+{
+    FaultPlan p;
+    p.eagainProbability = 1.0;
+    p.eagainBurstLength = 3;
+    FaultInjector inj(p, sim::Rng(3));
+    // p = 1 means a new burst starts as soon as the previous one ends.
+    for (int i = 0; i < 9; ++i)
+        EXPECT_TRUE(inj.injectEagain());
+    EXPECT_EQ(inj.counts().eagain, 9u);
+}
+
+TEST(FaultInjectorTest, PartialPiecesBoundedByBytesAndConfig)
+{
+    FaultPlan p;
+    p.partialIoProbability = 1.0;
+    p.maxPartialPieces = 4;
+    FaultInjector inj(p, sim::Rng(3));
+    EXPECT_EQ(inj.partialPieces(1), 1u); // single byte cannot split
+    for (int i = 0; i < 200; ++i) {
+        const unsigned pieces = inj.partialPieces(4096);
+        EXPECT_GE(pieces, 2u);
+        EXPECT_LE(pieces, 4u);
+    }
+    // A 3-byte message splits into at most 3 pieces.
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LE(inj.partialPieces(3), 3u);
+}
+
+TEST(FaultInjectorTest, ClockJitterIsBoundedAndSigned)
+{
+    FaultPlan p;
+    p.clockJitterNs = 500;
+    FaultInjector inj(p, sim::Rng(3));
+    bool saw_negative = false, saw_positive = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t j = inj.clockJitter();
+        EXPECT_GE(j, -500);
+        EXPECT_LE(j, 500);
+        saw_negative |= j < 0;
+        saw_positive |= j > 0;
+    }
+    EXPECT_TRUE(saw_negative);
+    EXPECT_TRUE(saw_positive);
+}
+
+TEST(FaultInjectorTest, LinkFlapScheduleIsPeriodicWithCleanFirstPeriod)
+{
+    FaultPlan p;
+    p.linkFlapPeriod = sim::milliseconds(100);
+    p.linkFlapDownTime = sim::milliseconds(10);
+    FaultInjector inj(p, sim::Rng(3));
+    // First period is clean so short runs always get a healthy start.
+    EXPECT_EQ(inj.linkDownRemaining(0), 0);
+    EXPECT_EQ(inj.linkDownRemaining(sim::milliseconds(5)), 0);
+    // Down during [100ms, 110ms).
+    EXPECT_EQ(inj.linkDownRemaining(sim::milliseconds(100)),
+              sim::milliseconds(10));
+    EXPECT_EQ(inj.linkDownRemaining(sim::milliseconds(105)),
+              sim::milliseconds(5));
+    EXPECT_EQ(inj.linkDownRemaining(sim::milliseconds(110)), 0);
+    // And again one period later.
+    EXPECT_EQ(inj.linkDownRemaining(sim::milliseconds(203)),
+              sim::milliseconds(7));
+}
+
+TEST(FaultInjectorTest, AttachFailureHonoursTheProgramNameFilter)
+{
+    FaultPlan p;
+    p.attachFailProbability = 1.0;
+    p.attachFailPrograms = {"send.delta_exit"};
+    FaultInjector inj(p, sim::Rng(3));
+    EXPECT_TRUE(inj.injectAttachFail("send.delta_exit"));
+    EXPECT_FALSE(inj.injectAttachFail("recv.delta_exit"));
+    EXPECT_FALSE(inj.injectAttachFail("poll.duration_exit"));
+
+    FaultPlan all = p;
+    all.attachFailPrograms.clear(); // empty filter = every program
+    FaultInjector inj2(all, sim::Rng(3));
+    EXPECT_TRUE(inj2.injectAttachFail("recv.delta_exit"));
+}
+
+// ------------------------------------------------------- whole-run level
+
+TEST(ChaosExperimentTest, CleanRunsCreateNoInjectorSideEffects)
+{
+    auto cfg = chaosConfig("data-caching", 0.6);
+    ASSERT_FALSE(cfg.fault.any());
+    const auto r = runExperiment(cfg);
+    EXPECT_EQ(r.faultCounts.eintr, 0u);
+    EXPECT_EQ(r.faultCounts.eagain, 0u);
+    EXPECT_EQ(r.faultCounts.connResets, 0u);
+    EXPECT_EQ(r.probeMapUpdateFails, 0u);
+    EXPECT_EQ(r.probeRingbufDrops, 0u);
+    EXPECT_TRUE(r.agentHealth.sendAttached);
+    EXPECT_TRUE(r.agentHealth.recvAttached);
+    EXPECT_TRUE(r.agentHealth.pollAttached);
+    EXPECT_FALSE(r.agentHealth.degraded());
+    EXPECT_EQ(r.agentHealth.backoffFactor, 1u);
+}
+
+TEST(ChaosExperimentTest, SameSeedSamePlanIsBitIdentical)
+{
+    auto make = [] {
+        auto cfg = chaosConfig("silo", 0.7, 123);
+        cfg.fault = everythingPlan();
+        return runExperiment(cfg);
+    };
+    const auto a = make();
+    const auto b = make();
+
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.syscalls, b.syscalls);
+    EXPECT_EQ(a.p99Ns, b.p99Ns);
+    EXPECT_DOUBLE_EQ(a.observedRps, b.observedRps);
+    EXPECT_DOUBLE_EQ(a.sendVarNs2, b.sendVarNs2);
+
+    EXPECT_EQ(a.faultCounts.eintr, b.faultCounts.eintr);
+    EXPECT_EQ(a.faultCounts.eagain, b.faultCounts.eagain);
+    EXPECT_EQ(a.faultCounts.partialOps, b.faultCounts.partialOps);
+    EXPECT_EQ(a.faultCounts.spuriousWakeups,
+              b.faultCounts.spuriousWakeups);
+    EXPECT_EQ(a.faultCounts.mapUpdateFails, b.faultCounts.mapUpdateFails);
+    EXPECT_EQ(a.faultCounts.connResets, b.faultCounts.connResets);
+    EXPECT_EQ(a.faultCounts.linkFlapHolds, b.faultCounts.linkFlapHolds);
+
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+        EXPECT_EQ(a.samples[i].t, b.samples[i].t);
+        EXPECT_DOUBLE_EQ(a.samples[i].rpsObsv, b.samples[i].rpsObsv);
+        EXPECT_EQ(a.samples[i].send.count, b.samples[i].send.count);
+        EXPECT_DOUBLE_EQ(a.samples[i].send.varianceNs2,
+                         b.samples[i].send.varianceNs2);
+        EXPECT_DOUBLE_EQ(a.samples[i].pollMeanDurNs,
+                         b.samples[i].pollMeanDurNs);
+    }
+
+    // A different seed produces a different fault sequence.
+    auto cfg = chaosConfig("silo", 0.7, 124);
+    cfg.fault = everythingPlan();
+    const auto c = runExperiment(cfg);
+    EXPECT_NE(a.syscalls, c.syscalls);
+}
+
+TEST(ChaosExperimentTest, KernelFaultsActuallyFire)
+{
+    auto cfg = chaosConfig("data-caching", 0.7);
+    cfg.fault.eintrProbability = 0.05;
+    cfg.fault.eagainProbability = 0.05;
+    cfg.fault.partialIoProbability = 0.05;
+    cfg.fault.spuriousWakeupProbability = 0.10;
+    const auto r = runExperiment(cfg);
+    EXPECT_GT(r.faultCounts.eintr, 0u);
+    EXPECT_GT(r.faultCounts.eagain, 0u);
+    EXPECT_GT(r.faultCounts.partialOps, 0u);
+    EXPECT_GT(r.faultCounts.spuriousWakeups, 0u);
+    EXPECT_GT(r.completed, 1000u); // the service still works
+    expectFiniteSamples(r);
+}
+
+TEST(ChaosExperimentTest, SurvivesSendProbeAttachFailure)
+{
+    auto cfg = chaosConfig("data-caching", 0.6);
+    cfg.fault.attachFailProbability = 1.0;
+    cfg.fault.attachFailPrograms = {"send.delta_exit"};
+    const auto r = runExperiment(cfg);
+
+    EXPECT_FALSE(r.agentHealth.sendAttached);
+    EXPECT_TRUE(r.agentHealth.recvAttached);
+    EXPECT_TRUE(r.agentHealth.pollAttached);
+    EXPECT_TRUE(r.agentHealth.degraded());
+    EXPECT_GE(r.faultCounts.attachFails, 1u);
+
+    // Partial operation: recv/poll metrics still flow, Eq. 1 reports 0.
+    EXPECT_FALSE(r.samples.empty());
+    EXPECT_EQ(r.observedRps, 0.0);
+    for (const auto &s : r.samples) {
+        EXPECT_EQ(s.send.count, 0u);
+        EXPECT_GT(s.recv.count, 0u);
+        EXPECT_FALSE(s.health.sendAttached);
+    }
+    EXPECT_GT(r.pollMeanDurNs, 0.0);
+    expectFiniteSamples(r);
+}
+
+TEST(ChaosExperimentTest, SurvivesTotalAttachFailureWithBackoff)
+{
+    auto cfg = chaosConfig("data-caching", 0.6);
+    cfg.fault.attachFailProbability = 1.0; // empty filter: all programs
+    const auto r = runExperiment(cfg);
+
+    EXPECT_FALSE(r.agentHealth.sendAttached);
+    EXPECT_FALSE(r.agentHealth.recvAttached);
+    EXPECT_FALSE(r.agentHealth.pollAttached);
+    EXPECT_TRUE(r.samples.empty()); // nothing to observe ...
+    EXPECT_GT(r.completed, 1000u);  // ... but the service is untouched
+    EXPECT_GT(r.agentHealth.staleWindows, 0u);
+    // The watchdog backed the sampling period off to its ceiling.
+    EXPECT_EQ(r.agentHealth.backoffFactor, 8u);
+    EXPECT_EQ(r.probeEvents, 0u);
+}
+
+TEST(ChaosExperimentTest, SurvivesMapUpdateFailures)
+{
+    auto cfg = chaosConfig("data-caching", 0.7);
+    cfg.fault.mapUpdateFailProbability = 0.5;
+    const auto r = runExperiment(cfg);
+
+    EXPECT_GT(r.probeMapUpdateFails, 0u);
+    EXPECT_GT(r.faultCounts.mapUpdateFails, 0u);
+    EXPECT_TRUE(r.agentHealth.degraded());
+    EXPECT_GT(r.agentHealth.mapUpdateFails, 0u);
+    EXPECT_FALSE(r.samples.empty());
+    // Send/recv deltas ride array maps: Eq. 1 survives hash-map trouble.
+    EXPECT_GT(r.observedRps, 0.0);
+    expectFiniteSamples(r);
+}
+
+TEST(ChaosExperimentTest, EveryWorkloadSurvivesTheEverythingPlan)
+{
+    // The acceptance bar: forced faults at every workload, no crash, no
+    // NaN, health populated. (Shrunk rates keep runtime reasonable.)
+    for (const auto &wl : workload::paperWorkloads()) {
+        ExperimentConfig cfg;
+        cfg.workload = wl;
+        cfg.workload.saturationRps =
+            std::min(cfg.workload.saturationRps, 3000.0);
+        cfg.offeredRps = 0.7 * cfg.workload.saturationRps;
+        cfg.requests = 3000;
+        cfg.seed = 17;
+        cfg.fault = everythingPlan();
+        const auto r = runExperiment(cfg);
+        EXPECT_GT(r.completed, 500u) << wl.name;
+        EXPECT_FALSE(r.samples.empty()) << wl.name;
+        expectFiniteSamples(r);
+    }
+}
+
+TEST(ChaosExperimentTest, ClockJitterDegradesGracefully)
+{
+    auto cfg = chaosConfig("data-caching", 0.7);
+    cfg.fault.clockJitterNs = sim::microseconds(20);
+    const auto r = runExperiment(cfg);
+    EXPECT_FALSE(r.samples.empty());
+    // Guarded probes drop inverted pairs instead of wrapping u64:
+    // variance stays finite and plausible (< 1 s^2).
+    EXPECT_LT(r.sendVarNs2, 1e18);
+    expectFiniteSamples(r);
+}
+
+TEST(ChaosExperimentTest, NetFaultsDepressThroughputNotValidity)
+{
+    auto cfg = chaosConfig("data-caching", 0.7, 29);
+    const auto clean = runExperiment(cfg);
+
+    cfg.fault.connResetProbability = 0.10;
+    const auto faulty = runExperiment(cfg);
+
+    EXPECT_GT(faulty.faultCounts.connResets, 0u);
+    EXPECT_LT(faulty.completed, clean.completed);
+    // The agent keeps tracking what the server actually serves.
+    EXPECT_GT(faulty.observedRps, 0.0);
+    expectFiniteSamples(faulty);
+}
+
+} // namespace
+} // namespace reqobs
