@@ -66,16 +66,9 @@ faultSweep(const workload::WorkloadConfig &wl,
            const std::vector<double> &fractions,
            const fault::FaultPlan &plan)
 {
-    std::vector<bench::LevelResult> out;
-    for (double f : fractions) {
-        core::ExperimentConfig cfg = bench::benchConfig(wl);
-        cfg.fault = plan;
-        bench::LevelResult lr;
-        lr.loadFraction = f;
-        lr.result = bench::runPoint(cfg, f);
-        out.push_back(std::move(lr));
-    }
-    return out;
+    core::ExperimentConfig base = bench::benchConfig(wl);
+    base.fault = plan;
+    return core::runSweepParallel(base, fractions, bench::benchScaling());
 }
 
 std::uint64_t

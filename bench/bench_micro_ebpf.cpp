@@ -15,6 +15,7 @@
 #include "ebpf/helpers.hh"
 #include "ebpf/probes.hh"
 #include "ebpf/runtime.hh"
+#include "ebpf/translate.hh"
 #include "ebpf/verifier.hh"
 #include "ebpf/vm.hh"
 #include "kernel/kernel.hh"
@@ -133,6 +134,101 @@ BM_FilteredOutEvent(benchmark::State &state)
         benchmark::DoNotOptimize(kernel.tracepoints().fire(ev));
 }
 BENCHMARK(BM_FilteredOutEvent);
+
+/** Verified Listing-1 duration probes plus their translated forms. */
+struct ListingOnePair
+{
+    sim::Simulation sim{1};
+    kernel::Kernel kernel{sim};
+    EbpfRuntime rt{kernel};
+    probes::DurationMaps maps;
+    ProgramSpec enter, exit;
+    TranslatedProgram xEnter, xExit;
+    std::string error;
+
+    ListingOnePair()
+        : maps(probes::createDurationMaps(rt, "bench")),
+          enter(probes::buildDurationEnter(rt, 1000, 232, maps)),
+          exit(probes::buildDurationExit(rt, 1000, 232, maps))
+    {
+        const auto ve = verify(enter);
+        const auto vx = verify(exit);
+        if (!ve.ok || !vx.ok) {
+            error = ve.ok ? vx.error : ve.error;
+            return;
+        }
+        if (!translate(enter, ve.maxStackDepth, &xEnter, &error))
+            return;
+        translate(exit, vx.maxStackDepth, &xExit, &error);
+    }
+};
+
+void
+BM_ListingOneProbe(benchmark::State &state, ExecEngine engine)
+{
+    // Reference-vs-translated engine cost on the paper's Listing-1
+    // program itself (the duration-enter probe), executed directly on
+    // the VM with no tracepoint routing around it.
+    ListingOnePair p;
+    if (!p.error.empty())
+        state.SkipWithError(p.error.c_str());
+    Vm vm;
+    TraceCtx ctx{};
+    ctx.id = 232;
+    ctx.pidTgid = kernel::makePidTgid(1000, 1);
+    ExecEnv env;
+    env.pidTgid = ctx.pidTgid;
+    auto *cp = reinterpret_cast<std::uint8_t *>(&ctx);
+    std::uint64_t ts = 1;
+    for (auto _ : state) {
+        ctx.ts = ts += 1000;
+        env.nowNs = ctx.ts;
+        auto r = engine == ExecEngine::Translated
+                     ? vm.run(p.xEnter, cp, sizeof(ctx), env)
+                     : vm.run(p.enter, cp, sizeof(ctx), env);
+        benchmark::DoNotOptimize(r.r0);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_ListingOneProbe, reference, ExecEngine::Reference);
+BENCHMARK_CAPTURE(BM_ListingOneProbe, translated, ExecEngine::Translated);
+
+void
+BM_ListingOneProbePair(benchmark::State &state, ExecEngine engine)
+{
+    // The full Listing-1 enter/exit pair per iteration: the enter run
+    // populates the start-timestamp map so the exit run always takes
+    // its complete path (lookup, delta, stats update, delete).
+    ListingOnePair p;
+    if (!p.error.empty())
+        state.SkipWithError(p.error.c_str());
+    Vm vm;
+    TraceCtx ctx{};
+    ctx.id = 232;
+    ctx.pidTgid = kernel::makePidTgid(1000, 1);
+    ExecEnv env;
+    env.pidTgid = ctx.pidTgid;
+    auto *cp = reinterpret_cast<std::uint8_t *>(&ctx);
+    const bool xlt = engine == ExecEngine::Translated;
+    std::uint64_t ts = 1;
+    for (auto _ : state) {
+        ctx.ts = ts += 1000;
+        env.nowNs = ctx.ts;
+        if (xlt)
+            vm.run(p.xEnter, cp, sizeof(ctx), env);
+        else
+            vm.run(p.enter, cp, sizeof(ctx), env);
+        ctx.ts = ts += 700;
+        env.nowNs = ctx.ts;
+        auto r = xlt ? vm.run(p.xExit, cp, sizeof(ctx), env)
+                     : vm.run(p.exit, cp, sizeof(ctx), env);
+        benchmark::DoNotOptimize(r.r0);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK_CAPTURE(BM_ListingOneProbePair, reference, ExecEngine::Reference);
+BENCHMARK_CAPTURE(BM_ListingOneProbePair, translated,
+                  ExecEngine::Translated);
 
 void
 BM_VerifyDurationExitProbe(benchmark::State &state)

@@ -21,11 +21,7 @@
 namespace reqobs::bench {
 
 /** One load level's ground truth + the agent's windowed estimates. */
-struct LevelResult
-{
-    double loadFraction = 0.0;
-    core::ExperimentResult result;
-};
+using LevelResult = core::SweepPoint;
 
 /** Base config for one workload with bench-appropriate run lengths. */
 inline core::ExperimentConfig
@@ -39,45 +35,41 @@ benchConfig(const workload::WorkloadConfig &wl, std::uint64_t seed = 7)
     return cfg;
 }
 
-/** Run one load point with request count scaled to the rate. */
-inline core::ExperimentResult
-runPoint(core::ExperimentConfig cfg, double load_fraction)
+/**
+ * Bench profile of the shared sweep scaling: shorter windows than the
+ * harness default (4x requests per RPS, 2.5k-25k), warmup and sampling
+ * capped to fractions of the window, and one seed per level.
+ */
+inline core::SweepScaling
+benchScaling()
 {
-    cfg.offeredRps = load_fraction * cfg.workload.saturationRps;
-    cfg.requests = static_cast<std::uint64_t>(
-        std::clamp(cfg.offeredRps * 4.0, 2500.0, 25000.0));
-    // Keep the warmup a small fraction of the offered-load window so
-    // fast workloads (capped request counts) still measure steady state.
-    const double window_s =
-        static_cast<double>(cfg.requests) / cfg.offeredRps;
-    cfg.warmup = std::min<sim::Tick>(
-        sim::milliseconds(200),
-        static_cast<sim::Tick>(window_s * 0.2 * 1e9));
-    // Sample fast enough for several estimates even in short runs.
-    cfg.agent.samplePeriod = std::min<sim::Tick>(
-        sim::milliseconds(100),
-        static_cast<sim::Tick>(window_s * 0.1 * 1e9));
-    cfg.seed += static_cast<std::uint64_t>(load_fraction * 1000.0);
-    auto r = core::runExperiment(cfg);
-    return r;
+    core::SweepScaling s;
+    s.requestsPerRps = 4.0;
+    s.minRequests = 2500;
+    s.maxRequests = 25000;
+    s.scaleWarmup = true;
+    s.scaleSampling = true;
+    s.perLevelSeedOffset = true;
+    return s;
 }
 
-/** Sweep a workload over @p fractions. */
+/** Run one load point with request count scaled to the rate. */
+inline core::ExperimentResult
+runPoint(const core::ExperimentConfig &cfg, double load_fraction)
+{
+    return core::runExperiment(
+        core::sweepPointConfig(cfg, load_fraction, benchScaling()));
+}
+
+/** Sweep a workload over @p fractions (points run in parallel). */
 inline std::vector<LevelResult>
 sweep(const workload::WorkloadConfig &wl,
       const std::vector<double> &fractions,
       const net::NetemConfig &netem = {}, std::uint64_t seed = 7)
 {
-    std::vector<LevelResult> out;
-    for (double f : fractions) {
-        core::ExperimentConfig cfg = benchConfig(wl, seed);
-        cfg.netem = netem;
-        LevelResult lr;
-        lr.loadFraction = f;
-        lr.result = runPoint(cfg, f);
-        out.push_back(std::move(lr));
-    }
-    return out;
+    core::ExperimentConfig base = benchConfig(wl, seed);
+    base.netem = netem;
+    return core::runSweepParallel(base, fractions, benchScaling());
 }
 
 /**

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Full pre-merge check: Release build + tier-1 tests, sanitizer build +
+# tier-1 tests, then the host-perf report (BENCH_perf.json at the repo
+# root). Run from anywhere; all paths are repo-relative.
+#
+# Usage: scripts/check.sh [--no-sanitize] [--no-bench]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+run_sanitize=1
+run_bench=1
+for arg in "$@"; do
+    case "$arg" in
+    --no-sanitize) run_sanitize=0 ;;
+    --no-bench) run_bench=0 ;;
+    *)
+        echo "unknown option: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "== Release build + tests =="
+cmake -B "$repo/build-check" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=Release -DREQOBS_WERROR=ON -DREQOBS_NATIVE=ON
+cmake --build "$repo/build-check" -j "$jobs"
+ctest --test-dir "$repo/build-check" --output-on-failure -j "$jobs"
+
+if [ "$run_sanitize" = 1 ]; then
+    echo "== Sanitizer build + tests =="
+    cmake -B "$repo/build-check-asan" -S "$repo" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DREQOBS_SANITIZE=ON
+    cmake --build "$repo/build-check-asan" -j "$jobs"
+    ctest --test-dir "$repo/build-check-asan" --output-on-failure -j "$jobs"
+fi
+
+if [ "$run_bench" = 1 ]; then
+    echo "== Host perf report =="
+    "$repo/build-check/bench/bench_perf" --json "$repo/BENCH_perf.json"
+fi
+
+echo "== check.sh OK =="

@@ -1,7 +1,10 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "client/load_generator.hh"
 #include "core/profile.hh"
@@ -114,25 +117,125 @@ runExperiment(const ExperimentConfig &config)
     return res;
 }
 
+ExperimentConfig
+sweepPointConfig(const ExperimentConfig &base, double load_fraction,
+                 const SweepScaling &scaling)
+{
+    ExperimentConfig cfg = base;
+    cfg.offeredRps = load_fraction * base.workload.saturationRps;
+    // Scale run length with rate: enough syscalls for stable windows
+    // without letting fast workloads run forever.
+    cfg.requests = static_cast<std::uint64_t>(std::clamp(
+        cfg.offeredRps * scaling.requestsPerRps,
+        static_cast<double>(scaling.minRequests),
+        static_cast<double>(scaling.maxRequests)));
+    const double window_s =
+        static_cast<double>(cfg.requests) / cfg.offeredRps;
+    if (scaling.scaleWarmup) {
+        // Keep the warmup a small fraction of the offered-load window so
+        // fast workloads (capped request counts) still measure steady
+        // state.
+        cfg.warmup = std::min<sim::Tick>(
+            cfg.warmup, static_cast<sim::Tick>(window_s * 0.2 * 1e9));
+    }
+    if (scaling.scaleSampling) {
+        // Sample fast enough for several estimates even in short runs.
+        cfg.agent.samplePeriod = std::min<sim::Tick>(
+            cfg.agent.samplePeriod,
+            static_cast<sim::Tick>(window_s * 0.1 * 1e9));
+    }
+    if (scaling.perLevelSeedOffset)
+        cfg.seed += static_cast<std::uint64_t>(load_fraction * 1000.0);
+    return cfg;
+}
+
+namespace {
+
+unsigned
+resolveThreads(unsigned requested, std::size_t jobs)
+{
+    unsigned n = requested;
+    if (n == 0) {
+        if (const char *env = std::getenv("REQOBS_THREADS"))
+            n = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    }
+    if (n == 0)
+        n = std::thread::hardware_concurrency();
+    if (n == 0)
+        n = 1;
+    return static_cast<unsigned>(
+        std::min<std::size_t>(n, std::max<std::size_t>(jobs, 1)));
+}
+
+} // namespace
+
+std::vector<ExperimentResult>
+runExperimentsParallel(const std::vector<ExperimentConfig> &configs,
+                       unsigned threads)
+{
+    std::vector<ExperimentResult> out(configs.size());
+    if (configs.empty())
+        return out;
+
+    const unsigned workers = resolveThreads(threads, configs.size());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            out[i] = runExperiment(configs[i]);
+        return out;
+    }
+
+    // Each experiment owns a whole Simulation, so runs are independent;
+    // indexed output slots make the result order (and content) identical
+    // to the serial loop above regardless of scheduling.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= configs.size())
+                    return;
+                out[i] = runExperiment(configs[i]);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    return out;
+}
+
+std::vector<SweepPoint>
+runSweepParallel(const ExperimentConfig &base,
+                 const std::vector<double> &load_fractions,
+                 const SweepScaling &scaling, unsigned threads)
+{
+    std::vector<ExperimentConfig> configs;
+    configs.reserve(load_fractions.size());
+    for (double frac : load_fractions)
+        configs.push_back(sweepPointConfig(base, frac, scaling));
+
+    std::vector<ExperimentResult> results =
+        runExperimentsParallel(configs, threads);
+
+    std::vector<SweepPoint> out;
+    out.reserve(load_fractions.size());
+    for (std::size_t i = 0; i < load_fractions.size(); ++i) {
+        SweepPoint p;
+        p.loadFraction = load_fractions[i];
+        p.result = std::move(results[i]);
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
 std::vector<SweepPoint>
 runLoadSweep(const ExperimentConfig &base,
              const std::vector<double> &load_fractions)
 {
-    std::vector<SweepPoint> out;
-    out.reserve(load_fractions.size());
-    for (double frac : load_fractions) {
-        ExperimentConfig cfg = base;
-        cfg.offeredRps = frac * base.workload.saturationRps;
-        // Scale run length with rate: enough syscalls for stable windows
-        // without letting fast workloads run forever.
-        cfg.requests = static_cast<std::uint64_t>(std::clamp(
-            cfg.offeredRps * 8.0, 4000.0, 80000.0));
-        SweepPoint p;
-        p.loadFraction = frac;
-        p.result = runExperiment(cfg);
-        out.push_back(std::move(p));
-    }
-    return out;
+    return runSweepParallel(base, load_fractions, SweepScaling{},
+                            /*threads=*/1);
 }
 
 } // namespace reqobs::core

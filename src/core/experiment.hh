@@ -98,9 +98,62 @@ struct SweepPoint
 };
 
 /**
+ * How a sweep derives each load point's config from the base config.
+ * Two call sites historically duplicated this logic with different
+ * constants: the harness default (long windows, below) and the bench
+ * profile (shorter windows, bench::benchScaling()). Both now feed
+ * sweepPointConfig().
+ */
+struct SweepScaling
+{
+    /** requests = clamp(offeredRps * requestsPerRps, min, max). */
+    double requestsPerRps = 8.0;
+    std::uint64_t minRequests = 4000;
+    std::uint64_t maxRequests = 80000;
+
+    /** Cap warmup at 20% of the offered-load window. */
+    bool scaleWarmup = false;
+    /** Cap the agent sample period at 10% of the window. */
+    bool scaleSampling = false;
+    /** Give each load level its own seed (seed += frac * 1000). */
+    bool perLevelSeedOffset = false;
+};
+
+/** Derive the config for one sweep point at @p load_fraction. */
+ExperimentConfig sweepPointConfig(const ExperimentConfig &base,
+                                  double load_fraction,
+                                  const SweepScaling &scaling = {});
+
+/**
+ * Run many independent experiments, one per config, on a pool of
+ * worker threads. Results come back in input order, and each run is
+ * bit-identical to a serial runExperiment() call: every experiment owns
+ * its entire simulation, so parallelism changes wall time only.
+ *
+ * @param threads Worker count; 0 = REQOBS_THREADS env var if set, else
+ *        hardware concurrency. Clamped to [1, configs.size()];
+ *        1 runs serially on the calling thread.
+ */
+std::vector<ExperimentResult>
+runExperimentsParallel(const std::vector<ExperimentConfig> &configs,
+                       unsigned threads = 0);
+
+/**
+ * Parallel load sweep: one experiment per fraction, results in input
+ * order. Equivalent to (and checked against) mapping runExperiment over
+ * sweepPointConfig serially.
+ */
+std::vector<SweepPoint>
+runSweepParallel(const ExperimentConfig &base,
+                 const std::vector<double> &load_fractions,
+                 const SweepScaling &scaling = {}, unsigned threads = 0);
+
+/**
  * Sweep offered load across @p load_fractions of the workload's
  * saturation RPS, reusing @p base for every other knob. Request counts
  * scale with the rate so each point sees enough syscalls.
+ * Serial wrapper kept for compatibility; runs through runSweepParallel
+ * with a single thread.
  */
 std::vector<SweepPoint> runLoadSweep(const ExperimentConfig &base,
                                      const std::vector<double> &load_fractions);

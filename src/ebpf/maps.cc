@@ -28,55 +28,72 @@ Map::checkSizes(std::size_t key, std::size_t value) const
 
 // ------------------------------------------------------------------ Hash
 
+namespace {
+
+/** Smallest power of two ≥ @p n. */
+std::uint32_t
+pow2AtLeast(std::uint32_t n)
+{
+    std::uint32_t p = 8;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
 HashMap::HashMap(std::uint32_t key_size, std::uint32_t value_size,
                  std::uint32_t max_entries, std::string name)
-    : Map(MapType::Hash, key_size, value_size, max_entries, std::move(name))
-{}
-
-std::uint8_t *
-HashMap::lookup(const std::uint8_t *key)
+    : Map(MapType::Hash, key_size, value_size, max_entries, std::move(name)),
+      // Live entries fill at most half the probe table, so scans stay
+      // short and an empty slot always terminates them.
+      capacity_(pow2AtLeast(max_entries * 2)), mask_(capacity_ - 1),
+      states_(capacity_, kEmpty),
+      keys_(static_cast<std::size_t>(capacity_) * key_size),
+      vidx_(capacity_, kNoSlot),
+      slab_(static_cast<std::size_t>(max_entries) * value_size)
 {
-    const std::string k(reinterpret_cast<const char *>(key), keySize_);
-    auto it = entries_.find(k);
-    return it == entries_.end() ? nullptr : it->second.get();
+    freeVals_.reserve(max_entries);
+    for (std::uint32_t i = max_entries; i > 0; --i)
+        freeVals_.push_back(i - 1);
 }
-
-int
-HashMap::update(const std::uint8_t *key, const std::uint8_t *value,
-                std::uint64_t flags)
+void
+HashMap::compact()
 {
-    const std::string k(reinterpret_cast<const char *>(key), keySize_);
-    auto it = entries_.find(k);
-    if (it != entries_.end()) {
-        if (flags == BPF_NOEXIST)
-            return -17; // -EEXIST
-        std::memcpy(it->second.get(), value, valueSize_);
-        return 0;
+    // Rebuild the probe table only: key bytes and value indices move to
+    // new slots, the value slab (and every pointer into it) stays put.
+    std::vector<std::uint8_t> oldStates(std::move(states_));
+    std::vector<std::uint8_t> oldKeys(std::move(keys_));
+    std::vector<std::uint32_t> oldVidx(std::move(vidx_));
+
+    states_.assign(capacity_, kEmpty);
+    keys_.resize(static_cast<std::size_t>(capacity_) * keySize_);
+    vidx_.assign(capacity_, kNoSlot);
+    tombstones_ = 0;
+
+    for (std::uint32_t s = 0; s < capacity_; ++s) {
+        if (oldStates[s] != kFull)
+            continue;
+        const std::uint8_t *key =
+            oldKeys.data() + static_cast<std::size_t>(s) * keySize_;
+        std::uint32_t i = static_cast<std::uint32_t>(hashKey(key)) & mask_;
+        while (states_[i] != kEmpty)
+            i = (i + 1) & mask_;
+        states_[i] = kFull;
+        std::memcpy(keys_.data() + static_cast<std::size_t>(i) * keySize_,
+                    key, keySize_);
+        vidx_[i] = oldVidx[s];
     }
-    if (flags == BPF_EXIST)
-        return -2; // -ENOENT
-    if (entries_.size() >= maxEntries_)
-        return -7; // -E2BIG
-    auto buf = std::make_unique<std::uint8_t[]>(valueSize_);
-    std::memcpy(buf.get(), value, valueSize_);
-    entries_.emplace(k, std::move(buf));
-    return 0;
 }
-
-int
-HashMap::erase(const std::uint8_t *key)
-{
-    const std::string k(reinterpret_cast<const char *>(key), keySize_);
-    return entries_.erase(k) ? 0 : -2;
-}
-
 void
 HashMap::forEach(
     const std::function<void(const std::uint8_t *, const std::uint8_t *)> &fn)
     const
 {
-    for (const auto &[k, v] : entries_) {
-        fn(reinterpret_cast<const std::uint8_t *>(k.data()), v.get());
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+        if (states_[i] == kFull)
+            fn(keys_.data() + static_cast<std::size_t>(i) * keySize_,
+               valueAt(vidx_[i]));
     }
 }
 
@@ -88,16 +105,6 @@ ArrayMap::ArrayMap(std::uint32_t value_size, std::uint32_t max_entries,
           std::move(name)),
       storage_(static_cast<std::size_t>(value_size) * max_entries, 0)
 {}
-
-std::uint8_t *
-ArrayMap::lookup(const std::uint8_t *key)
-{
-    std::uint32_t idx;
-    std::memcpy(&idx, key, sizeof(idx));
-    if (idx >= maxEntries_)
-        return nullptr;
-    return storage_.data() + static_cast<std::size_t>(idx) * valueSize_;
-}
 
 int
 ArrayMap::update(const std::uint8_t *key, const std::uint8_t *value,

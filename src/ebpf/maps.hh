@@ -16,9 +16,7 @@
 #include <cstring>
 #include <deque>
 #include <functional>
-#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace reqobs::ebpf {
@@ -121,28 +119,235 @@ class Map
     std::string name_;
 };
 
-/** BPF_MAP_TYPE_HASH. */
+namespace detail {
+
+/**
+ * Fibonacci multiplicative mixer: one multiply, then fold the
+ * well-mixed high bits down so power-of-two masking can use the low
+ * ones. Table indexing with linear probing doesn't need a full
+ * finalizer, and the single multiply keeps the hash→probe-load
+ * dependency chain short on the per-event path.
+ */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x *= 0x9E3779B97F4A7C15ULL;
+    return x ^ (x >> 32);
+}
+
+} // namespace detail
+
+/**
+ * BPF_MAP_TYPE_HASH.
+ *
+ * Open-addressing table sized once at creation — the steady-state event
+ * path (duration probes insert on syscall entry and delete on exit,
+ * every event) performs no allocation at all, unlike a node-based
+ * container. The hot operations are non-virtual inline (*Hot) so the
+ * VM's helper dispatch can devirtualize them; the virtual Map overrides
+ * forward to them. Layout:
+ *  - a power-of-two probe table of {state, key bytes, value index}
+ *    kept at most half full of live entries, scanned linearly;
+ *  - value bytes in a fixed slab indexed through a free list. Slab
+ *    slots never move, so value pointers handed to running programs
+ *    stay stable for the entry's lifetime — including across the
+ *    tombstone compaction rebuild, which rearranges only the probe
+ *    table.
+ */
 class HashMap : public Map
 {
   public:
     HashMap(std::uint32_t key_size, std::uint32_t value_size,
             std::uint32_t max_entries, std::string name = "hash");
 
-    std::uint8_t *lookup(const std::uint8_t *key) override;
+    std::uint8_t *lookup(const std::uint8_t *key) override
+    {
+        return lookupHot(key);
+    }
     int update(const std::uint8_t *key, const std::uint8_t *value,
-               std::uint64_t flags) override;
-    int erase(const std::uint8_t *key) override;
-    std::size_t size() const override { return entries_.size(); }
+               std::uint64_t flags) override
+    {
+        return updateHot(key, value, flags);
+    }
+    int erase(const std::uint8_t *key) override { return eraseHot(key); }
+    std::size_t size() const override { return size_; }
 
-    /** Visit every (key, value) pair — userspace iteration. */
+    /** @name Non-virtual hot path (inline; behaviour identical to the
+     *  virtual overrides, which forward here). @{ */
+    std::uint8_t *lookupHot(const std::uint8_t *key);
+    int updateHot(const std::uint8_t *key, const std::uint8_t *value,
+                  std::uint64_t flags);
+    int eraseHot(const std::uint8_t *key);
+    /** @} */
+
+    /** Visit every (key, value) pair — userspace iteration. The order
+     *  is the probe-table order, not insertion order. */
     void forEach(
         const std::function<void(const std::uint8_t *, const std::uint8_t *)>
             &fn) const;
 
   private:
-    /** Value buffers are heap-pinned for pointer stability. */
-    std::unordered_map<std::string, std::unique_ptr<std::uint8_t[]>> entries_;
+    enum : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+    static constexpr std::uint32_t kNoSlot = ~0u;
+
+    std::uint64_t hashKey(const std::uint8_t *key) const;
+    bool keyEq(std::uint32_t slot, const std::uint8_t *key) const;
+    /** Probe-table slot holding @p key, or kNoSlot. */
+    std::uint32_t findSlot(const std::uint8_t *key) const;
+    /** Rebuild the probe table in place to clear tombstones. */
+    void compact();
+
+    std::uint8_t *valueAt(std::uint32_t vidx)
+    {
+        return slab_.data() + static_cast<std::size_t>(vidx) * valueSize_;
+    }
+    const std::uint8_t *valueAt(std::uint32_t vidx) const
+    {
+        return slab_.data() + static_cast<std::size_t>(vidx) * valueSize_;
+    }
+
+    std::uint32_t capacity_; ///< probe-table size, power of two
+    std::uint32_t mask_;     ///< capacity_ - 1
+    std::size_t size_ = 0;   ///< live entries
+    std::size_t tombstones_ = 0;
+    std::vector<std::uint8_t> states_; ///< kEmpty / kFull / kTombstone
+    std::vector<std::uint8_t> keys_;   ///< capacity_ × keySize_
+    std::vector<std::uint32_t> vidx_;  ///< slot → value slab index
+    std::vector<std::uint8_t> slab_;   ///< maxEntries_ × valueSize_, pinned
+    std::vector<std::uint32_t> freeVals_; ///< unused slab indices
 };
+
+// GCC flags the 8-byte memcpy fast paths below when a typed caller
+// passes a 4-byte key: the branch is dead then (keySize_ matches the
+// caller's key type by construction), but after inlining GCC cannot
+// prove it and warns on the unreachable wide read.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
+
+inline std::uint64_t
+HashMap::hashKey(const std::uint8_t *key) const
+{
+    if (keySize_ == 8) {
+        std::uint64_t k;
+        std::memcpy(&k, key, 8);
+        return detail::mix64(k);
+    }
+    if (keySize_ == 4) {
+        std::uint32_t k;
+        std::memcpy(&k, key, 4);
+        return detail::mix64(k);
+    }
+    // FNV-1a over the key bytes, mixed for power-of-two masking.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::uint32_t i = 0; i < keySize_; ++i) {
+        h ^= key[i];
+        h *= 1099511628211ULL;
+    }
+    return detail::mix64(h);
+}
+
+inline bool
+HashMap::keyEq(std::uint32_t slot, const std::uint8_t *key) const
+{
+    const std::uint8_t *stored =
+        keys_.data() + static_cast<std::size_t>(slot) * keySize_;
+    if (keySize_ == 8) {
+        std::uint64_t a, b;
+        std::memcpy(&a, stored, 8);
+        std::memcpy(&b, key, 8);
+        return a == b;
+    }
+    return std::memcmp(stored, key, keySize_) == 0;
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+inline std::uint32_t
+HashMap::findSlot(const std::uint8_t *key) const
+{
+    std::uint32_t i = static_cast<std::uint32_t>(hashKey(key)) & mask_;
+    for (;;) {
+        const std::uint8_t st = states_[i];
+        if (st == kEmpty)
+            return kNoSlot;
+        if (st == kFull && keyEq(i, key))
+            return i;
+        i = (i + 1) & mask_;
+    }
+}
+
+inline std::uint8_t *
+HashMap::lookupHot(const std::uint8_t *key)
+{
+    const std::uint32_t slot = findSlot(key);
+    return slot == kNoSlot ? nullptr : valueAt(vidx_[slot]);
+}
+
+inline int
+HashMap::updateHot(const std::uint8_t *key, const std::uint8_t *value,
+                   std::uint64_t flags)
+{
+    // One probe pass finds either the live entry or the insert position
+    // (first tombstone, else the terminating empty slot).
+    std::uint32_t insert = kNoSlot;
+    std::uint32_t i = static_cast<std::uint32_t>(hashKey(key)) & mask_;
+    for (;;) {
+        const std::uint8_t st = states_[i];
+        if (st == kEmpty) {
+            if (insert == kNoSlot)
+                insert = i;
+            break;
+        }
+        if (st == kFull && keyEq(i, key)) {
+            if (flags == BPF_NOEXIST)
+                return -17; // -EEXIST
+            std::memcpy(valueAt(vidx_[i]), value, valueSize_);
+            return 0;
+        }
+        if (st == kTombstone && insert == kNoSlot)
+            insert = i;
+        i = (i + 1) & mask_;
+    }
+    if (flags == BPF_EXIST)
+        return -2; // -ENOENT
+    if (size_ >= maxEntries_)
+        return -7; // -E2BIG
+
+    if (states_[insert] == kTombstone)
+        --tombstones_;
+    states_[insert] = kFull;
+    std::memcpy(keys_.data() + static_cast<std::size_t>(insert) * keySize_,
+                key, keySize_);
+    const std::uint32_t v = freeVals_.back();
+    freeVals_.pop_back();
+    vidx_[insert] = v;
+    std::memcpy(valueAt(v), value, valueSize_);
+    ++size_;
+
+    // Insert/delete churn accumulates tombstones; rebuild before they
+    // crowd out the empty slots that terminate probe scans.
+    if (size_ + tombstones_ > capacity_ - capacity_ / 4)
+        compact();
+    return 0;
+}
+
+inline int
+HashMap::eraseHot(const std::uint8_t *key)
+{
+    const std::uint32_t slot = findSlot(key);
+    if (slot == kNoSlot)
+        return -2; // -ENOENT
+    states_[slot] = kTombstone;
+    freeVals_.push_back(vidx_[slot]);
+    vidx_[slot] = kNoSlot;
+    --size_;
+    ++tombstones_;
+    return 0;
+}
 
 /** BPF_MAP_TYPE_ARRAY (and, with cpus==1 here, PERCPU_ARRAY). */
 class ArrayMap : public Map
@@ -151,11 +356,24 @@ class ArrayMap : public Map
     ArrayMap(std::uint32_t value_size, std::uint32_t max_entries,
              std::string name = "array", MapType type = MapType::Array);
 
-    std::uint8_t *lookup(const std::uint8_t *key) override;
+    std::uint8_t *lookup(const std::uint8_t *key) override
+    {
+        return lookupHot(key);
+    }
     int update(const std::uint8_t *key, const std::uint8_t *value,
                std::uint64_t flags) override;
     int erase(const std::uint8_t *key) override; ///< -EINVAL like Linux
     std::size_t size() const override { return maxEntries_; }
+
+    /** Non-virtual hot lookup (inline), same behaviour as lookup(). */
+    std::uint8_t *lookupHot(const std::uint8_t *key)
+    {
+        std::uint32_t idx;
+        std::memcpy(&idx, key, sizeof(idx));
+        if (idx >= maxEntries_)
+            return nullptr;
+        return storage_.data() + static_cast<std::size_t>(idx) * valueSize_;
+    }
 
     /** Direct typed slot access for userspace readers. */
     template <typename V>

@@ -111,6 +111,13 @@ EbpfRuntime::loadAndAttach(ProgramSpec spec, kernel::TracepointId point,
     loaded->id = nextProg_++;
     loaded->spec = std::move(spec);
     loaded->point = point;
+    // Translation cache: decode once at attach time. The verifier's
+    // stack-depth bound lets the VM clear only the bytes this program
+    // can touch. A translation failure on a verified program is a bug.
+    std::string xerr;
+    if (!translate(loaded->spec, vr.maxStackDepth, &loaded->xprog, &xerr))
+        sim::panic("eBPF program '%s': %s", loaded->spec.name.c_str(),
+                   xerr.c_str());
     Loaded *raw = loaded.get();
     loaded->handle = kernel_.tracepoints().attach(
         point, [this, raw](const kernel::RawSyscallEvent &ev) {
@@ -176,8 +183,12 @@ EbpfRuntime::execute(Loaded &prog, const kernel::RawSyscallEvent &ev)
     env.rng = &rng_;
     env.fault = fault_;
 
-    RunResult r = vm_.run(prog.spec, reinterpret_cast<std::uint8_t *>(&ctx),
-                          sizeof(ctx), env);
+    RunResult r =
+        config_.engine == ExecEngine::Translated
+            ? vm_.run(prog.xprog, reinterpret_cast<std::uint8_t *>(&ctx),
+                      sizeof(ctx), env)
+            : vm_.run(prog.spec, reinterpret_cast<std::uint8_t *>(&ctx),
+                      sizeof(ctx), env);
     prog.mapUpdateFails += r.mapUpdateFails;
     prog.ringbufDrops += r.ringbufDrops;
     mapUpdateFails_ += r.mapUpdateFails;

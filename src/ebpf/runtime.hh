@@ -32,6 +32,19 @@
 
 namespace reqobs::ebpf {
 
+/**
+ * Execution-engine selection. Translated is the default (the simulator
+ * analogue of the kernel JIT-compiling eBPF, see §VI of the paper):
+ * programs are pre-decoded once at attach time. Reference re-decodes
+ * every instruction per event and serves as the semantic oracle
+ * (tests/ebpf_diff_test.cc asserts the two agree bit-for-bit).
+ */
+enum class ExecEngine
+{
+    Translated,
+    Reference,
+};
+
 /** Cost model for in-kernel probe execution. */
 struct RuntimeConfig
 {
@@ -41,6 +54,8 @@ struct RuntimeConfig
     sim::Tick perInsnCost = sim::nanoseconds(4);
     /** Verifier limits used at load time. */
     VerifierLimits limits;
+    /** Host-side execution engine; results are identical either way. */
+    ExecEngine engine = ExecEngine::Translated;
 };
 
 /** Loaded-program id. */
@@ -136,6 +151,8 @@ class EbpfRuntime
     {
         ProgId id;
         ProgramSpec spec;
+        /** Attach-time pre-decoded form (translation cache). */
+        TranslatedProgram xprog;
         kernel::TracepointId point;
         kernel::ProbeHandle handle;
         std::uint64_t events = 0;

@@ -1,0 +1,238 @@
+#include "ebpf/translate.hh"
+
+#include <cstdio>
+
+#include "ebpf/helpers.hh"
+
+namespace reqobs::ebpf {
+
+namespace {
+
+bool
+setError(std::string *error, std::size_t slot, const char *msg)
+{
+    if (error) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "translate: insn %zu: %s", slot, msg);
+        *error = buf;
+    }
+    return false;
+}
+
+/** Map a BPF ALU high-nibble op to the dense sub-op. */
+bool
+aluSub(std::uint8_t op, XAlu *out)
+{
+    switch (op) {
+      case BPF_ADD: *out = XAlu::Add; return true;
+      case BPF_SUB: *out = XAlu::Sub; return true;
+      case BPF_MUL: *out = XAlu::Mul; return true;
+      case BPF_DIV: *out = XAlu::Div; return true;
+      case BPF_OR: *out = XAlu::Or; return true;
+      case BPF_AND: *out = XAlu::And; return true;
+      case BPF_LSH: *out = XAlu::Lsh; return true;
+      case BPF_RSH: *out = XAlu::Rsh; return true;
+      case BPF_NEG: *out = XAlu::Neg; return true;
+      case BPF_MOD: *out = XAlu::Mod; return true;
+      case BPF_XOR: *out = XAlu::Xor; return true;
+      case BPF_MOV: *out = XAlu::Mov; return true;
+      case BPF_ARSH: *out = XAlu::Arsh; return true;
+    }
+    return false;
+}
+
+/** Map a BPF jump high-nibble op to the dense sub-op (not JA/CALL/EXIT). */
+bool
+jmpSub(std::uint8_t op, XJmp *out)
+{
+    switch (op) {
+      case BPF_JEQ: *out = XJmp::Jeq; return true;
+      case BPF_JGT: *out = XJmp::Jgt; return true;
+      case BPF_JGE: *out = XJmp::Jge; return true;
+      case BPF_JSET: *out = XJmp::Jset; return true;
+      case BPF_JNE: *out = XJmp::Jne; return true;
+      case BPF_JSGT: *out = XJmp::Jsgt; return true;
+      case BPF_JSGE: *out = XJmp::Jsge; return true;
+      case BPF_JLT: *out = XJmp::Jlt; return true;
+      case BPF_JLE: *out = XJmp::Jle; return true;
+      case BPF_JSLT: *out = XJmp::Jslt; return true;
+      case BPF_JSLE: *out = XJmp::Jsle; return true;
+    }
+    return false;
+}
+
+XOp
+sizedOp(XOp base_b, std::uint8_t size_field)
+{
+    const int step = size_field == BPF_B   ? 0
+                     : size_field == BPF_H ? 1
+                     : size_field == BPF_W ? 2
+                                           : 3;
+    return static_cast<XOp>(static_cast<int>(base_b) + step);
+}
+
+std::uint64_t
+sext(std::int32_t imm)
+{
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(imm));
+}
+
+} // namespace
+
+bool
+translate(const ProgramSpec &spec, std::uint32_t stack_depth,
+          TranslatedProgram *out, std::string *error)
+{
+    out->name = spec.name;
+    out->ctxSize = spec.ctxSize;
+    out->stackDepth = stack_depth;
+    out->insns.clear();
+    out->insns.reserve(spec.insns.size() + 1); // + Fault sentinel
+
+    // Pass 1: decode each slot; LD_IMM64 folds two slots into one XInsn.
+    std::vector<std::int32_t> slotToIdx(spec.insns.size(), -1);
+    for (std::size_t pc = 0; pc < spec.insns.size(); ++pc) {
+        const Insn &insn = spec.insns[pc];
+        const std::uint8_t cls = insn.cls();
+        XInsn x{};
+        x.dst = insn.dst;
+        x.src = insn.src;
+        x.off = insn.off;
+        x.slot = static_cast<std::uint16_t>(pc);
+        x.imm = sext(insn.imm);
+        slotToIdx[pc] = static_cast<std::int32_t>(out->insns.size());
+
+        if (cls == BPF_ALU64 || cls == BPF_ALU) {
+            XAlu sub;
+            if (!aluSub(insn.aluOp(), &sub))
+                return setError(error, pc, "bad ALU op");
+            // Fuse (width, operand form, sub-op) into one dense opcode:
+            // four groups of 13, each in XAlu order.
+            int group = insn.isImmSrc() ? 0 : 1;
+            if (cls == BPF_ALU)
+                group += 2;
+            x.op = static_cast<XOp>(static_cast<int>(XOp::Add64Imm) +
+                                    group * 13 + static_cast<int>(sub));
+        } else if (cls == BPF_LD) {
+            if (insn.memSize() != BPF_DW || pc + 1 >= spec.insns.size())
+                return setError(error, pc, "bad ld_imm64");
+            if (insn.src == BPF_PSEUDO_MAP_FD) {
+                auto it = spec.maps.find(insn.imm);
+                if (it == spec.maps.end())
+                    return setError(error, pc, "unknown map fd");
+                x.op = XOp::LdMapPtr;
+                x.map = it->second;
+            } else {
+                x.op = XOp::LdImm64;
+                x.imm = static_cast<std::uint32_t>(insn.imm) |
+                        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                             spec.insns[pc + 1].imm))
+                         << 32);
+            }
+            ++pc; // consume the second slot
+        } else if (cls == BPF_LDX) {
+            x.op = sizedOp(XOp::LdxB, insn.memSize());
+        } else if (cls == BPF_STX) {
+            x.op = sizedOp(XOp::StxB, insn.memSize());
+        } else if (cls == BPF_ST) {
+            x.op = sizedOp(XOp::StB, insn.memSize());
+        } else if (cls == BPF_JMP) {
+            const std::uint8_t op = insn.aluOp();
+            if (op == BPF_EXIT) {
+                x.op = XOp::Exit;
+            } else if (op == BPF_CALL) {
+                switch (insn.imm) {
+                  case helper::kKtimeGetNs: x.op = XOp::CallKtimeGetNs; break;
+                  case helper::kGetCurrentPidTgid:
+                    x.op = XOp::CallGetCurrentPidTgid;
+                    break;
+                  case helper::kGetPrandomU32:
+                    x.op = XOp::CallGetPrandomU32;
+                    break;
+                  case helper::kMapLookupElem: x.op = XOp::CallMapLookup; break;
+                  case helper::kMapUpdateElem: x.op = XOp::CallMapUpdate; break;
+                  case helper::kMapDeleteElem: x.op = XOp::CallMapDelete; break;
+                  case helper::kRingbufOutput:
+                    x.op = XOp::CallRingbufOutput;
+                    break;
+                  default:
+                    return setError(error, pc, "unknown helper");
+                }
+            } else if (op == BPF_JA) {
+                x.op = XOp::Ja;
+                x.target = static_cast<std::int32_t>(pc) + 1 + insn.off;
+            } else {
+                XJmp sub;
+                if (!jmpSub(op, &sub))
+                    return setError(error, pc, "bad jump op");
+                // Fuse operand form and condition: two groups of 11 in
+                // XJmp order.
+                x.op = static_cast<XOp>(
+                    static_cast<int>(insn.isImmSrc() ? XOp::JeqImm
+                                                     : XOp::JeqReg) +
+                    static_cast<int>(sub));
+                x.target = static_cast<std::int32_t>(pc) + 1 + insn.off;
+            }
+        } else {
+            return setError(error, pc, "unsupported instruction class");
+        }
+        out->insns.push_back(x);
+    }
+
+    // Pass 2: rewrite jump targets from slot space to decoded-index space.
+    for (XInsn &x : out->insns) {
+        if (x.op < XOp::Ja || x.op > XOp::JsleReg)
+            continue;
+        if (x.target < 0 ||
+            x.target >= static_cast<std::int32_t>(slotToIdx.size()) ||
+            slotToIdx[x.target] < 0) {
+            // Falls off the program or lands on an LD_IMM64 second slot;
+            // the reference interpreter faults at run time, so aim the
+            // jump at the sentinel and let the fast path fault
+            // identically.
+            x.target = static_cast<std::int32_t>(out->insns.size());
+            continue;
+        }
+        x.target = slotToIdx[x.target];
+    }
+
+    // Pass 3: peephole superinstructions. A mov feeding an ALU op on the
+    // same register is the dominant pair in compiled probe code (pointer
+    // materialisation like `r2 = r10; r2 += -8`). The pair's head
+    // becomes a fused opcode that performs both steps in one dispatch
+    // and skips the second slot; the second instruction stays in place
+    // unchanged, so jumps into it are unaffected (every index keeps
+    // meaning "execute from here"). Register-operand forms are fused
+    // only when the second operand is not the pair's destination — the
+    // fused form reads it before the mov would have clobbered it.
+    for (std::size_t i = 0; i + 1 < out->insns.size(); ++i) {
+        XInsn &a = out->insns[i];
+        const XInsn &b = out->insns[i + 1];
+        if (a.op != XOp::Mov64Reg || b.dst != a.dst)
+            continue;
+        if (b.op == XOp::Add64Imm) {
+            a.op = XOp::Lea64;
+            a.imm = b.imm;
+        } else if (b.op == XOp::Rsh64Imm) {
+            a.op = XOp::MovRsh64;
+            a.imm = b.imm;
+        } else if (b.op == XOp::Sub64Reg && b.src != a.dst) {
+            a.op = XOp::MovSub64;
+            a.target = b.src;
+        } else if (b.op == XOp::Mul64Reg && b.src != a.dst) {
+            a.op = XOp::MovMul64;
+            a.target = b.src;
+        }
+    }
+
+    // Close the program with the Fault sentinel: sequential fall-off and
+    // the out-of-range jumps above land here, so the execution loop
+    // carries no per-instruction bounds check.
+    XInsn sentinel{};
+    sentinel.op = XOp::Fault;
+    sentinel.slot = static_cast<std::uint16_t>(spec.insns.size());
+    out->insns.push_back(sentinel);
+    return true;
+}
+
+} // namespace reqobs::ebpf

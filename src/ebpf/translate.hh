@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The eBPF translation cache: the simulator analogue of the kernel's
+ * JIT.
+ *
+ * A verified ProgramSpec is decoded ONCE at attach time into a flat
+ * array of pre-decoded instructions:
+ *  - every (class, sub-op, operand form) triple is fused into a single
+ *    dense handler index, so the execution loop is one flat jump table
+ *    with no nested sub-op dispatch;
+ *  - LD_IMM64 pseudo map references are resolved to Map pointers (the
+ *    interpreter's per-execution std::map::find disappears);
+ *  - immediates are sign-extended ahead of time and jump targets are
+ *    rewritten as absolute decoded-instruction indices (LD_IMM64's
+ *    second slot is folded away);
+ *  - a trailing Fault sentinel closes the program, so the hot loop
+ *    needs no per-instruction bounds check: any control flow that
+ *    leaves the program lands on the sentinel and faults exactly like
+ *    the reference interpreter's "pc out of bounds";
+ *  - the verifier's computed maximum stack depth is recorded so the VM
+ *    clears only the bytes the program can actually touch.
+ *
+ * Execution semantics are bit-identical to the reference interpreter
+ * (Vm::run on the ProgramSpec): same retired-instruction counts, same
+ * helper behaviour, same defence-in-depth memory checks, same fault
+ * counters. tests/ebpf_diff_test.cc holds the two engines to that
+ * contract over the fuzz corpus and the whole probe library.
+ */
+
+#ifndef REQOBS_EBPF_TRANSLATE_HH
+#define REQOBS_EBPF_TRANSLATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.hh"
+
+namespace reqobs::ebpf {
+
+/**
+ * The fused-opcode vocabulary as an X-macro: the single source of truth
+ * for the XOp enum AND the VM's direct-threaded jump table (the two
+ * must agree entry for entry). The layout is load-bearing: each ALU
+ * group lists its sub-operations in XAlu order and each conditional-
+ * jump group in XJmp order, so translation fuses (class, sub-op) into
+ * one opcode with plain index arithmetic, and the Ja..JsleReg range
+ * stays contiguous for the jump-target rewrite. Fault stays last: it is
+ * the sentinel and bounds the table.
+ */
+#define REQOBS_XOP_LIST(X)                                                   \
+    /* ALU64, pre-extended immediate operand (XAlu order). */                \
+    X(Add64Imm) X(Sub64Imm) X(Mul64Imm) X(Div64Imm) X(Or64Imm) X(And64Imm)  \
+    X(Lsh64Imm) X(Rsh64Imm) X(Neg64Imm) X(Mod64Imm) X(Xor64Imm) X(Mov64Imm) \
+    X(Arsh64Imm)                                                             \
+    /* ALU64, register operand. */                                           \
+    X(Add64Reg) X(Sub64Reg) X(Mul64Reg) X(Div64Reg) X(Or64Reg) X(And64Reg)  \
+    X(Lsh64Reg) X(Rsh64Reg) X(Neg64Reg) X(Mod64Reg) X(Xor64Reg) X(Mov64Reg) \
+    X(Arsh64Reg)                                                             \
+    /* ALU32, immediate operand. */                                          \
+    X(Add32Imm) X(Sub32Imm) X(Mul32Imm) X(Div32Imm) X(Or32Imm) X(And32Imm)  \
+    X(Lsh32Imm) X(Rsh32Imm) X(Neg32Imm) X(Mod32Imm) X(Xor32Imm) X(Mov32Imm) \
+    X(Arsh32Imm)                                                             \
+    /* ALU32, register operand. */                                           \
+    X(Add32Reg) X(Sub32Reg) X(Mul32Reg) X(Div32Reg) X(Or32Reg) X(And32Reg)  \
+    X(Lsh32Reg) X(Rsh32Reg) X(Neg32Reg) X(Mod32Reg) X(Xor32Reg) X(Mov32Reg) \
+    X(Arsh32Reg)                                                             \
+    /* Constants: folded LD_IMM64 and resolved map pointer. */               \
+    X(LdImm64) X(LdMapPtr)                                                   \
+    /* Memory. */                                                            \
+    X(LdxB) X(LdxH) X(LdxW) X(LdxDw)                                         \
+    X(StxB) X(StxH) X(StxW) X(StxDw)                                         \
+    X(StB) X(StH) X(StW) X(StDw)                                             \
+    /* Jumps: Ja, then imm and reg groups in XJmp order. */                  \
+    X(Ja)                                                                    \
+    X(JeqImm) X(JgtImm) X(JgeImm) X(JsetImm) X(JneImm) X(JsgtImm)            \
+    X(JsgeImm) X(JltImm) X(JleImm) X(JsltImm) X(JsleImm)                     \
+    X(JeqReg) X(JgtReg) X(JgeReg) X(JsetReg) X(JneReg) X(JsgtReg)            \
+    X(JsgeReg) X(JltReg) X(JleReg) X(JsltReg) X(JsleReg)                     \
+    /* Helpers. */                                                           \
+    X(CallKtimeGetNs) X(CallGetCurrentPidTgid) X(CallGetPrandomU32)          \
+    X(CallMapLookup) X(CallMapUpdate) X(CallMapDelete) X(CallRingbufOutput)  \
+    /* Superinstructions: common mov+ALU pairs fused by the peephole     */  \
+    /* pass (the second instruction of each pair stays in place so      */  \
+    /* jumps into it keep working; the fused form skips over it).       */  \
+    X(Lea64) X(MovRsh64) X(MovSub64) X(MovMul64)                             \
+    /* Termination and the trailing sentinel. */                             \
+    X(Exit) X(Fault)
+
+/** Dense handler index for the translated fast path. */
+enum class XOp : std::uint8_t
+{
+#define REQOBS_XOP_ENUM(name) name,
+    REQOBS_XOP_LIST(REQOBS_XOP_ENUM)
+#undef REQOBS_XOP_ENUM
+};
+
+/** Dense ALU sub-operation; fused into XOp as a group offset. */
+enum class XAlu : std::uint8_t
+{
+    Add, Sub, Mul, Div, Or, And, Lsh, Rsh, Neg, Mod, Xor, Mov, Arsh,
+};
+
+/** Dense jump sub-operation; fused into XOp as a group offset. */
+enum class XJmp : std::uint8_t
+{
+    Jeq, Jgt, Jge, Jset, Jne, Jsgt, Jsge, Jlt, Jle, Jslt, Jsle,
+};
+
+/** One pre-decoded instruction. */
+struct XInsn
+{
+    XOp op = XOp::Fault;
+    std::uint8_t dst = 0;
+    std::uint8_t src = 0;
+    std::int16_t off = 0;   ///< memory displacement
+    std::uint16_t slot = 0; ///< originating ProgramSpec slot (diagnostics)
+    std::int32_t target = 0; ///< jump target, absolute decoded index
+    std::uint64_t imm = 0;  ///< sign-extended immediate / 64-bit constant
+    Map *map = nullptr;     ///< resolved map (LdMapPtr)
+};
+
+/** A program decoded for the fast path; build with translate(). */
+struct TranslatedProgram
+{
+    std::string name;
+    /** Decoded instructions, closed by the trailing Fault sentinel. */
+    std::vector<XInsn> insns;
+    std::uint32_t ctxSize = 0;
+    /** Bytes below r10 the VM must clear per run (from the verifier). */
+    std::uint32_t stackDepth = 0;
+
+    bool valid() const { return !insns.empty(); }
+};
+
+/**
+ * Decode @p spec into @p out. @p stack_depth comes from
+ * VerifyResult::maxStackDepth; pass the full stack size for programs
+ * that bypassed verification. Returns false (with @p error set) on a
+ * form the fast path cannot represent — which verified programs never
+ * contain.
+ */
+bool translate(const ProgramSpec &spec, std::uint32_t stack_depth,
+               TranslatedProgram *out, std::string *error = nullptr);
+
+} // namespace reqobs::ebpf
+
+#endif // REQOBS_EBPF_TRANSLATE_HH

@@ -1,12 +1,23 @@
 /**
  * @file
- * The eBPF interpreter.
+ * The eBPF execution engines.
  *
- * Executes verified bytecode against a context buffer. Even though the
- * verifier already guarantees memory safety, the interpreter keeps
- * defence-in-depth runtime checks: every load/store is validated against
- * the regions a program may legally touch (its stack frame, the context,
- * and map values handed out by lookups during this run). A hard
+ * Two engines share one Vm (registers, stack, statistics):
+ *
+ *  - the *reference interpreter* (run on a ProgramSpec): decodes each
+ *    instruction on every execution, exactly as the seed did. It is the
+ *    semantic oracle and stays selectable at runtime.
+ *  - the *translation-cache fast path* (run on a TranslatedProgram):
+ *    executes the flat pre-decoded form produced at attach time — dense
+ *    handler dispatch, map pointers resolved, immediates pre-extended,
+ *    and only the verifier-computed stack depth cleared per run.
+ *
+ * Both keep defence-in-depth runtime checks: every load/store is
+ * validated against the regions a program may legally touch (its stack
+ * frame, the context, and map values handed out by lookups during this
+ * run). The regions scratch buffer is owned by the Vm and reused across
+ * runs — no allocation per execution — and repeated lookups of the same
+ * map value are deduplicated instead of growing the scan list. A hard
  * instruction budget bounds execution, mirroring the kernel.
  */
 
@@ -19,6 +30,7 @@
 
 #include "ebpf/helpers.hh"
 #include "ebpf/program.hh"
+#include "ebpf/translate.hh"
 
 namespace reqobs::ebpf {
 
@@ -34,7 +46,7 @@ struct RunResult
     std::string error;
 };
 
-/** Interpreter for verified programs. Reusable across runs. */
+/** Executes programs through either engine. Reusable across runs. */
 class Vm
 {
   public:
@@ -42,26 +54,62 @@ class Vm
     explicit Vm(std::uint64_t max_insns = 1u << 20);
 
     /**
-     * Execute @p prog with @p ctx as the r1 context (ctx_len must match
-     * prog.ctxSize) in environment @p env.
+     * Reference interpreter: execute @p prog with @p ctx as the r1
+     * context (ctx_len must match prog.ctxSize) in environment @p env.
      */
     RunResult run(const ProgramSpec &prog, std::uint8_t *ctx,
+                  std::uint32_t ctx_len, ExecEnv &env);
+
+    /**
+     * Translation-cache fast path: execute a pre-decoded program.
+     * Semantically identical to the reference engine for any verified
+     * program (asserted by tests/ebpf_diff_test.cc).
+     */
+    RunResult run(const TranslatedProgram &prog, std::uint8_t *ctx,
                   std::uint32_t ctx_len, ExecEnv &env);
 
     /** Cumulative instructions retired across all runs. */
     std::uint64_t totalInsns() const { return totalInsns_; }
 
   private:
-    std::uint64_t maxInsns_;
-    std::uint64_t totalInsns_ = 0;
-    std::vector<std::uint8_t> stack_;
-
     struct Region
     {
         std::uint8_t *base;
         std::size_t size;
         bool writable;
     };
+
+    std::uint64_t maxInsns_;
+    std::uint64_t totalInsns_ = 0;
+    std::vector<std::uint8_t> stack_;
+    /** Scratch list of legal regions, reused across runs (no per-run
+     *  allocation once warm). */
+    std::vector<Region> regions_;
+
+    /** Start a run: clear the deepest @p stack_depth bytes and reset the
+     *  regions scratch to {stack, ctx}. */
+    void beginRun(std::uint32_t stack_depth, std::uint8_t *ctx,
+                  std::uint32_t ctx_len);
+
+    /**
+     * Register a map value handed out by a lookup. Deduplicated: looking
+     * the same value up twice must not degrade checkAccess into a scan
+     * over duplicates.
+     */
+    void addMapValueRegion(std::uint8_t *base, std::size_t size);
+
+    /** Pointer into a legal region, or nullptr. */
+    std::uint8_t *checkAccess(std::uint64_t addr, int len, bool write) const;
+
+    /** @name Helper-call bodies shared by both engines.
+     * Return nullptr on success, or a fault message. @{ */
+    const char *callMapLookup(std::uint64_t *reg);
+    const char *callMapUpdate(std::uint64_t *reg, ExecEnv &env,
+                              RunResult &res);
+    const char *callMapDelete(std::uint64_t *reg);
+    const char *callRingbufOutput(std::uint64_t *reg, ExecEnv &env,
+                                  RunResult &res);
+    /** @} */
 };
 
 } // namespace reqobs::ebpf

@@ -1,7 +1,5 @@
 #include "sim/event_queue.hh"
 
-#include <utility>
-
 #include "sim/logging.hh"
 
 namespace reqobs::sim {
@@ -9,35 +7,55 @@ namespace reqobs::sim {
 bool
 EventId::pending() const
 {
-    return state_ && !state_->cancelled && !state_->fired;
+    return queue_ && queue_->slotPending(slot_, gen_);
 }
 
 void
 EventId::cancel()
 {
-    if (state_ && !state_->fired)
-        state_->cancelled = true;
+    if (queue_)
+        queue_->cancelSlot(slot_, gen_);
 }
 
-EventId
-EventQueue::schedule(Tick when, std::function<void()> fn)
+std::uint32_t
+EventQueue::prepare(Tick when)
 {
     if (when < lastPopped_)
         panic("EventQueue: scheduling into the past (%lld < %lld)",
               (long long)when, (long long)lastPopped_);
-    auto state = std::make_shared<EventId::State>();
-    state->when = when;
-    state->seq = nextSeq_++;
-    state->fn = std::move(fn);
-    heap_.push(state);
-    return EventId(state);
+    std::uint32_t slot;
+    if (!free_.empty()) {
+        slot = free_.back();
+        free_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slab_.size());
+        slab_.emplace_back();
+    }
+    State &st = slab_[slot];
+    st.when = when;
+    st.cancelled = false;
+    st.fired = false;
+    heap_.push(HeapEntry{when, nextSeq_++, slot});
+    return slot;
+}
+
+void
+EventQueue::release(std::uint32_t slot)
+{
+    State &st = slab_[slot];
+    st.cb.reset();
+    // Invalidate outstanding handles to this slot before it is reused.
+    ++st.gen;
+    free_.push_back(slot);
 }
 
 void
 EventQueue::skipCancelled()
 {
-    while (!heap_.empty() && heap_.top()->cancelled)
+    while (!heap_.empty() && slab_[heap_.top().slot].cancelled) {
+        release(heap_.top().slot);
         heap_.pop();
+    }
 }
 
 Tick
@@ -46,7 +64,7 @@ EventQueue::nextTick() const
     // Lazily drop cancelled entries so the reported bound is exact.
     auto *self = const_cast<EventQueue *>(this);
     self->skipCancelled();
-    return heap_.empty() ? kTickMax : heap_.top()->when;
+    return heap_.empty() ? kTickMax : heap_.top().when;
 }
 
 bool
@@ -63,19 +81,39 @@ EventQueue::popAndRun(Tick &now)
     skipCancelled();
     if (heap_.empty())
         return false;
-    StatePtr ev = heap_.top();
+    const HeapEntry top = heap_.top();
     heap_.pop();
-    if (ev->when < lastPopped_)
+    if (top.when < lastPopped_)
         panic("EventQueue: time went backwards");
-    lastPopped_ = ev->when;
-    now = ev->when;
-    ev->fired = true;
+    lastPopped_ = top.when;
+    now = top.when;
+    State &st = slab_[top.slot];
+    // Marked fired before invocation so a callback cancelling itself
+    // through a retained handle is a no-op. The slot is only released
+    // after the callback returns, so self-rescheduling callbacks never
+    // see their own captures destroyed (slab addresses are stable even
+    // if scheduling grows the slab mid-callback).
+    st.fired = true;
     ++executed_;
-    // Move the callback out so self-rescheduling callbacks can't touch a
-    // destroyed functor.
-    auto fn = std::move(ev->fn);
-    fn();
+    st.cb();
+    release(top.slot);
     return true;
+}
+
+bool
+EventQueue::slotPending(std::uint32_t slot, std::uint32_t gen) const
+{
+    if (slot >= slab_.size())
+        return false;
+    const State &st = slab_[slot];
+    return st.gen == gen && !st.cancelled && !st.fired;
+}
+
+void
+EventQueue::cancelSlot(std::uint32_t slot, std::uint32_t gen)
+{
+    if (slotPending(slot, gen))
+        slab_[slot].cancelled = true;
 }
 
 } // namespace reqobs::sim

@@ -6,25 +6,88 @@
  * insertion order so execution is fully deterministic. Events can be
  * cancelled through the EventId handle returned at scheduling time
  * (used heavily by timeouts: epoll timeouts, TCP retransmission timers).
+ *
+ * Storage is allocation-free per event: event states live in a pooled
+ * slab (a chunked deque recycled through a free list) and callbacks are
+ * stored inline in a fixed-size buffer instead of a heap-backed
+ * std::function. The heap orders lightweight (tick, seq, slot) entries
+ * by value. The seed design paid two heap allocations per event
+ * (shared_ptr<State> + std::function); a sweep schedules tens of
+ * millions, which made the allocator the simulator's hottest path.
  */
 
 #ifndef REQOBS_SIM_EVENT_QUEUE_HH
 #define REQOBS_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <deque>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hh"
 
 namespace reqobs::sim {
 
+class EventQueue;
+
+/**
+ * Non-allocating callback holder for event slab slots. Any callable up
+ * to kCapacity bytes is stored inline; larger captures fail to compile
+ * (wrap oversized state in a shared_ptr at the call site).
+ */
+class InlineCallback
+{
+  public:
+    static constexpr std::size_t kCapacity = 96;
+
+    InlineCallback() = default;
+    ~InlineCallback() { reset(); }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fd = std::decay_t<F>;
+        static_assert(sizeof(Fd) <= kCapacity,
+                      "event callback captures too much state for the "
+                      "inline buffer; capture a shared_ptr instead");
+        static_assert(alignof(Fd) <= alignof(std::max_align_t));
+        reset();
+        ::new (static_cast<void *>(buf_)) Fd(std::forward<F>(fn));
+        invoke_ = [](void *p) { (*static_cast<Fd *>(p))(); };
+        destroy_ = [](void *p) { static_cast<Fd *>(p)->~Fd(); };
+    }
+
+    void operator()() { invoke_(buf_); }
+
+    void
+    reset()
+    {
+        if (destroy_)
+            destroy_(buf_);
+        invoke_ = nullptr;
+        destroy_ = nullptr;
+    }
+
+  private:
+    alignas(std::max_align_t) unsigned char buf_[kCapacity];
+    void (*invoke_)(void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+};
+
 /**
  * Handle to a scheduled event. Default-constructed handles are inert.
- * Copies share the same underlying event: cancelling any copy cancels
- * the event.
+ * Copies refer to the same underlying event: cancelling any copy
+ * cancels the event. A handle refers to a (slot, generation) pair, so
+ * handles to already-fired events stay harmless after the slot is
+ * recycled. Handles must not outlive their EventQueue.
  */
 class EventId
 {
@@ -40,18 +103,13 @@ class EventId
   private:
     friend class EventQueue;
 
-    struct State
-    {
-        Tick when = 0;
-        std::uint64_t seq = 0;
-        std::function<void()> fn;
-        bool cancelled = false;
-        bool fired = false;
-    };
+    EventId(EventQueue *queue, std::uint32_t slot, std::uint32_t gen)
+        : queue_(queue), slot_(slot), gen_(gen)
+    {}
 
-    explicit EventId(std::shared_ptr<State> state) : state_(std::move(state)) {}
-
-    std::shared_ptr<State> state_;
+    EventQueue *queue_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
 };
 
 /**
@@ -71,7 +129,15 @@ class EventQueue
     EventQueue &operator=(const EventQueue &) = delete;
 
     /** Schedule @p fn at absolute tick @p when. @pre when >= lastPopped. */
-    EventId schedule(Tick when, std::function<void()> fn);
+    template <typename Fn>
+    EventId
+    schedule(Tick when, Fn &&fn)
+    {
+        const std::uint32_t slot = prepare(when);
+        State &st = slab_[slot];
+        st.cb.emplace(std::forward<Fn>(fn));
+        return EventId(this, slot, st.gen);
+    }
 
     /** Tick of the earliest pending event, or kTickMax if none. */
     Tick nextTick() const;
@@ -95,29 +161,59 @@ class EventQueue
     /** Total events executed so far (for stats/debugging). */
     std::uint64_t executedCount() const { return executed_; }
 
+    /** Slab slots currently held (live + free); capacity diagnostics. */
+    std::size_t slabSize() const { return slab_.size(); }
+
   private:
-    using StatePtr = std::shared_ptr<EventId::State>;
+    friend class EventId;
+
+    /** One pooled event state. Addresses are stable (deque chunks). */
+    struct State
+    {
+        Tick when = 0;
+        std::uint32_t gen = 0;
+        bool cancelled = false;
+        bool fired = false;
+        InlineCallback cb;
+    };
+
+    /** What the heap orders: the full key plus the slab slot. */
+    struct HeapEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
 
     struct Later
     {
         bool
-        operator()(const StatePtr &a, const StatePtr &b) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
-            if (a->when != b->when)
-                return a->when > b->when;
-            return a->seq > b->seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
         }
     };
 
-    std::priority_queue<StatePtr, std::vector<StatePtr>, Later> heap_;
+    std::deque<State> slab_;
+    std::vector<std::uint32_t> free_;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     Tick lastPopped_ = 0;
 
+    /** Validate @p when, claim a slot, push the heap entry. */
+    std::uint32_t prepare(Tick when);
+
+    /** Return a popped/skipped slot to the free list (bumps gen). */
+    void release(std::uint32_t slot);
+
     /** Drop cancelled entries from the top of the heap. */
     void skipCancelled();
 
-    friend class EventId;
+    bool slotPending(std::uint32_t slot, std::uint32_t gen) const;
+    void cancelSlot(std::uint32_t slot, std::uint32_t gen);
 };
 
 } // namespace reqobs::sim

@@ -8,21 +8,19 @@ namespace reqobs::sim {
 
 Simulation::Simulation(std::uint64_t seed) : masterRng_(seed) {}
 
-EventId
-Simulation::schedule(Tick delay, std::function<void()> fn)
+void
+Simulation::checkDelay(Tick delay) const
 {
     if (delay < 0)
         panic("Simulation::schedule: negative delay %lld", (long long)delay);
-    return events_.schedule(now_ + delay, std::move(fn));
 }
 
-EventId
-Simulation::scheduleAt(Tick when, std::function<void()> fn)
+void
+Simulation::checkAt(Tick when) const
 {
     if (when < now_)
         panic("Simulation::scheduleAt: tick %lld is in the past (now %lld)",
               (long long)when, (long long)now_);
-    return events_.schedule(when, std::move(fn));
 }
 
 void

@@ -16,7 +16,7 @@
 #define REQOBS_SIM_SIMULATION_HH
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
@@ -41,10 +41,22 @@ class Simulation
     Tick now() const { return now_; }
 
     /** Schedule @p fn to run @p delay ticks from now. @pre delay >= 0. */
-    EventId schedule(Tick delay, std::function<void()> fn);
+    template <typename Fn>
+    EventId
+    schedule(Tick delay, Fn &&fn)
+    {
+        checkDelay(delay);
+        return events_.schedule(now_ + delay, std::forward<Fn>(fn));
+    }
 
     /** Schedule @p fn at absolute tick @p when. @pre when >= now(). */
-    EventId scheduleAt(Tick when, std::function<void()> fn);
+    template <typename Fn>
+    EventId
+    scheduleAt(Tick when, Fn &&fn)
+    {
+        checkAt(when);
+        return events_.schedule(when, std::forward<Fn>(fn));
+    }
 
     /** Run until the queue drains. */
     void run();
@@ -79,6 +91,10 @@ class Simulation
     EventQueue events_;
     Rng masterRng_;
     Tick now_ = 0;
+
+    /** Out-of-line argument validation (panics live in the .cc). */
+    void checkDelay(Tick delay) const;
+    void checkAt(Tick when) const;
 };
 
 } // namespace reqobs::sim
