@@ -15,6 +15,8 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hh"
 #include "fault/fault.hh"
@@ -22,6 +24,17 @@
 namespace {
 
 using namespace reqobs;
+
+/** Rows for the optional --json emission (accuracy + health pairs). */
+struct JsonRow
+{
+    std::string part;
+    std::string label;
+    double r2 = 0.0;
+    double degradedFraction = 0.0;
+};
+
+std::vector<JsonRow> g_json;
 
 struct FaultClass
 {
@@ -117,13 +130,19 @@ partOneMatrix()
                 "-------------------");
 
     std::vector<std::uint64_t> injected(classes.size(), 0);
+    std::vector<double> degraded(classes.size(), 0.0);
     for (const auto &wl : workload::paperWorkloads()) {
         std::printf("%-14s", wl.name.c_str());
         for (std::size_t i = 0; i < classes.size(); ++i) {
             const auto levels = faultSweep(wl, fractions, classes[i].plan);
-            std::printf(" %9.4f", bench::fitObsVsReal(levels).r2);
+            const double r2 = bench::fitObsVsReal(levels).r2;
+            const double deg = bench::degradedFraction(levels);
+            std::printf(" %9.4f", r2);
             for (const auto &lvl : levels)
                 injected[i] += totalInjected(lvl.result.faultCounts);
+            degraded[i] += deg;
+            g_json.push_back(
+                {"matrix", wl.name + "/" + classes[i].name, r2, deg});
         }
         std::printf("\n");
     }
@@ -132,6 +151,15 @@ partOneMatrix()
         std::printf(" %9llu",
                     static_cast<unsigned long long>(
                         injected[i] / workload::paperWorkloads().size()));
+    std::printf("\n");
+    // Accuracy numbers always travel with pipeline-health numbers: the
+    // mean fraction of samples whose agent self-diagnostics flagged
+    // degradation (lost events, missing probes, torn windows).
+    std::printf("%-14s", "degraded%");
+    for (std::size_t i = 0; i < classes.size(); ++i)
+        std::printf(" %9.1f",
+                    100.0 * degraded[i] /
+                        static_cast<double>(workload::paperWorkloads().size()));
     std::printf("\n");
 
     std::printf("\nExpected shape: the clean column reproduces Fig. 2; "
@@ -148,6 +176,7 @@ partTwoIntensity()
     const std::vector<double> fractions = {0.4, 0.6, 0.8, 1.0};
     const std::vector<double> intensities = {0.0, 0.01, 0.05, 0.2};
 
+    std::string deg_line = "degraded samples:";
     std::printf("%-9s %8s %9s %9s %10s %8s %8s %9s\n", "intensity", "R^2",
                 "rps_err%", "cv2@0.8", "poll_us", "stale", "mapfail",
                 "injected");
@@ -157,6 +186,16 @@ partTwoIntensity()
     for (double x : intensities) {
         const auto levels = faultSweep(wl, fractions, combinedPlan(x));
         const double r2 = bench::fitObsVsReal(levels).r2;
+        const double deg = bench::degradedFraction(levels);
+        {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), " x=%.2f %.1f%%", x,
+                          100.0 * deg);
+            deg_line += buf;
+            char label[32];
+            std::snprintf(label, sizeof(label), "intensity-%.2f", x);
+            g_json.push_back({"intensity", label, r2, deg});
+        }
 
         // The 0.8-load level carries the Fig. 3/4 shaped signals.
         const auto &mid = levels[2].result;
@@ -187,6 +226,8 @@ partTwoIntensity()
                     static_cast<unsigned long long>(mapfail),
                     static_cast<unsigned long long>(injected));
     }
+
+    std::printf("%s\n", deg_line.c_str());
 
     std::printf("\nExpected shape: R^2 and the rps error stay near their "
                 "clean values through\nmoderate intensities; heavy clock "
@@ -240,13 +281,42 @@ partThreeAttachFailure()
                 "idles at max sampling backoff instead\nof crashing.\n");
 }
 
+void
+writeJson(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < g_json.size(); ++i) {
+        const JsonRow &r = g_json[i];
+        std::fprintf(f,
+                     "    {\"part\": \"%s\", \"label\": \"%s\", "
+                     "\"r2\": %.6f, \"degradedFraction\": %.6f}%s\n",
+                     r.part.c_str(), r.label.c_str(), r.r2,
+                     r.degradedFraction, i + 1 < g_json.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
     partOneMatrix();
     partTwoIntensity();
     partThreeAttachFailure();
+    if (!json_path.empty())
+        writeJson(json_path);
     return 0;
 }

@@ -95,6 +95,28 @@ fitObsVsReal(const std::vector<LevelResult> &levels,
     return reg.fit();
 }
 
+/**
+ * Fraction of emitted samples flagged degraded by the agent's health
+ * self-diagnostics, across all levels. Pairs every accuracy number with
+ * a pipeline-health number: an R² is only trustworthy alongside the
+ * fraction of its samples that came from a sick pipeline.
+ */
+inline double
+degradedFraction(const std::vector<LevelResult> &levels)
+{
+    std::size_t total = 0, degraded = 0;
+    for (const auto &lvl : levels) {
+        for (const auto &s : lvl.result.samples) {
+            ++total;
+            if (s.health.degraded())
+                ++degraded;
+        }
+    }
+    return total > 0 ? static_cast<double>(degraded) /
+                           static_cast<double>(total)
+                     : 0.0;
+}
+
 /** First swept level whose run violated QoS (-1 if none). */
 inline int
 qosKneeIndex(const std::vector<LevelResult> &levels)

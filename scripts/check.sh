@@ -25,14 +25,24 @@ echo "== Release build + tests =="
 cmake -B "$repo/build-check" -S "$repo" \
     -DCMAKE_BUILD_TYPE=Release -DREQOBS_WERROR=ON -DREQOBS_NATIVE=ON
 cmake --build "$repo/build-check" -j "$jobs"
-ctest --test-dir "$repo/build-check" --output-on-failure -j "$jobs"
+# Per-test TIMEOUT properties come from tests/CMakeLists.txt; --timeout
+# is the belt-and-braces ceiling so a hung sampler can never wedge CI.
+ctest --test-dir "$repo/build-check" --output-on-failure -j "$jobs" \
+    --timeout 300
 
 if [ "$run_sanitize" = 1 ]; then
     echo "== Sanitizer build + tests =="
     cmake -B "$repo/build-check-asan" -S "$repo" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DREQOBS_SANITIZE=ON
     cmake --build "$repo/build-check-asan" -j "$jobs"
-    ctest --test-dir "$repo/build-check-asan" --output-on-failure -j "$jobs"
+    ctest --test-dir "$repo/build-check-asan" --output-on-failure -j "$jobs" \
+        --timeout 300
+    # The chaos suite (fault injection + supervised lifecycle) is where
+    # use-after-free and double-teardown bugs live; run it explicitly
+    # under sanitizers so a filtered tier-1 run can never skip it.
+    echo "== Sanitizer chaos suite =="
+    ctest --test-dir "$repo/build-check-asan" --output-on-failure \
+        -j "$jobs" -L chaos --timeout 300
 fi
 
 if [ "$run_bench" = 1 ]; then

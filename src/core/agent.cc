@@ -81,6 +81,14 @@ ObservabilityAgent::start()
     sendSnap_ = SyscallStats{};
     recvSnap_ = SyscallStats{};
     pollSnap_ = SyscallStats{};
+    tearNextWindow_ = false;
+    baseMapUpdateFails_ = 0;
+    baseRingbufDrops_ = 0;
+    baseProbeMisses_ = 0;
+    lossSendSnap_ = {};
+    lossRecvSnap_ = {};
+    lossPollEnterSnap_ = {};
+    lossPollExitSnap_ = {};
     scheduleSample();
 }
 
@@ -98,6 +106,36 @@ SyscallStats
 ObservabilityAgent::readStats(int fd) const
 {
     return runtime_->arrayAt(fd).at<SyscallStats>(0);
+}
+
+ObservabilityAgent::LossSnap
+ObservabilityAgent::familySnap(bool attached, const char *name) const
+{
+    if (!attached)
+        return {};
+    return {runtime_->probeLoss(name), runtime_->probeMissesFor(name),
+            runtime_->probeRunsFor(name)};
+}
+
+std::uint64_t
+ObservabilityAgent::lostEvents(const LossSnap &now, const LossSnap &snap,
+                               std::uint64_t window_count)
+{
+    // In-program losses (failed map updates, ringbuf drops) happen after
+    // the bytecode's syscall-id filter: absolute counts of lost family
+    // events. Missed runs happen before the program (and its filter)
+    // ever executes, across every syscall the raw tracepoint fires for,
+    // so only the family's share of arrivals was really lost — scale
+    // the misses by the window's recorded-events-per-run ratio (misses
+    // strike independently of syscall type).
+    const std::uint64_t d_inprog =
+        (now.loss - now.misses) - (snap.loss - snap.misses);
+    const std::uint64_t d_miss = now.misses - snap.misses;
+    const std::uint64_t d_runs = now.runs - snap.runs;
+    std::uint64_t est = d_inprog;
+    if (d_miss > 0 && d_runs > 0)
+        est += (window_count * d_miss + d_runs / 2) / d_runs;
+    return est;
 }
 
 void
@@ -125,6 +163,35 @@ ObservabilityAgent::takeSample()
     const SyscallStats poll_now =
         health_.pollAttached ? readStats(pollMaps_.statsFd) : SyscallStats{};
 
+    // A cumulative counter moving backwards means the kernel-side map
+    // state was reset under us (a wiped map / lost pin across a
+    // restart). Differencing across the reset would wrap the u64 into
+    // an astronomical window; a restart-spanning window (marked torn by
+    // the supervisor) likewise holds one outage-wide delta. Both tear
+    // down exactly this window: reseed every snapshot, emit nothing.
+    const bool regressed =
+        (health_.sendAttached && send_now.count < sendSnap_.count) ||
+        (health_.recvAttached && recv_now.count < recvSnap_.count) ||
+        (health_.pollAttached && poll_now.count < pollSnap_.count);
+    if (regressed || tearNextWindow_) {
+        tearNextWindow_ = false;
+        ++health_.discontinuities;
+        sendSnap_ = send_now;
+        recvSnap_ = recv_now;
+        pollSnap_ = poll_now;
+        if (config_.lossAware) {
+            lossSendSnap_ =
+                familySnap(health_.sendAttached, "send.delta_exit");
+            lossRecvSnap_ =
+                familySnap(health_.recvAttached, "recv.delta_exit");
+            lossPollEnterSnap_ =
+                familySnap(health_.pollAttached, "poll.duration_enter");
+            lossPollExitSnap_ =
+                familySnap(health_.pollAttached, "poll.duration_exit");
+        }
+        return;
+    }
+
     // Freshness gate on the first attached family (send preferred: it is
     // Eq. 1's signal). With everything detached every window is stale and
     // the agent idles at maximum backoff instead of crashing.
@@ -142,14 +209,14 @@ ObservabilityAgent::takeSample()
     }
     backoff_ = 1;
     health_.backoffFactor = backoff_;
-    health_.mapUpdateFails = runtime_->mapUpdateFails();
-    health_.ringbufDrops = runtime_->ringbufDrops();
+    health_.mapUpdateFails = baseMapUpdateFails_ + runtime_->mapUpdateFails();
+    health_.ringbufDrops = baseRingbufDrops_ + runtime_->ringbufDrops();
+    health_.probeMisses = baseProbeMisses_ + runtime_->probeMisses();
 
     MetricsSample s;
     s.t = kernel_.sim().now();
     s.send = diffStats(sendSnap_, send_now);
     s.recv = diffStats(recvSnap_, recv_now);
-    s.rpsObsv = rpsFromWindow(s.send);
     if (poll_now.count > pollSnap_.count &&
         poll_now.sumNs >= pollSnap_.sumNs) {
         s.pollCount = poll_now.count - pollSnap_.count;
@@ -157,6 +224,36 @@ ObservabilityAgent::takeSample()
             static_cast<double>(poll_now.sumNs - pollSnap_.sumNs) /
             static_cast<double>(s.pollCount);
     }
+    if (config_.lossAware) {
+        const LossSnap loss_send =
+            familySnap(health_.sendAttached, "send.delta_exit");
+        const LossSnap loss_recv =
+            familySnap(health_.recvAttached, "recv.delta_exit");
+        const LossSnap loss_pe =
+            familySnap(health_.pollAttached, "poll.duration_enter");
+        const LossSnap loss_px =
+            familySnap(health_.pollAttached, "poll.duration_exit");
+        const std::uint64_t d_send =
+            lostEvents(loss_send, lossSendSnap_, s.send.count);
+        const std::uint64_t d_recv =
+            lostEvents(loss_recv, lossRecvSnap_, s.recv.count);
+        const std::uint64_t d_poll =
+            lostEvents(loss_pe, lossPollEnterSnap_, s.pollCount) +
+            lostEvents(loss_px, lossPollExitSnap_, s.pollCount);
+        s.send = correctForLoss(s.send, d_send);
+        s.recv = correctForLoss(s.recv, d_recv);
+        // Poll durations are per-event measurements, not inter-event
+        // deltas: losing one loses a sample without biasing the others'
+        // mean, so only the count is restored.
+        if (s.pollCount > 0)
+            s.pollCount += d_poll;
+        health_.lossCorrectedEvents += d_send + d_recv + d_poll;
+        lossSendSnap_ = loss_send;
+        lossRecvSnap_ = loss_recv;
+        lossPollEnterSnap_ = loss_pe;
+        lossPollExitSnap_ = loss_px;
+    }
+    s.rpsObsv = rpsFromWindow(s.send);
 
     rpsEstimator_.observe(s.send);
     s.saturated = saturation_.observe(s.send);
@@ -169,6 +266,8 @@ ObservabilityAgent::takeSample()
     sendSnap_ = send_now;
     recvSnap_ = recv_now;
     pollSnap_ = poll_now;
+    if (config_.sampleHook)
+        config_.sampleHook(s);
 }
 
 double
@@ -208,6 +307,47 @@ std::uint64_t
 ObservabilityAgent::sendSyscalls() const
 {
     return readStats(sendMaps_.statsFd).count;
+}
+
+AgentCheckpoint
+ObservabilityAgent::checkpoint() const
+{
+    AgentCheckpoint c;
+    c.sendSnap = sendSnap_;
+    c.recvSnap = recvSnap_;
+    c.pollSnap = pollSnap_;
+    c.rps = rpsEstimator_;
+    c.saturation = saturation_;
+    c.slack = slack_;
+    c.health = health_;
+    return c;
+}
+
+void
+ObservabilityAgent::restore(const AgentCheckpoint &ckpt)
+{
+    sendSnap_ = ckpt.sendSnap;
+    recvSnap_ = ckpt.recvSnap;
+    pollSnap_ = ckpt.pollSnap;
+    rpsEstimator_ = ckpt.rps;
+    saturation_ = ckpt.saturation;
+    slack_ = ckpt.slack;
+    // Attach health stays this incarnation's; the cumulative counters
+    // resume from the checkpoint. This (fresh) runtime's loss counters
+    // restart at zero, so the checkpointed totals become base offsets.
+    health_.staleWindows = ckpt.health.staleWindows;
+    health_.discontinuities = ckpt.health.discontinuities;
+    health_.lossCorrectedEvents = ckpt.health.lossCorrectedEvents;
+    baseMapUpdateFails_ = ckpt.health.mapUpdateFails;
+    baseRingbufDrops_ = ckpt.health.ringbufDrops;
+    baseProbeMisses_ = ckpt.health.probeMisses;
+    health_.mapUpdateFails = baseMapUpdateFails_ + runtime_->mapUpdateFails();
+    health_.ringbufDrops = baseRingbufDrops_ + runtime_->ringbufDrops();
+    health_.probeMisses = baseProbeMisses_ + runtime_->probeMisses();
+    lossSendSnap_ = {};
+    lossRecvSnap_ = {};
+    lossPollEnterSnap_ = {};
+    lossPollExitSnap_ = {};
 }
 
 } // namespace reqobs::core

@@ -16,6 +16,7 @@
 #define REQOBS_CORE_AGENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -26,6 +27,8 @@
 #include "kernel/kernel.hh"
 
 namespace reqobs::core {
+
+struct MetricsSample;
 
 /** Agent tunables. */
 struct AgentConfig
@@ -57,7 +60,20 @@ struct AgentConfig
     bool staleBackoff = false;
     /** Backoff ceiling as a multiple of samplePeriod. */
     unsigned maxBackoffFactor = 8;
+    /**
+     * De-bias each window for events the kernel counted as lost (missed
+     * probe runs, failed map updates, ring-buffer drops) before feeding
+     * the estimators — see correctForLoss(). Clean runs lose nothing,
+     * so the correction is exactly inert there.
+     */
+    bool lossAware = false;
     /** @} */
+
+    /**
+     * Called after every emitted sample — the supervisor's checkpoint
+     * hook. Unset (the default) means no call and no overhead.
+     */
+    std::function<void(const MetricsSample &)> sampleHook;
 };
 
 /**
@@ -72,14 +88,20 @@ struct AgentHealth
     bool pollAttached = false; ///< both halves of the duration pair live
     std::uint64_t mapUpdateFails = 0; ///< cumulative failed map updates
     std::uint64_t ringbufDrops = 0;   ///< cumulative ring-buffer drops
+    std::uint64_t probeMisses = 0;    ///< cumulative missed probe runs
     std::uint64_t staleWindows = 0;   ///< sample ticks below the window min
+    std::uint64_t discontinuities = 0; ///< torn windows dropped (counter
+                                       ///  resets, restart-spanning windows)
+    std::uint64_t lossCorrectedEvents = 0; ///< events re-added by the
+                                           ///  loss-aware correction
     unsigned backoffFactor = 1;       ///< current sampling-period multiplier
 
     /** Any probe family missing or any in-kernel data loss observed. */
     bool degraded() const
     {
         return !sendAttached || !recvAttached || !pollAttached ||
-               mapUpdateFails > 0 || ringbufDrops > 0;
+               mapUpdateFails > 0 || ringbufDrops > 0 || probeMisses > 0 ||
+               discontinuities > 0;
     }
 };
 
@@ -95,6 +117,24 @@ struct MetricsSample
     bool saturated = false;     ///< detector state after this window
     double slack = 0.0;         ///< slack estimate after this window
     AgentHealth health;         ///< pipeline self-diagnostics at emit time
+};
+
+/**
+ * Userspace agent state worth surviving a crash: the window-start
+ * counter snapshots plus the estimator accumulators plus the cumulative
+ * health counters. Together with the runtime's kernel-side map snapshot
+ * (EbpfRuntime::snapshotMaps) this is everything a replacement agent
+ * needs to continue the metric stream where the dead one left off.
+ */
+struct AgentCheckpoint
+{
+    ebpf::probes::SyscallStats sendSnap{};
+    ebpf::probes::SyscallStats recvSnap{};
+    ebpf::probes::SyscallStats pollSnap{};
+    RpsEstimator rps;
+    SaturationDetector saturation;
+    SlackEstimator slack;
+    AgentHealth health; ///< cumulative counters at checkpoint time
 };
 
 /** See file comment. */
@@ -145,6 +185,36 @@ class ObservabilityAgent
     ebpf::EbpfRuntime &runtime() { return *runtime_; }
     const SyscallProfile &profile() const { return profile_; }
 
+    /** @name Crash-recovery support (see core/supervisor). @{ */
+
+    /** Snapshot the userspace state (estimators + counter snapshots). */
+    AgentCheckpoint checkpoint() const;
+
+    /**
+     * Adopt a checkpoint into a freshly start()ed agent. The new
+     * incarnation's attach health is kept; estimator state and the
+     * cumulative counters resume from the checkpoint (this runtime's
+     * own loss counters restart at zero, so the checkpointed totals
+     * become base offsets).
+     */
+    void restore(const AgentCheckpoint &ckpt);
+
+    /**
+     * Drop the currently-accumulating window at the next sample tick:
+     * a window spanning an outage mixes pre-crash and post-restart
+     * event streams (including the one outage-wide delta) and must be
+     * torn down, not emitted.
+     */
+    void markWindowTorn() { tearNextWindow_ = true; }
+
+    /**
+     * Fault hook: silently stop the periodic sampler while the agent
+     * still reports running() — a hung collector thread. Only an
+     * external watchdog can notice and recover.
+     */
+    void stallSampler() { sampleTimer_.cancel(); }
+    /** @} */
+
   private:
     kernel::Kernel &kernel_;
     kernel::Pid tgid_;
@@ -165,6 +235,28 @@ class ObservabilityAgent
     ebpf::probes::SyscallStats sendSnap_{};
     ebpf::probes::SyscallStats recvSnap_{};
     ebpf::probes::SyscallStats pollSnap_{};
+
+    bool tearNextWindow_ = false;
+    /** Checkpointed loss totals carried across a restart; this
+     *  runtime's own counters restart at zero. */
+    std::uint64_t baseMapUpdateFails_ = 0;
+    std::uint64_t baseRingbufDrops_ = 0;
+    std::uint64_t baseProbeMisses_ = 0;
+    /** One program's loss counters at the start of the current window. */
+    struct LossSnap
+    {
+        std::uint64_t loss = 0;   ///< misses + map fails + ringbuf drops
+        std::uint64_t misses = 0; ///< pre-filter missed runs
+        std::uint64_t runs = 0;   ///< completed runs (every syscall)
+    };
+    LossSnap lossSendSnap_;
+    LossSnap lossRecvSnap_;
+    LossSnap lossPollEnterSnap_;
+    LossSnap lossPollExitSnap_;
+    LossSnap familySnap(bool attached, const char *name) const;
+    static std::uint64_t lostEvents(const LossSnap &now,
+                                    const LossSnap &snap,
+                                    std::uint64_t window_count);
 
     RpsEstimator rpsEstimator_;
     SaturationDetector saturation_;

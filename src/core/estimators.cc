@@ -37,6 +37,20 @@ diffStats(const ebpf::probes::SyscallStats &older,
     return w;
 }
 
+DeltaWindow
+correctForLoss(const DeltaWindow &window, std::uint64_t lost_events)
+{
+    if (window.count == 0 || lost_events == 0)
+        return window;
+    DeltaWindow w = window;
+    const double k = static_cast<double>(window.count + lost_events) /
+                     static_cast<double>(window.count);
+    w.count = window.count + lost_events;
+    w.meanNs = window.meanNs / k;
+    w.varianceNs2 = window.varianceNs2 / k;
+    return w;
+}
+
 double
 rpsFromWindow(const DeltaWindow &window)
 {

@@ -55,6 +55,21 @@ DeltaWindow diffStats(const ebpf::probes::SyscallStats &older,
 double rpsFromWindow(const DeltaWindow &window);
 
 /**
+ * De-bias a window for @p lost_events events known to have been lost
+ * in-kernel (missed probe runs, failed map updates, ring-buffer drops
+ * — the counters the kernel exports per program). A lost event merges
+ * its two adjacent inter-syscall deltas into one observed delta, so
+ * with N observed and L lost the observed deltas each span
+ * k = (N + L) / N true intervals on average: E[mean_obs] ≈ k · mean
+ * and, for near-exponential spacing, Var_obs ≈ k · variance. The
+ * correction divides both out and restores the true event count
+ * (first order: the randomness of the merge pattern is ignored).
+ * Inert when lost_events is 0 or the window is empty.
+ */
+DeltaWindow correctForLoss(const DeltaWindow &window,
+                           std::uint64_t lost_events);
+
+/**
  * Throughput estimator: keeps the most recent window and a cumulative
  * aggregate so callers can query both an instantaneous and a whole-run
  * RPS_obsv.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <thread>
@@ -57,24 +59,40 @@ runExperiment(const ExperimentConfig &config)
     client::LoadGenerator gen(sim, app, config.netem, config.tcp, cc,
                               inj.get());
 
+    // Agent-lifecycle faults only make sense under supervision: an
+    // unsupervised crashed agent would simply end the metric stream.
+    const bool lifecycle_faults = config.fault.agentCrashMtbf > 0 ||
+                                  config.fault.samplerStallMtbf > 0 ||
+                                  config.fault.mapWipeOnRestartProbability >
+                                      0.0;
     std::unique_ptr<ObservabilityAgent> agent;
+    std::unique_ptr<Supervisor> sup;
     if (config.attachAgent) {
         AgentConfig ac = config.agent;
-        if (inj) {
+        if (inj && config.autoHarden) {
             // Chaos runs get the hardened pipeline; clean runs keep the
             // exact paper configuration (and its probe cost model).
             ac.tolerateAttachFailures = true;
             ac.guardedProbes = true;
             ac.staleBackoff = true;
+            ac.lossAware = true;
         }
-        agent = std::make_unique<ObservabilityAgent>(
-            kernel, app.frontPid(), profileFor(config.workload), ac);
-        agent->runtime().setFaultInjector(inj.get());
+        if (config.supervised || lifecycle_faults) {
+            sup = std::make_unique<Supervisor>(
+                kernel, app.frontPid(), profileFor(config.workload), ac,
+                config.supervisor, inj.get(), sim.forkRng());
+        } else {
+            agent = std::make_unique<ObservabilityAgent>(
+                kernel, app.frontPid(), profileFor(config.workload), ac);
+            agent->runtime().setFaultInjector(inj.get());
+        }
     }
 
     app.start();
     if (agent)
         agent->start();
+    if (sup)
+        sup->start();
     gen.start();
 
     // Offered-load window plus grace for queues and retransmissions.
@@ -110,6 +128,21 @@ runExperiment(const ExperimentConfig &config)
         res.probeMapUpdateFails = agent->runtime().mapUpdateFails();
         res.probeRingbufDrops = agent->runtime().ringbufDrops();
         agent->stop();
+    } else if (sup) {
+        res.observedRps = sup->overallObservedRps();
+        res.sendVarNs2 = sup->overallSendVariance();
+        res.recvVarNs2 = sup->overallRecvVariance();
+        res.pollMeanDurNs = sup->overallPollMeanDurationNs();
+        res.samples = sup->samples();
+        res.probeEvents = sup->probeEvents();
+        res.probeInsns = sup->probeInsns();
+        res.probeCostNs = sup->probeCost();
+        res.agentHealth = sup->health();
+        res.probeMapUpdateFails = sup->mapUpdateFails();
+        res.probeRingbufDrops = sup->ringbufDrops();
+        sup->stop();
+        // After stop() so the final downtime segment is included.
+        res.supervisorStats = sup->stats();
     }
     if (inj)
         res.faultCounts = inj->counts();
@@ -149,16 +182,49 @@ sweepPointConfig(const ExperimentConfig &base, double load_fraction,
     return cfg;
 }
 
+unsigned
+parallelJobsFromEnv()
+{
+    // More workers than this only thrash: each experiment already owns
+    // a full simulation's working set.
+    constexpr unsigned long kMaxJobs = 256;
+
+    const char *name = "REQOBS_JOBS";
+    const char *env = std::getenv(name);
+    if (!env) {
+        name = "REQOBS_THREADS";
+        env = std::getenv(name);
+    }
+    if (!env || *env == '\0')
+        return 0;
+    // strtoul quietly accepts signs (wrapping negatives) and trailing
+    // garbage; require a plain unsigned decimal integer.
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (env[0] == '-' || env[0] == '+' || end == env || *end != '\0' ||
+        errno == ERANGE) {
+        std::fprintf(stderr,
+                     "reqobs: ignoring %s='%s' (not an unsigned integer)\n",
+                     name, env);
+        return 0;
+    }
+    if (v > kMaxJobs) {
+        std::fprintf(stderr, "reqobs: clamping %s=%lu to %lu\n", name, v,
+                     kMaxJobs);
+        return kMaxJobs;
+    }
+    return static_cast<unsigned>(v);
+}
+
 namespace {
 
 unsigned
 resolveThreads(unsigned requested, std::size_t jobs)
 {
     unsigned n = requested;
-    if (n == 0) {
-        if (const char *env = std::getenv("REQOBS_THREADS"))
-            n = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-    }
+    if (n == 0)
+        n = parallelJobsFromEnv();
     if (n == 0)
         n = std::thread::hardware_concurrency();
     if (n == 0)

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/agent.hh"
+#include "core/supervisor.hh"
 #include "fault/fault.hh"
 #include "kernel/system_spec.hh"
 #include "net/netem.hh"
@@ -41,13 +42,25 @@ struct ExperimentConfig
     AgentConfig agent;
 
     /**
+     * Run the agent under a Supervisor even without lifecycle faults.
+     * Default off: unsupervised clean runs keep the exact historical
+     * construction order. Any agent-lifecycle fault knob (crash MTBF,
+     * stall MTBF, map wipe) forces supervision regardless.
+     */
+    bool supervised = false;
+    SupervisorConfig supervisor;
+
+    /**
      * Fault-injection plan. All-zero (the default) means no injector is
      * even constructed: the run is bit-identical to a pre-fault-framework
      * build. Any active knob creates a FaultInjector on its own forked
      * RNG stream and switches the agent into its hardened configuration
-     * (tolerant attach, guarded probes, stale backoff).
+     * (tolerant attach, guarded probes, stale backoff, loss-aware
+     * estimators) — unless autoHarden is cleared for ablation runs, in
+     * which case config.agent's own knobs are used as-is.
      */
     fault::FaultPlan fault;
+    bool autoHarden = true;
 };
 
 /** Ground truth + observed metrics for one run. */
@@ -80,6 +93,8 @@ struct ExperimentResult
     AgentHealth agentHealth;            ///< agent self-diagnostics at end
     std::uint64_t probeMapUpdateFails = 0; ///< failed map updates (eBPF)
     std::uint64_t probeRingbufDrops = 0;   ///< dropped ringbuf records
+    SupervisorStats supervisorStats;       ///< lifecycle outcome (zero
+                                           ///  when unsupervised)
     /** @} */
 };
 
@@ -130,13 +145,23 @@ ExperimentConfig sweepPointConfig(const ExperimentConfig &base,
  * bit-identical to a serial runExperiment() call: every experiment owns
  * its entire simulation, so parallelism changes wall time only.
  *
- * @param threads Worker count; 0 = REQOBS_THREADS env var if set, else
+ * @param threads Worker count; 0 = the REQOBS_JOBS env var (canonical;
+ *        REQOBS_THREADS is accepted as a legacy alias) if set, else
  *        hardware concurrency. Clamped to [1, configs.size()];
  *        1 runs serially on the calling thread.
  */
 std::vector<ExperimentResult>
 runExperimentsParallel(const std::vector<ExperimentConfig> &configs,
                        unsigned threads = 0);
+
+/**
+ * Worker count requested via the environment: REQOBS_JOBS (canonical),
+ * falling back to the legacy REQOBS_THREADS. Returns 0 when neither is
+ * set or the value is not a plain unsigned integer (rejected with a
+ * one-line stderr warning); values above a sane ceiling clamp.
+ * Exposed for tests.
+ */
+unsigned parallelJobsFromEnv();
 
 /**
  * Parallel load sweep: one experiment per fraction, results in input

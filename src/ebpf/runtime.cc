@@ -93,6 +93,60 @@ EbpfRuntime::mapTable() const
     return out;
 }
 
+EbpfRuntime::MapSnapshot
+EbpfRuntime::snapshotMaps() const
+{
+    MapSnapshot snap;
+    for (const auto &[fd, map] : maps_) {
+        MapImage img;
+        img.type = map->type();
+        img.keySize = map->keySize();
+        img.valueSize = map->valueSize();
+        if (auto *arr = dynamic_cast<ArrayMap *>(map.get())) {
+            for (std::uint32_t i = 0; i < arr->maxEntries(); ++i) {
+                const std::uint8_t *v = arr->lookupHot(
+                    reinterpret_cast<const std::uint8_t *>(&i));
+                std::vector<std::uint8_t> key(sizeof(i));
+                std::memcpy(key.data(), &i, sizeof(i));
+                img.entries.emplace_back(
+                    std::move(key),
+                    std::vector<std::uint8_t>(v, v + arr->valueSize()));
+            }
+        } else if (auto *hash = dynamic_cast<HashMap *>(map.get())) {
+            hash->forEach([&](const std::uint8_t *k, const std::uint8_t *v) {
+                img.entries.emplace_back(
+                    std::vector<std::uint8_t>(k, k + hash->keySize()),
+                    std::vector<std::uint8_t>(v, v + hash->valueSize()));
+            });
+        }
+        // Ring buffers: transient stream state, imaged as empty.
+        snap.emplace(map->name(), std::move(img));
+    }
+    return snap;
+}
+
+std::size_t
+EbpfRuntime::restoreMaps(const MapSnapshot &snap)
+{
+    std::size_t restored = 0;
+    for (const auto &[fd, map] : maps_) {
+        auto it = snap.find(map->name());
+        if (it == snap.end())
+            continue;
+        const MapImage &img = it->second;
+        if (img.type != map->type() || img.keySize != map->keySize() ||
+            img.valueSize != map->valueSize())
+            continue;
+        if (map->type() == MapType::RingBuf)
+            continue;
+        for (const auto &[key, value] : img.entries) {
+            if (map->update(key.data(), value.data(), BPF_ANY) == 0)
+                ++restored;
+        }
+    }
+    return restored;
+}
+
 VerifyResult
 EbpfRuntime::loadAndAttach(ProgramSpec spec, kernel::TracepointId point,
                            ProgId *id)
@@ -160,14 +214,54 @@ EbpfRuntime::probeCounters() const
         pc.events = prog->events;
         pc.mapUpdateFails = prog->mapUpdateFails;
         pc.ringbufDrops = prog->ringbufDrops;
+        pc.misses = prog->misses;
         out.push_back(std::move(pc));
     }
     return out;
 }
 
+std::uint64_t
+EbpfRuntime::probeLoss(const std::string &name) const
+{
+    for (const auto &prog : programs_) {
+        if (prog->spec.name == name)
+            return prog->misses + prog->mapUpdateFails + prog->ringbufDrops;
+    }
+    return 0;
+}
+
+std::uint64_t
+EbpfRuntime::probeMissesFor(const std::string &name) const
+{
+    for (const auto &prog : programs_) {
+        if (prog->spec.name == name)
+            return prog->misses;
+    }
+    return 0;
+}
+
+std::uint64_t
+EbpfRuntime::probeRunsFor(const std::string &name) const
+{
+    for (const auto &prog : programs_) {
+        if (prog->spec.name == name)
+            return prog->events;
+    }
+    return 0;
+}
+
 sim::Tick
 EbpfRuntime::execute(Loaded &prog, const kernel::RawSyscallEvent &ev)
 {
+    // A missed run (recursion protection, overloaded CPU) never reaches
+    // the program: no state change, no cost charged to the thread. The
+    // kernel would bump the program's missed-run counter, as here.
+    if (fault_ && fault_->injectProbeMiss()) {
+        ++prog.misses;
+        ++probeMisses_;
+        return 0;
+    }
+
     ++events_;
     ++prog.events;
 

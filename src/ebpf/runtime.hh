@@ -92,6 +92,39 @@ class EbpfRuntime
 
     /** fd -> Map* view for ProgramSpec construction. */
     std::map<int, Map *> mapTable() const;
+
+    /**
+     * Byte-level image of one map's contents, keyed for restore into a
+     * same-shaped map. Array maps image every slot; ring buffers are
+     * transient stream state and snapshot as empty.
+     */
+    struct MapImage
+    {
+        MapType type = MapType::Array;
+        std::uint32_t keySize = 0;
+        std::uint32_t valueSize = 0;
+        /** (key bytes, value bytes) pairs. */
+        std::vector<std::pair<std::vector<std::uint8_t>,
+                              std::vector<std::uint8_t>>>
+            entries;
+    };
+
+    /** Name-keyed images of all maps. */
+    using MapSnapshot = std::map<std::string, MapImage>;
+
+    /**
+     * Image every map by name — the pinned-maps analogue: kernel-side
+     * map state outlives a userspace agent, so a supervisor images the
+     * dying runtime's maps and restores them into the replacement's.
+     */
+    MapSnapshot snapshotMaps() const;
+
+    /**
+     * Restore @p snap into this runtime's same-named maps. Images whose
+     * name or shape (type, key/value size) matches no map are skipped.
+     * @return entries written.
+     */
+    std::size_t restoreMaps(const MapSnapshot &snap);
     /** @} */
 
     /**
@@ -134,6 +167,7 @@ class EbpfRuntime
         std::uint64_t events = 0;
         std::uint64_t mapUpdateFails = 0; ///< -E2BIG and friends
         std::uint64_t ringbufDrops = 0;   ///< -ENOSPC
+        std::uint64_t misses = 0;         ///< firings that never ran it
     };
 
     /** One entry per currently loaded program. */
@@ -144,6 +178,27 @@ class EbpfRuntime
 
     /** Whole-runtime ring-buffer drops (survives unload). */
     std::uint64_t ringbufDrops() const { return ringbufDrops_; }
+
+    /** Whole-runtime missed probe runs (survives unload). */
+    std::uint64_t probeMisses() const { return probeMisses_; }
+
+    /**
+     * Known lost events for the loaded program named @p name: missed
+     * runs plus failed map updates plus ring-buffer drops — what the
+     * loss-aware estimators de-bias against (the kernel exports the
+     * same three counters for real probes).
+     */
+    std::uint64_t probeLoss(const std::string &name) const;
+    /** One named program's missed-run count alone (0 if unknown). */
+    std::uint64_t probeMissesFor(const std::string &name) const;
+    /**
+     * One named program's completed (non-missed) runs. Raw-tracepoint
+     * programs run for every syscall and filter by id in bytecode, so
+     * this counts all arrivals that ran — the denominator a consumer
+     * needs to scale the (pre-filter) miss counter down to the share
+     * relevant to one syscall family.
+     */
+    std::uint64_t probeRunsFor(const std::string &name) const;
     /** @} */
 
   private:
@@ -158,6 +213,7 @@ class EbpfRuntime
         std::uint64_t events = 0;
         std::uint64_t mapUpdateFails = 0;
         std::uint64_t ringbufDrops = 0;
+        std::uint64_t misses = 0;
     };
 
     kernel::Kernel &kernel_;
@@ -172,6 +228,7 @@ class EbpfRuntime
     sim::Tick totalCost_ = 0;
     std::uint64_t mapUpdateFails_ = 0;
     std::uint64_t ringbufDrops_ = 0;
+    std::uint64_t probeMisses_ = 0;
     fault::FaultInjector *fault_ = nullptr;
 
     sim::Tick execute(Loaded &prog, const kernel::RawSyscallEvent &ev);

@@ -1,5 +1,7 @@
 #include "fault/fault.hh"
 
+#include <cmath>
+
 namespace reqobs::fault {
 
 bool
@@ -9,8 +11,10 @@ FaultPlan::any() const
            partialIoProbability > 0.0 || spuriousWakeupProbability > 0.0 ||
            clockJitterNs > 0 || mapUpdateFailProbability > 0.0 ||
            ringbufDropProbability > 0.0 || attachFailProbability > 0.0 ||
+           probeMissProbability > 0.0 ||
            (linkFlapPeriod > 0 && linkFlapDownTime > 0) ||
-           connResetProbability > 0.0;
+           connResetProbability > 0.0 || agentCrashMtbf > 0 ||
+           samplerStallMtbf > 0 || mapWipeOnRestartProbability > 0.0;
 }
 
 FaultInjector::FaultInjector(const FaultPlan &plan, sim::Rng rng)
@@ -127,6 +131,53 @@ FaultInjector::injectAttachFail(const std::string &program_name)
     if (!bernoulli(plan_.attachFailProbability))
         return false;
     ++counts_.attachFails;
+    return true;
+}
+
+bool
+FaultInjector::injectProbeMiss()
+{
+    if (!bernoulli(plan_.probeMissProbability))
+        return false;
+    ++counts_.probeMisses;
+    return true;
+}
+
+namespace {
+
+/** Exponential delay with mean @p mtbf, at least one tick. */
+sim::Tick
+exponentialDelay(sim::Tick mtbf, sim::Rng &rng)
+{
+    if (mtbf <= 0)
+        return 0;
+    // uniform() is in [0, 1); 1-u is in (0, 1], so log() stays finite.
+    const double u = rng.uniform();
+    const double d = -static_cast<double>(mtbf) * std::log(1.0 - u);
+    const double capped = d < 1.0 ? 1.0 : d;
+    return static_cast<sim::Tick>(capped);
+}
+
+} // namespace
+
+sim::Tick
+FaultInjector::nextAgentCrashDelay()
+{
+    return exponentialDelay(plan_.agentCrashMtbf, rng_);
+}
+
+sim::Tick
+FaultInjector::nextSamplerStallDelay()
+{
+    return exponentialDelay(plan_.samplerStallMtbf, rng_);
+}
+
+bool
+FaultInjector::injectMapWipe()
+{
+    if (!bernoulli(plan_.mapWipeOnRestartProbability))
+        return false;
+    ++counts_.mapWipes;
     return true;
 }
 

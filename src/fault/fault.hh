@@ -79,6 +79,39 @@ struct FaultPlan
      * "poll.duration_enter", "poll.duration_exit".)
      */
     std::vector<std::string> attachFailPrograms;
+    /**
+     * P(a tracepoint firing misses an attached program entirely) — the
+     * analogue of the kernel's per-program missed-run counters
+     * (recursion protection, overloaded CPUs). Unlike map-update and
+     * ring-buffer faults this loses events from the otherwise lossless
+     * delta probes, so it is the knob that exercises the loss-aware
+     * estimator corrections.
+     */
+    double probeMissProbability = 0.0;
+    /** @} */
+
+    /** @name Agent-lifecycle faults (see core/supervisor). @{ */
+
+    /**
+     * Mean time between userspace agent crashes (0 = never). Each agent
+     * incarnation draws one exponential crash delay with this mean at
+     * start; the kernel-side map state survives the crash (the
+     * pinned-maps analogue) unless mapWipeOnRestartProbability fires.
+     */
+    sim::Tick agentCrashMtbf = 0;
+    /**
+     * Mean time between sampler stalls (0 = never). A stall silently
+     * stops the agent's periodic sampling without killing it — only a
+     * supervisor watchdog can notice and recover.
+     */
+    sim::Tick samplerStallMtbf = 0;
+    /**
+     * P(kernel-side map state is gone when a restarted agent reattaches
+     * — the map pin was lost with the crash). The restarted agent sees
+     * cumulative counters reset to zero and must detect the
+     * discontinuity instead of differencing across it.
+     */
+    double mapWipeOnRestartProbability = 0.0;
     /** @} */
 
     /** @name Net-layer faults. @{ */
@@ -105,8 +138,12 @@ struct FaultCounts
     std::uint64_t mapUpdateFails = 0; ///< forced -E2BIG
     std::uint64_t ringbufDrops = 0;   ///< forced -ENOSPC
     std::uint64_t attachFails = 0;
+    std::uint64_t probeMisses = 0;    ///< tracepoint firings lost entirely
     std::uint64_t linkFlapHolds = 0;  ///< segments delayed by a down link
     std::uint64_t connResets = 0;
+    std::uint64_t agentCrashes = 0;   ///< userspace agent crashes fired
+    std::uint64_t samplerStalls = 0;  ///< sampler stalls fired
+    std::uint64_t mapWipes = 0;       ///< reattaches that lost map state
 };
 
 /** Per-event fault decisions; see file comment. */
@@ -144,6 +181,26 @@ class FaultInjector
     bool injectMapUpdateFail();
     bool injectRingbufDrop();
     bool injectAttachFail(const std::string &program_name);
+    bool injectProbeMiss();
+    /** @} */
+
+    /** @name Agent-lifecycle decisions (see core/supervisor). @{ */
+
+    /**
+     * Exponential delay until this agent incarnation crashes (0 =
+     * never). Drawn once per incarnation, at start; the crash is only
+     * counted when it actually fires (noteAgentCrash), since a
+     * scheduled crash is cancelled if the run ends first.
+     */
+    sim::Tick nextAgentCrashDelay();
+    /** Exponential delay until this incarnation's sampler stalls. */
+    sim::Tick nextSamplerStallDelay();
+    /** Record that a scheduled crash actually fired. */
+    void noteAgentCrash() { ++counts_.agentCrashes; }
+    /** Record that a scheduled sampler stall actually fired. */
+    void noteSamplerStall() { ++counts_.samplerStalls; }
+    /** Is the kernel-side map state gone for this reattach? */
+    bool injectMapWipe();
     /** @} */
 
     /** @name Net-layer decisions. @{ */

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
+#include "core/experiment.hh"
 #include "net/link.hh"
 #include "net/netem.hh"
 #include "net/tcp.hh"
@@ -245,6 +247,62 @@ TEST(LinkTest, DestructionDisarmsSocketHook)
     // Must not crash: the hook was cleared by ~Link.
     sock->transmit(kernel::Message{});
     sim.run();
+}
+
+TEST(NetemExperimentTest, CombinedDelayAndLossStaysWithinSingleFaultEnvelopes)
+{
+    // Table II applies netem impairments one at a time; production links
+    // degrade on several axes at once. 10 ms delay AND 1% loss together
+    // must not interact super-linearly in the syscall-derived metrics:
+    // the combined deviation from clean stays within the sum of the
+    // single-fault deviations (plus a small interaction margin).
+    auto run = [](sim::Tick delay, double loss) {
+        core::ExperimentConfig cfg;
+        cfg.workload = workload::workloadByName("data-caching");
+        cfg.workload.saturationRps =
+            std::min(cfg.workload.saturationRps, 4000.0);
+        cfg.offeredRps = 0.8 * cfg.workload.saturationRps;
+        cfg.requests = 6000;
+        cfg.seed = 19;
+        cfg.netem.delay = delay;
+        cfg.netem.lossProbability = loss;
+        return core::runExperiment(cfg);
+    };
+
+    const auto clean = run(0, 0.0);
+    const auto delayed = run(sim::milliseconds(10), 0.0);
+    const auto lossy = run(0, 0.01);
+    const auto both = run(sim::milliseconds(10), 0.01);
+
+    ASSERT_GT(clean.completed, 4000u);
+    ASSERT_GT(both.completed, 4000u);
+    ASSERT_GT(both.observedRps, 0.0);
+
+    // Eq. 1 stays accurate: the agent reads syscall timing on the
+    // server, so even the combined impairment leaves RPS_obsv tracking
+    // RPS_real as tightly as under either single fault.
+    auto rpsErr = [](const core::ExperimentResult &r) {
+        return std::abs(r.observedRps - r.achievedRps) / r.achievedRps;
+    };
+    const double worst_single =
+        std::max(rpsErr(delayed), rpsErr(lossy));
+    EXPECT_LT(rpsErr(both),
+              std::max(2.0 * worst_single, rpsErr(clean) + 0.02));
+
+    // Eq. 2's normalized send variance inflates under loss (RTO gaps);
+    // adding delay on top must stay within the single-fault envelope
+    // product, not blow up multiplicatively beyond it.
+    auto cv2 = [](const core::ExperimentResult &r) {
+        const double mean = 1e9 / r.observedRps;
+        return r.sendVarNs2 / (mean * mean);
+    };
+    const double worst_cv2 =
+        std::max({cv2(clean), cv2(delayed), cv2(lossy)});
+    EXPECT_LT(cv2(both), 3.0 * worst_cv2);
+
+    // Latency composes additively: combined p99 is bounded by the sum
+    // of the single-fault p99s plus the clean baseline.
+    EXPECT_LT(both.p99Ns, delayed.p99Ns + lossy.p99Ns + clean.p99Ns);
 }
 
 } // namespace
