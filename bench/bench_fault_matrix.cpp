@@ -26,15 +26,7 @@ namespace {
 using namespace reqobs;
 
 /** Rows for the optional --json emission (accuracy + health pairs). */
-struct JsonRow
-{
-    std::string part;
-    std::string label;
-    double r2 = 0.0;
-    double degradedFraction = 0.0;
-};
-
-std::vector<JsonRow> g_json;
+bench::JsonRows g_json;
 
 struct FaultClass
 {
@@ -121,46 +113,41 @@ partOneMatrix()
     const auto classes = faultClasses();
     const std::vector<double> fractions = {0.4, 0.6, 0.8, 1.0};
 
-    std::printf("%-14s", "workload");
+    std::vector<std::string> cols;
     for (const auto &fc : classes)
-        std::printf(" %9s", fc.name.c_str());
-    std::printf("\n");
-    std::printf("%.74s\n",
-                "--------------------------------------------------------"
-                "-------------------");
+        cols.push_back(fc.name);
+    bench::MatrixTable::header("workload", cols);
 
     std::vector<std::uint64_t> injected(classes.size(), 0);
     std::vector<double> degraded(classes.size(), 0.0);
     for (const auto &wl : workload::paperWorkloads()) {
-        std::printf("%-14s", wl.name.c_str());
+        bench::MatrixTable::rowLabel(wl.name);
         for (std::size_t i = 0; i < classes.size(); ++i) {
             const auto levels = faultSweep(wl, fractions, classes[i].plan);
             const double r2 = bench::fitObsVsReal(levels).r2;
             const double deg = bench::degradedFraction(levels);
-            std::printf(" %9.4f", r2);
+            bench::MatrixTable::cell(r2);
             for (const auto &lvl : levels)
                 injected[i] += totalInjected(lvl.result.faultCounts);
             degraded[i] += deg;
-            g_json.push_back(
-                {"matrix", wl.name + "/" + classes[i].name, r2, deg});
+            g_json.add("matrix", wl.name + "/" + classes[i].name, r2, deg);
         }
-        std::printf("\n");
+        bench::MatrixTable::endRow();
     }
-    std::printf("%-14s", "faults/sweep");
+    const double nwl =
+        static_cast<double>(workload::paperWorkloads().size());
+    std::vector<std::uint64_t> per_sweep;
     for (std::size_t i = 0; i < classes.size(); ++i)
-        std::printf(" %9llu",
-                    static_cast<unsigned long long>(
-                        injected[i] / workload::paperWorkloads().size()));
-    std::printf("\n");
+        per_sweep.push_back(injected[i] /
+                            workload::paperWorkloads().size());
+    bench::MatrixTable::rowU64("faults/sweep", per_sweep);
     // Accuracy numbers always travel with pipeline-health numbers: the
     // mean fraction of samples whose agent self-diagnostics flagged
     // degradation (lost events, missing probes, torn windows).
-    std::printf("%-14s", "degraded%");
+    std::vector<double> deg_pct;
     for (std::size_t i = 0; i < classes.size(); ++i)
-        std::printf(" %9.1f",
-                    100.0 * degraded[i] /
-                        static_cast<double>(workload::paperWorkloads().size()));
-    std::printf("\n");
+        deg_pct.push_back(100.0 * degraded[i] / nwl);
+    bench::MatrixTable::rowF1("degraded%", deg_pct);
 
     std::printf("\nExpected shape: the clean column reproduces Fig. 2; "
                 "the hardened pipeline\nholds R^2 near the clean value "
@@ -180,9 +167,7 @@ partTwoIntensity()
     std::printf("%-9s %8s %9s %9s %10s %8s %8s %9s\n", "intensity", "R^2",
                 "rps_err%", "cv2@0.8", "poll_us", "stale", "mapfail",
                 "injected");
-    std::printf("%.74s\n",
-                "--------------------------------------------------------"
-                "-------------------");
+    bench::dashRule();
     for (double x : intensities) {
         const auto levels = faultSweep(wl, fractions, combinedPlan(x));
         const double r2 = bench::fitObsVsReal(levels).r2;
@@ -194,7 +179,7 @@ partTwoIntensity()
             deg_line += buf;
             char label[32];
             std::snprintf(label, sizeof(label), "intensity-%.2f", x);
-            g_json.push_back({"intensity", label, r2, deg});
+            g_json.add("intensity", label, r2, deg);
         }
 
         // The 0.8-load level carries the Fig. 3/4 shaped signals.
@@ -257,9 +242,7 @@ partThreeAttachFailure()
     std::printf("%-16s %5s %5s %5s %10s %10s %8s %8s\n", "scenario",
                 "send", "recv", "poll", "rps_obsv", "poll_us", "samples",
                 "stale");
-    std::printf("%.74s\n",
-                "--------------------------------------------------------"
-                "-------------------");
+    bench::dashRule();
     for (const auto &sc : scenarios) {
         core::ExperimentConfig cfg = bench::benchConfig(wl);
         if (!(sc.programs.size() == 1 && sc.programs[0] == "(none)")) {
@@ -281,42 +264,16 @@ partThreeAttachFailure()
                 "idles at max sampling backoff instead\nof crashing.\n");
 }
 
-void
-writeJson(const std::string &path)
-{
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return;
-    }
-    std::fprintf(f, "{\n  \"rows\": [\n");
-    for (std::size_t i = 0; i < g_json.size(); ++i) {
-        const JsonRow &r = g_json[i];
-        std::fprintf(f,
-                     "    {\"part\": \"%s\", \"label\": \"%s\", "
-                     "\"r2\": %.6f, \"degradedFraction\": %.6f}%s\n",
-                     r.part.c_str(), r.label.c_str(), r.r2,
-                     r.degradedFraction, i + 1 < g_json.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote %s\n", path.c_str());
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string json_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
-            json_path = argv[++i];
-    }
+    const std::string json_path = bench::jsonPathArg(argc, argv);
     partOneMatrix();
     partTwoIntensity();
     partThreeAttachFailure();
     if (!json_path.empty())
-        writeJson(json_path);
+        g_json.write(json_path);
     return 0;
 }

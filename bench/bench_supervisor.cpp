@@ -32,18 +32,8 @@ namespace {
 
 using namespace reqobs;
 
-/** Rows for the optional --json emission. */
-struct JsonRow
-{
-    std::string part;
-    std::string label;
-    double r2 = 0.0;
-    double degradedFraction = 0.0;
-    std::uint64_t crashes = 0;
-    double downtimeMs = 0.0;
-};
-
-std::vector<JsonRow> g_json;
+/** Rows for the optional --json emission (lifecycle layout). */
+bench::JsonRows g_json;
 
 /**
  * Lifecycle fault class; rates are expressed in units of the per-level
@@ -152,58 +142,54 @@ partOneMatrix()
     const auto classes = lifecycleClasses();
     const std::vector<double> fractions = {0.4, 0.6, 0.8, 1.0};
 
-    std::printf("%-14s", "workload");
+    std::vector<std::string> cols;
     for (const auto &lc : classes)
-        std::printf(" %9s", lc.name);
-    std::printf("\n");
-    std::printf("%.74s\n",
-                "--------------------------------------------------------"
-                "-------------------");
+        cols.push_back(lc.name);
+    bench::MatrixTable::header("workload", cols);
 
     const std::size_t n_classes = classes.size();
     std::vector<SweepTotals> agg(n_classes);
     std::vector<double> degraded(n_classes, 0.0);
     for (const auto &wl : workload::paperWorkloads()) {
-        std::printf("%-14s", wl.name.c_str());
+        bench::MatrixTable::rowLabel(wl.name);
         for (std::size_t i = 0; i < n_classes; ++i) {
             const auto levels = supervisedSweep(wl, fractions, classes[i]);
             const double r2 = bench::fitObsVsReal(levels).r2;
             const double deg = bench::degradedFraction(levels);
             const SweepTotals t = totals(levels);
-            std::printf(" %9.4f", r2);
+            bench::MatrixTable::cell(r2);
             agg[i].crashes += t.crashes;
             agg[i].restarts += t.restarts;
             agg[i].stalls += t.stalls;
             agg[i].wipes += t.wipes;
             agg[i].downtimeMs += t.downtimeMs;
             degraded[i] += deg;
-            g_json.push_back({"lifecycle",
-                              wl.name + "/" + classes[i].name, r2, deg,
-                              t.crashes, t.downtimeMs});
+            g_json.addLifecycle("lifecycle",
+                                wl.name + "/" + classes[i].name, r2, deg,
+                                t.crashes, t.downtimeMs);
         }
-        std::printf("\n");
+        bench::MatrixTable::endRow();
     }
     const double nwl =
         static_cast<double>(workload::paperWorkloads().size());
-    std::printf("%-14s", "crashes/sweep");
-    for (std::size_t i = 0; i < n_classes; ++i)
-        std::printf(" %9.1f", static_cast<double>(agg[i].crashes) / nwl);
-    std::printf("\n%-14s", "restarts/swp");
-    for (std::size_t i = 0; i < n_classes; ++i)
-        std::printf(" %9.1f", static_cast<double>(agg[i].restarts) / nwl);
-    std::printf("\n%-14s", "stalls/sweep");
-    for (std::size_t i = 0; i < n_classes; ++i)
-        std::printf(" %9.1f", static_cast<double>(agg[i].stalls) / nwl);
-    std::printf("\n%-14s", "wipes/sweep");
-    for (std::size_t i = 0; i < n_classes; ++i)
-        std::printf(" %9.1f", static_cast<double>(agg[i].wipes) / nwl);
-    std::printf("\n%-14s", "down ms/swp");
-    for (std::size_t i = 0; i < n_classes; ++i)
-        std::printf(" %9.1f", agg[i].downtimeMs / nwl);
-    std::printf("\n%-14s", "degraded%");
-    for (std::size_t i = 0; i < n_classes; ++i)
-        std::printf(" %9.1f", 100.0 * degraded[i] / nwl);
-    std::printf("\n");
+    auto footer = [&](const char *label, auto value) {
+        std::vector<double> row;
+        for (std::size_t i = 0; i < n_classes; ++i)
+            row.push_back(value(i));
+        bench::MatrixTable::rowF1(label, row);
+    };
+    footer("crashes/sweep",
+           [&](std::size_t i) { return agg[i].crashes / nwl; });
+    footer("restarts/swp",
+           [&](std::size_t i) { return agg[i].restarts / nwl; });
+    footer("stalls/sweep",
+           [&](std::size_t i) { return agg[i].stalls / nwl; });
+    footer("wipes/sweep",
+           [&](std::size_t i) { return agg[i].wipes / nwl; });
+    footer("down ms/swp",
+           [&](std::size_t i) { return agg[i].downtimeMs / nwl; });
+    footer("degraded%",
+           [&](std::size_t i) { return 100.0 * degraded[i] / nwl; });
 
     std::printf("\nExpected shape: the clean column is bit-identical to "
                 "the unsupervised Fig. 2\nvalues; crash columns stay "
@@ -282,16 +268,14 @@ partTwoMttr()
     std::printf("%-10s %8s %8s %8s %10s %10s %8s %10s\n", "mttr", "R^2",
                 "crashes", "restarts", "mttr_ms", "down_ms", "deg%",
                 "satlag_ms");
-    std::printf("%.74s\n",
-                "--------------------------------------------------------"
-                "-------------------");
+    bench::dashRule();
     const double clean_sat = stepDetectionLagMs(0.0, 1.0);
     {
         const auto levels = supervisedSweep(wl, fractions, clean);
         const double r2 = bench::fitObsVsReal(levels).r2;
         std::printf("%-10s %8.4f %8d %8d %10s %10.1f %8.1f %10.1f\n",
                     "clean", r2, 0, 0, "-", 0.0, 0.0, clean_sat);
-        g_json.push_back({"mttr", "clean", r2, 0.0, 0, 0.0});
+        g_json.addLifecycle("mttr", "clean", r2, 0.0, 0, 0.0);
     }
     for (double m : mttrs) {
         const auto levels = supervisedSweep(wl, fractions, crashy, m);
@@ -310,8 +294,8 @@ partTwoMttr()
                     static_cast<unsigned long long>(t.crashes),
                     static_cast<unsigned long long>(t.restarts), mttr_ms,
                     t.downtimeMs, 100.0 * deg, sat);
-        g_json.push_back({"mttr", label, r2, deg, t.crashes,
-                          t.downtimeMs});
+        g_json.addLifecycle("mttr", label, r2, deg, t.crashes,
+                            t.downtimeMs);
     }
 
     std::printf("\nExpected shape: R^2 decays gently with MTTR (longer "
@@ -347,9 +331,7 @@ partThreeLossAblation()
 
     std::printf("%-8s %-10s %8s %9s %10s %10s %10s\n", "miss_p", "arm",
                 "R^2", "rps_err%", "misses", "corrected", "deg%");
-    std::printf("%.74s\n",
-                "--------------------------------------------------------"
-                "-------------------");
+    bench::dashRule();
     for (double p : miss_ps) {
         for (int arm = 0; arm < 2; ++arm) {
             const bool loss_aware = arm == 1;
@@ -386,7 +368,7 @@ partThreeLossAblation()
             char label[40];
             std::snprintf(label, sizeof(label), "miss-%.2f/%s", p,
                           loss_aware ? "corrected" : "raw");
-            g_json.push_back({"loss", label, r2, deg, 0, 0.0});
+            g_json.addLifecycle("loss", label, r2, deg, 0, 0.0);
         }
     }
 
@@ -398,45 +380,16 @@ partThreeLossAblation()
                 "proportion to miss_p.\n");
 }
 
-void
-writeJson(const std::string &path)
-{
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return;
-    }
-    std::fprintf(f, "{\n  \"rows\": [\n");
-    for (std::size_t i = 0; i < g_json.size(); ++i) {
-        const JsonRow &r = g_json[i];
-        std::fprintf(
-            f,
-            "    {\"part\": \"%s\", \"label\": \"%s\", \"r2\": %.6f, "
-            "\"degradedFraction\": %.6f, \"crashes\": %llu, "
-            "\"downtimeMs\": %.3f}%s\n",
-            r.part.c_str(), r.label.c_str(), r.r2, r.degradedFraction,
-            static_cast<unsigned long long>(r.crashes), r.downtimeMs,
-            i + 1 < g_json.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote %s\n", path.c_str());
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string json_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
-            json_path = argv[++i];
-    }
+    const std::string json_path = bench::jsonPathArg(argc, argv);
     partOneMatrix();
     partTwoMttr();
     partThreeLossAblation();
     if (!json_path.empty())
-        writeJson(json_path);
+        g_json.write(json_path);
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -144,6 +145,156 @@ printHeader(const std::string &title)
                 "==============================\n",
                 title.c_str());
 }
+
+/** The 74-dash rule separating a table header from its rows. */
+inline void
+dashRule()
+{
+    std::printf("%.74s\n",
+                "--------------------------------------------------------"
+                "-------------------");
+}
+
+/** `--json <path>` argument, or empty ("--json" without a path is ignored,
+ *  matching the benches' historical parsing). */
+inline std::string
+jsonPathArg(int argc, char **argv)
+{
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            path = argv[++i];
+    }
+    return path;
+}
+
+/**
+ * The R²-matrix table shared by the matrix benches (fault classes ×
+ * workloads, lifecycle classes × workloads, tenants × mixes): 14-char
+ * row labels, 9-char cells. Stateless printf wrappers so the emitted
+ * bytes are exactly the historical per-bench format strings.
+ */
+struct MatrixTable
+{
+    /** Header row (label + one column per class) and the dash rule. */
+    static void header(const char *label,
+                       const std::vector<std::string> &cols)
+    {
+        std::printf("%-14s", label);
+        for (const std::string &c : cols)
+            std::printf(" %9s", c.c_str());
+        std::printf("\n");
+        dashRule();
+    }
+
+    static void rowLabel(const std::string &label)
+    {
+        std::printf("%-14s", label.c_str());
+    }
+
+    /** One R² cell. */
+    static void cell(double r2) { std::printf(" %9.4f", r2); }
+
+    static void endRow() { std::printf("\n"); }
+
+    /** Whole footer row of integer counts. */
+    static void rowU64(const char *label,
+                       const std::vector<std::uint64_t> &values)
+    {
+        std::printf("%-14s", label);
+        for (std::uint64_t v : values)
+            std::printf(" %9llu", static_cast<unsigned long long>(v));
+        std::printf("\n");
+    }
+
+    /** Whole footer row of one-decimal values. */
+    static void rowF1(const char *label, const std::vector<double> &values)
+    {
+        std::printf("%-14s", label);
+        for (double v : values)
+            std::printf(" %9.1f", v);
+        std::printf("\n");
+    }
+};
+
+/**
+ * Accumulator for the benches' optional `--json <path>` emission. Two
+ * row layouts share one writer: accuracy+health rows (part, label, r2,
+ * degradedFraction) and lifecycle rows with the crash/downtime tail —
+ * each row keeps whichever shape it was added with, so a bench mixing
+ * neither sees its historical byte-exact output change.
+ */
+class JsonRows
+{
+  public:
+    /** Accuracy + pipeline-health row. */
+    void add(std::string part, std::string label, double r2,
+             double degraded_fraction)
+    {
+        rows_.push_back({std::move(part), std::move(label), r2,
+                         degraded_fraction, false, 0, 0.0});
+    }
+
+    /** Lifecycle row (adds crashes + downtime). */
+    void addLifecycle(std::string part, std::string label, double r2,
+                      double degraded_fraction, std::uint64_t crashes,
+                      double downtime_ms)
+    {
+        rows_.push_back({std::move(part), std::move(label), r2,
+                         degraded_fraction, true, crashes, downtime_ms});
+    }
+
+    std::size_t size() const { return rows_.size(); }
+
+    /** Write `{"rows": [...]}` to @p path and log it. */
+    void write(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\n  \"rows\": [\n");
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            const Row &r = rows_[i];
+            const char *sep = i + 1 < rows_.size() ? "," : "";
+            if (r.lifecycle) {
+                std::fprintf(
+                    f,
+                    "    {\"part\": \"%s\", \"label\": \"%s\", "
+                    "\"r2\": %.6f, "
+                    "\"degradedFraction\": %.6f, \"crashes\": %llu, "
+                    "\"downtimeMs\": %.3f}%s\n",
+                    r.part.c_str(), r.label.c_str(), r.r2,
+                    r.degradedFraction,
+                    static_cast<unsigned long long>(r.crashes),
+                    r.downtimeMs, sep);
+            } else {
+                std::fprintf(f,
+                             "    {\"part\": \"%s\", \"label\": \"%s\", "
+                             "\"r2\": %.6f, \"degradedFraction\": %.6f}%s\n",
+                             r.part.c_str(), r.label.c_str(), r.r2,
+                             r.degradedFraction, sep);
+            }
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("\nwrote %s\n", path.c_str());
+    }
+
+  private:
+    struct Row
+    {
+        std::string part;
+        std::string label;
+        double r2 = 0.0;
+        double degradedFraction = 0.0;
+        bool lifecycle = false;
+        std::uint64_t crashes = 0;
+        double downtimeMs = 0.0;
+    };
+    std::vector<Row> rows_;
+};
 
 } // namespace reqobs::bench
 

@@ -30,6 +30,27 @@ cmake --build "$repo/build-check" -j "$jobs"
 ctest --test-dir "$repo/build-check" --output-on-failure -j "$jobs" \
     --timeout 300
 
+# The fleet suite (tenant probes, load balancing, cluster harness) runs
+# in the full sweep above; run it by label too so a filtered tier-1
+# invocation can never silently drop it.
+echo "== Fleet suite =="
+ctest --test-dir "$repo/build-check" --output-on-failure -j "$jobs" \
+    -L fleet --timeout 300
+
+# Cluster runs must be bit-deterministic: same config, same bytes. Run
+# the co-location bench twice and require byte-identical stdout + JSON.
+echo "== Cluster determinism =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+"$repo/build-check/bench/bench_colocation" --json "$tmp/a.json" \
+    > "$tmp/a.out"
+"$repo/build-check/bench/bench_colocation" --json "$tmp/b.json" \
+    > "$tmp/b.out"
+cmp "$tmp/a.json" "$tmp/b.json"
+# stdout embeds the --json path; compare with it normalized.
+diff <(sed "s#$tmp/a.json#J#" "$tmp/a.out") \
+    <(sed "s#$tmp/b.json#J#" "$tmp/b.out")
+
 if [ "$run_sanitize" = 1 ]; then
     echo "== Sanitizer build + tests =="
     cmake -B "$repo/build-check-asan" -S "$repo" \

@@ -1,0 +1,290 @@
+#include "core/cluster.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "client/fleet_generator.hh"
+#include "core/profile.hh"
+#include "sim/logging.hh"
+
+namespace reqobs::core {
+
+bool
+isDegenerateCluster(const ClusterExperimentConfig &config)
+{
+    const bool uniform_speed =
+        config.machineSpeedFactors.empty() ||
+        (config.machineSpeedFactors.size() == 1 &&
+         config.machineSpeedFactors[0] == 1.0);
+    return config.machines == 1 && config.tenants.size() == 1 &&
+           !config.antagonist && uniform_speed;
+}
+
+namespace {
+
+/**
+ * Lift a single-machine ExperimentResult into the cluster shape. Used
+ * on the degenerate path so runClusterExperiment() is runExperiment()
+ * plus relabelling, never a parallel implementation that could drift.
+ */
+ClusterExperimentResult
+liftDegenerate(const ClusterExperimentConfig &config,
+               const ExperimentResult &res)
+{
+    ClusterExperimentResult out;
+    ClusterTenantResult t;
+    t.name = config.tenants[0].workload.name;
+    t.offeredRps = res.offeredRps;
+    t.achievedRps = res.achievedRps;
+    t.observedRps = res.observedRps;
+    t.completed = res.completed;
+    t.p50Ns = res.p50Ns;
+    t.p95Ns = res.p95Ns;
+    t.p99Ns = res.p99Ns;
+    t.qosViolated = res.qosViolated;
+
+    TenantMachineResult m;
+    m.observedRps = res.observedRps;
+    m.achievedRps = res.achievedRps;
+    m.completed = res.completed;
+    m.sendVarNs2 = res.sendVarNs2;
+    m.pollMeanDurNs = res.pollMeanDurNs;
+    // The single-tenant agent doesn't expose its cumulative map counter
+    // through ExperimentResult; the windowed sum is the close equivalent.
+    for (const MetricsSample &s : res.samples)
+        m.probeSendSyscalls += s.send.count;
+    m.kernelSyscalls = res.syscalls;
+    m.samples = res.samples.size();
+    t.machines.push_back(m);
+
+    if (!res.samples.empty()) {
+        FleetAggregator agg(1, std::max<sim::Tick>(
+                                   1, config.agent.samplePeriod));
+        agg.addSeries(0, res.samples);
+        t.fleetSeries = agg.merged();
+    }
+
+    out.fleetOfferedRps = res.offeredRps;
+    out.fleetAchievedRps = res.achievedRps;
+    out.fleetObservedRps = res.observedRps;
+    out.syscalls = res.syscalls;
+    out.probeEvents = res.probeEvents;
+    out.probeInsns = res.probeInsns;
+    out.probeCostNs = res.probeCostNs;
+    out.tenants.push_back(std::move(t));
+    return out;
+}
+
+} // namespace
+
+ClusterExperimentResult
+runClusterExperiment(const ClusterExperimentConfig &config)
+{
+    if (config.tenants.empty())
+        sim::fatal("runClusterExperiment: need at least one tenant");
+    if (config.machines == 0)
+        sim::fatal("runClusterExperiment: need at least one machine");
+    if (!config.machineSpeedFactors.empty() &&
+        config.machineSpeedFactors.size() != config.machines)
+        sim::fatal("runClusterExperiment: machineSpeedFactors size mismatch");
+    for (const ClusterTenantSpec &t : config.tenants)
+        if (t.offeredRps <= 0.0)
+            sim::fatal("runClusterExperiment: tenant offeredRps must be set");
+
+    if (isDegenerateCluster(config)) {
+        ExperimentConfig single;
+        single.workload = config.tenants[0].workload;
+        single.system = config.system;
+        single.netem = config.netem;
+        single.tcp = config.tcp;
+        single.offeredRps = config.tenants[0].offeredRps;
+        single.requests = config.tenants[0].requests;
+        single.warmup = config.warmup;
+        single.qosLatency = config.qosLatency;
+        single.seed = config.seed;
+        single.attachAgent = config.attachAgents;
+        single.agent = config.agent;
+        return liftDegenerate(config, runExperiment(single));
+    }
+
+    sim::Simulation sim(config.seed);
+
+    // Machines first (each owns a Kernel), machine-major tenant
+    // placement after — the RNG fork order is part of the contract.
+    std::vector<std::unique_ptr<workload::Machine>> machines;
+    machines.reserve(config.machines);
+    for (unsigned m = 0; m < config.machines; ++m) {
+        kernel::KernelConfig kc;
+        kc.cpu = config.system.toCpuConfig();
+        if (!config.machineSpeedFactors.empty())
+            kc.cpu.speed *= config.machineSpeedFactors[m];
+        machines.push_back(std::make_unique<workload::Machine>(sim, kc));
+    }
+    for (auto &machine : machines) {
+        for (const ClusterTenantSpec &t : config.tenants)
+            machine->addTenant(t.workload);
+        if (config.antagonist)
+            machine->addAntagonist(config.antagonistConfig);
+    }
+
+    // One load-balanced client population per tenant.
+    std::vector<std::unique_ptr<client::FleetLoadGenerator>> gens;
+    gens.reserve(config.tenants.size());
+    sim::Tick max_qos = 0;
+    double max_offered_seconds = 0.0;
+    for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+        const ClusterTenantSpec &spec = config.tenants[t];
+        std::vector<workload::ServerApp *> backends;
+        backends.reserve(machines.size());
+        for (auto &machine : machines)
+            backends.push_back(&machine->tenant(t));
+        client::ClientConfig cc;
+        cc.offeredRps = spec.offeredRps;
+        cc.maxRequests = spec.requests;
+        cc.warmup = config.warmup;
+        cc.qosLatency = config.qosLatency > 0
+                            ? config.qosLatency
+                            : defaultQosLatency(spec.workload, config.netem);
+        max_qos = std::max(max_qos, cc.qosLatency);
+        max_offered_seconds =
+            std::max(max_offered_seconds,
+                     static_cast<double>(spec.requests) / spec.offeredRps);
+        gens.push_back(std::make_unique<client::FleetLoadGenerator>(
+            sim, std::move(backends), config.netem, config.tcp, cc,
+            config.lbPolicy));
+    }
+
+    // One multi-tenant agent per machine: one probe set, T stats slots.
+    std::vector<std::unique_ptr<MultiTenantAgent>> agents;
+    if (config.attachAgents) {
+        agents.reserve(machines.size());
+        for (auto &machine : machines) {
+            std::vector<TenantBinding> bindings;
+            bindings.reserve(config.tenants.size());
+            for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+                TenantBinding b;
+                b.name = config.tenants[t].workload.name;
+                b.tgid = machine->tenant(t).frontPid();
+                b.profile = profileFor(config.tenants[t].workload);
+                bindings.push_back(std::move(b));
+            }
+            agents.push_back(std::make_unique<MultiTenantAgent>(
+                machine->kernel(), std::move(bindings), config.agent));
+        }
+    }
+
+    for (auto &machine : machines)
+        machine->start();
+    for (auto &agent : agents)
+        agent->start();
+    for (auto &gen : gens)
+        gen->start();
+
+    const sim::Tick grace = std::max<sim::Tick>(
+        sim::milliseconds(500), 4 * max_qos + 8 * config.netem.delay);
+    const sim::Tick horizon =
+        config.warmup +
+        static_cast<sim::Tick>(max_offered_seconds * 1.05 * 1e9) + grace;
+    sim.runUntil(horizon);
+
+    ClusterExperimentResult out;
+    for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+        const client::FleetLoadGenerator &gen = *gens[t];
+        ClusterTenantResult tr;
+        tr.name = config.tenants[t].workload.name;
+        tr.offeredRps = config.tenants[t].offeredRps;
+        tr.achievedRps = gen.achievedRps();
+        tr.completed = gen.completed();
+        tr.p50Ns = gen.latencies().p50();
+        tr.p95Ns = gen.latencies().p95();
+        tr.p99Ns = gen.latencies().p99();
+        tr.qosViolated = gen.qosViolated();
+
+        FleetAggregator agg(config.machines,
+                            std::max<sim::Tick>(1,
+                                                config.agent.samplePeriod));
+        for (unsigned m = 0; m < config.machines; ++m) {
+            TenantMachineResult mr;
+            mr.achievedRps = gen.backendAchievedRps(m);
+            mr.completed = gen.backendCompleted(m);
+            mr.kernelSyscalls =
+                machines[m]->kernel().syscallCountFor(
+                    machines[m]->tenant(t).frontPid());
+            if (!agents.empty()) {
+                const MultiTenantAgent &agent = *agents[m];
+                mr.observedRps = agent.overallObservedRps(t);
+                mr.sendVarNs2 = agent.overallSendVariance(t);
+                mr.pollMeanDurNs = agent.overallPollMeanDurationNs(t);
+                mr.probeSendSyscalls = agent.sendSyscalls(t);
+                mr.samples = agent.tenant(t).samples().size();
+                agg.addSeries(m, agent.tenant(t).samples());
+                tr.observedRps += mr.observedRps;
+            }
+            tr.machines.push_back(mr);
+        }
+        tr.fleetSeries = agg.merged();
+
+        out.fleetOfferedRps += tr.offeredRps;
+        out.fleetAchievedRps += tr.achievedRps;
+        out.fleetObservedRps += tr.observedRps;
+        out.tenants.push_back(std::move(tr));
+    }
+    for (auto &machine : machines)
+        out.syscalls += machine->kernel().syscallCount();
+    for (auto &agent : agents) {
+        out.probeEvents += agent->runtime().eventsProcessed();
+        out.probeInsns += agent->runtime().insnsInterpreted();
+        out.probeCostNs += agent->runtime().totalProbeCost();
+        agent->stop();
+    }
+    for (auto &gen : gens)
+        gen->stop();
+    return out;
+}
+
+std::vector<ClusterExperimentResult>
+runClusterExperimentsParallel(
+    const std::vector<ClusterExperimentConfig> &configs, unsigned threads)
+{
+    std::vector<ClusterExperimentResult> out(configs.size());
+    if (configs.empty())
+        return out;
+
+    unsigned workers = threads;
+    if (workers == 0)
+        workers = parallelJobsFromEnv();
+    if (workers == 0)
+        workers = std::thread::hardware_concurrency();
+    if (workers == 0)
+        workers = 1;
+    workers = static_cast<unsigned>(std::min<std::size_t>(
+        workers, configs.size()));
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            out[i] = runClusterExperiment(configs[i]);
+        return out;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= configs.size())
+                    return;
+                out[i] = runClusterExperiment(configs[i]);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    return out;
+}
+
+} // namespace reqobs::core

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Cluster experiment harness: N machines × T co-located tenants, one
+ * load-balanced client population per tenant, one MultiTenantAgent per
+ * machine, fleet-level aggregation on top.
+ *
+ * runExperiment() is the degenerate case of this harness: one machine,
+ * one tenant, no antagonist. runClusterExperiment() detects that case
+ * and delegates to runExperiment() outright, so the single-machine path
+ * (and every figure bench built on it) is bit-identical to the
+ * pre-cluster harness by construction.
+ */
+
+#ifndef REQOBS_CORE_CLUSTER_HH
+#define REQOBS_CORE_CLUSTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/fleet.hh"
+#include "core/tenant_metrics.hh"
+#include "net/load_balancer.hh"
+#include "workload/machine.hh"
+
+namespace reqobs::core {
+
+/** One tenant of the cluster (co-located on every machine). */
+struct ClusterTenantSpec
+{
+    workload::WorkloadConfig workload;
+    /** Aggregate open-loop arrival rate across the whole fleet. */
+    double offeredRps = 0.0;
+    /** Arrival budget for this tenant's client population. */
+    std::uint64_t requests = 20000;
+};
+
+/** Everything defining one cluster run. */
+struct ClusterExperimentConfig
+{
+    std::vector<ClusterTenantSpec> tenants;
+    unsigned machines = 1;
+    /**
+     * Optional per-machine CPU speed factors (size == machines). A
+     * heterogeneous fleet is where least-connections beats round-robin;
+     * empty = homogeneous.
+     */
+    std::vector<double> machineSpeedFactors;
+
+    kernel::SystemSpec system = kernel::amdEpyc7302();
+    net::NetemConfig netem;
+    net::TcpConfig tcp;
+    net::LbPolicy lbPolicy = net::LbPolicy::RoundRobin;
+
+    sim::Tick warmup = sim::milliseconds(200);
+    /** p99 threshold; 0 derives each tenant's per-workload default. */
+    sim::Tick qosLatency = 0;
+    std::uint64_t seed = 1;
+
+    bool attachAgents = true;
+    AgentConfig agent;
+
+    /** Co-locate a best-effort CPU antagonist on every machine. */
+    bool antagonist = false;
+    workload::AntagonistConfig antagonistConfig;
+};
+
+/** One tenant's outcome on one machine. */
+struct TenantMachineResult
+{
+    double observedRps = 0.0;  ///< Eq. 1 from this machine's tenant slot
+    double achievedRps = 0.0;  ///< client completions landed here
+    std::uint64_t completed = 0;
+    double sendVarNs2 = 0.0;
+    double pollMeanDurNs = 0.0;
+    /** Send-family events the verified bytecode attributed to the slot. */
+    std::uint64_t probeSendSyscalls = 0;
+    /** The kernel's own per-tgid dispatch count (attribution cross-check). */
+    std::uint64_t kernelSyscalls = 0;
+    std::uint64_t samples = 0; ///< emitted metric windows
+};
+
+/** One tenant's fleet-wide outcome. */
+struct ClusterTenantResult
+{
+    std::string name;
+    double offeredRps = 0.0;
+    double achievedRps = 0.0; ///< client-side fleet truth
+    double observedRps = 0.0; ///< Σ per-machine Eq. 1 estimates
+    std::uint64_t completed = 0;
+    std::uint64_t p50Ns = 0;
+    std::uint64_t p95Ns = 0;
+    std::uint64_t p99Ns = 0;
+    bool qosViolated = false;
+    std::vector<TenantMachineResult> machines;
+    /** Per-machine sample streams merged on agent-period buckets. */
+    std::vector<FleetSample> fleetSeries;
+};
+
+/** Whole-cluster outcome. */
+struct ClusterExperimentResult
+{
+    std::vector<ClusterTenantResult> tenants;
+    double fleetOfferedRps = 0.0;
+    double fleetAchievedRps = 0.0;
+    double fleetObservedRps = 0.0;
+    std::uint64_t syscalls = 0;    ///< Σ machines
+    std::uint64_t probeEvents = 0; ///< Σ agents
+    std::uint64_t probeInsns = 0;
+    std::int64_t probeCostNs = 0;
+};
+
+/** True when @p config reduces to a plain runExperiment() call. */
+bool isDegenerateCluster(const ClusterExperimentConfig &config);
+
+/** Run one cluster experiment; fully deterministic for a given config. */
+ClusterExperimentResult
+runClusterExperiment(const ClusterExperimentConfig &config);
+
+/**
+ * Run many independent cluster experiments on a worker pool; results in
+ * input order, each bit-identical to a serial call (every run owns its
+ * simulation). Thread resolution matches runExperimentsParallel().
+ */
+std::vector<ClusterExperimentResult>
+runClusterExperimentsParallel(
+    const std::vector<ClusterExperimentConfig> &configs,
+    unsigned threads = 0);
+
+} // namespace reqobs::core
+
+#endif // REQOBS_CORE_CLUSTER_HH

@@ -12,6 +12,7 @@
 #include "core/profile.hh"
 #include "kernel/kernel.hh"
 #include "sim/logging.hh"
+#include "workload/machine.hh"
 #include "workload/server_app.hh"
 
 namespace reqobs::core {
@@ -42,12 +43,16 @@ runExperiment(const ExperimentConfig &config)
         inj = std::make_unique<fault::FaultInjector>(config.fault,
                                                      sim.forkRng());
 
+    // The single-machine run is a one-tenant Machine: same Kernel and
+    // ServerApp construction (and RNG-fork) order as the historical
+    // fused harness, so results stay bit-identical.
     kernel::KernelConfig kc;
     kc.cpu = config.system.toCpuConfig();
-    kernel::Kernel kernel(sim, kc);
+    workload::Machine machine(sim, kc);
+    kernel::Kernel &kernel = machine.kernel();
     kernel.setFaultInjector(inj.get());
 
-    workload::ServerApp app(kernel, config.workload);
+    workload::ServerApp &app = machine.addTenant(config.workload);
 
     client::ClientConfig cc;
     cc.offeredRps = config.offeredRps;
@@ -88,7 +93,7 @@ runExperiment(const ExperimentConfig &config)
         }
     }
 
-    app.start();
+    machine.start();
     if (agent)
         agent->start();
     if (sup)

@@ -63,7 +63,16 @@ struct ExperimentConfig
     bool autoHarden = true;
 };
 
-/** Ground truth + observed metrics for one run. */
+/**
+ * Ground truth + observed metrics for one run.
+ *
+ * GROWTH DISCIPLINE: this struct is append-only. Bench binaries emit
+ * its fields as positional table columns and stable-named JSON rows
+ * that downstream tooling diffs byte-for-byte across revisions, so
+ * existing fields must never be reordered, renamed, or removed — new
+ * fields go at the end of their section (or the struct). The layout
+ * test in tests/experiment_test.cc pins the declaration order.
+ */
 struct ExperimentResult
 {
     double offeredRps = 0.0;

@@ -1,0 +1,66 @@
+#include "core/fleet.hh"
+
+#include "sim/logging.hh"
+
+namespace reqobs::core {
+
+FleetAggregator::FleetAggregator(unsigned machines, sim::Tick bucket)
+    : machines_(machines), bucket_(bucket)
+{
+    if (machines == 0)
+        sim::fatal("FleetAggregator: need at least one machine");
+    if (bucket <= 0)
+        sim::fatal("FleetAggregator: bucket must be positive");
+}
+
+void
+FleetAggregator::add(unsigned machine, const MetricsSample &sample)
+{
+    if (machine >= machines_)
+        sim::fatal("FleetAggregator: machine %u out of range", machine);
+    const sim::Tick key = sample.t - sample.t % bucket_;
+    auto [it, inserted] = buckets_.try_emplace(key);
+    if (inserted)
+        it->second.resize(machines_);
+    Slot &slot = it->second[machine];
+    slot.present = true;
+    slot.sample = sample; // latest sample in the bucket wins
+}
+
+void
+FleetAggregator::addSeries(unsigned machine,
+                           const std::vector<MetricsSample> &samples)
+{
+    for (const MetricsSample &s : samples)
+        add(machine, s);
+}
+
+std::vector<FleetSample>
+FleetAggregator::merged() const
+{
+    std::vector<FleetSample> out;
+    out.reserve(buckets_.size());
+    for (const auto &[t, slots] : buckets_) {
+        FleetSample f;
+        f.t = t;
+        f.slack = 1.0;
+        double weighted_var = 0.0;
+        for (const Slot &slot : slots) {
+            if (!slot.present)
+                continue;
+            ++f.contributors;
+            f.rpsObsv += slot.sample.rpsObsv;
+            f.sendCount += slot.sample.send.count;
+            weighted_var += slot.sample.send.varianceNs2 *
+                            static_cast<double>(slot.sample.send.count);
+            if (slot.sample.slack < f.slack)
+                f.slack = slot.sample.slack;
+        }
+        if (f.sendCount > 0)
+            f.varianceNs2 = weighted_var / static_cast<double>(f.sendCount);
+        out.push_back(f);
+    }
+    return out;
+}
+
+} // namespace reqobs::core

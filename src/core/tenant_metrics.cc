@@ -1,0 +1,219 @@
+#include "core/tenant_metrics.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace reqobs::core {
+
+using ebpf::probes::SyscallStats;
+
+TenantMetrics::TenantMetrics(const AgentConfig &config)
+    : saturation_(config.saturation), slack_(config.slack)
+{}
+
+MetricsSample
+TenantMetrics::observe(sim::Tick t, const DeltaWindow &send,
+                       const DeltaWindow &recv, std::uint64_t poll_count,
+                       double poll_mean_dur_ns)
+{
+    MetricsSample s;
+    s.t = t;
+    s.send = send;
+    s.recv = recv;
+    s.pollCount = poll_count;
+    s.pollMeanDurNs = poll_mean_dur_ns;
+    s.rpsObsv = rpsFromWindow(send);
+
+    rps_.observe(send);
+    s.saturated = saturation_.observe(send);
+    if (poll_count > 0)
+        slack_.observe(poll_mean_dur_ns);
+    s.slack = slack_.slack();
+
+    samples_.push_back(s);
+    return s;
+}
+
+MultiTenantAgent::MultiTenantAgent(kernel::Kernel &kernel,
+                                   std::vector<TenantBinding> tenants,
+                                   const AgentConfig &config)
+    : kernel_(kernel), tenants_(std::move(tenants)), config_(config),
+      alive_(std::make_shared<bool>(true))
+{
+    if (tenants_.empty())
+        sim::fatal("MultiTenantAgent: need at least one tenant");
+    runtime_ = std::make_unique<ebpf::EbpfRuntime>(kernel, config.runtime);
+    metrics_.reserve(tenants_.size());
+    for (std::size_t i = 0; i < tenants_.size(); ++i)
+        metrics_.push_back(std::make_unique<TenantMetrics>(config));
+}
+
+MultiTenantAgent::~MultiTenantAgent()
+{
+    *alive_ = false;
+    stop();
+}
+
+void
+MultiTenantAgent::start()
+{
+    if (running_)
+        sim::fatal("MultiTenantAgent: start() called twice");
+
+    const std::uint32_t n = static_cast<std::uint32_t>(tenants_.size());
+    sendMaps_ = ebpf::probes::createTenantDeltaMaps(*runtime_, n, "send");
+    recvMaps_ = ebpf::probes::createTenantDeltaMaps(*runtime_, n, "recv");
+    pollMaps_ = ebpf::probes::createTenantDurationMaps(*runtime_, n, "poll");
+
+    // One tenant set shared by every probe; slot i <-> tenants_[i].
+    ebpf::probes::TenantSet set;
+    set.tgids.reserve(n);
+    set.pollSyscalls.reserve(n);
+    // Families are the union of the tenants' vocabularies: the prologue
+    // attributes by tgid, and a tenant only executes its own vocabulary,
+    // so the union loses nothing and adds nothing.
+    std::vector<std::int64_t> send_family;
+    std::vector<std::int64_t> recv_family;
+    auto add_unique = [](std::vector<std::int64_t> &v, std::int64_t id) {
+        if (std::find(v.begin(), v.end(), id) == v.end())
+            v.push_back(id);
+    };
+    for (const TenantBinding &t : tenants_) {
+        set.tgids.push_back(static_cast<std::uint32_t>(t.tgid));
+        set.pollSyscalls.push_back(t.profile.pollSyscall);
+        for (std::int64_t id : t.profile.sendFamily)
+            add_unique(send_family, id);
+        for (std::int64_t id : t.profile.recvFamily)
+            add_unique(recv_family, id);
+    }
+
+    auto attach = [this](ebpf::ProgramSpec spec, const char *name,
+                         kernel::TracepointId point) {
+        spec.name = name;
+        ebpf::VerifyResult vr =
+            runtime_->loadAndAttach(std::move(spec), point);
+        if (!vr)
+            sim::fatal("tenant probe rejected by the verifier: %s",
+                       vr.error.c_str());
+    };
+
+    const unsigned shift = ebpf::probes::kDeltaShift;
+    attach(ebpf::probes::buildTenantDeltaExit(*runtime_, set, send_family,
+                                              sendMaps_, shift,
+                                              config_.guardedProbes),
+           "send.delta_exit", kernel::TracepointId::SysExit);
+    attach(ebpf::probes::buildTenantDeltaExit(*runtime_, set, recv_family,
+                                              recvMaps_, shift,
+                                              config_.guardedProbes),
+           "recv.delta_exit", kernel::TracepointId::SysExit);
+    attach(ebpf::probes::buildTenantDurationEnter(*runtime_, set, pollMaps_),
+           "poll.duration_enter", kernel::TracepointId::SysEnter);
+    attach(ebpf::probes::buildTenantDurationExit(*runtime_, set, pollMaps_,
+                                                 shift,
+                                                 config_.guardedProbes),
+           "poll.duration_exit", kernel::TracepointId::SysExit);
+
+    running_ = true;
+    sendSnap_.assign(tenants_.size(), SyscallStats{});
+    recvSnap_.assign(tenants_.size(), SyscallStats{});
+    pollSnap_.assign(tenants_.size(), SyscallStats{});
+    scheduleSample();
+}
+
+void
+MultiTenantAgent::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    sampleTimer_.cancel();
+    runtime_->unloadAll();
+}
+
+SyscallStats
+MultiTenantAgent::readSlot(int fd, std::size_t slot) const
+{
+    return runtime_->arrayAt(fd).at<SyscallStats>(
+        static_cast<std::uint32_t>(slot));
+}
+
+void
+MultiTenantAgent::scheduleSample()
+{
+    auto alive = alive_;
+    sampleTimer_ = kernel_.sim().schedule(config_.samplePeriod,
+                                          [this, alive] {
+                                              if (!*alive || !running_)
+                                                  return;
+                                              takeSample();
+                                              scheduleSample();
+                                          });
+}
+
+void
+MultiTenantAgent::takeSample()
+{
+    const sim::Tick now = kernel_.sim().now();
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        const SyscallStats send_now = readSlot(sendMaps_.statsFd, i);
+        const SyscallStats recv_now = readSlot(recvMaps_.statsFd, i);
+        const SyscallStats poll_now = readSlot(pollMaps_.statsFd, i);
+
+        // Per-tenant freshness gate: a quiet tenant keeps accumulating
+        // its window while busy neighbours sample normally.
+        const std::uint64_t fresh = send_now.count - sendSnap_[i].count;
+        if (fresh < config_.minWindowSyscalls)
+            continue;
+
+        const DeltaWindow send = diffStats(sendSnap_[i], send_now);
+        const DeltaWindow recv = diffStats(recvSnap_[i], recv_now);
+        std::uint64_t poll_count = 0;
+        double poll_mean = 0.0;
+        if (poll_now.count > pollSnap_[i].count &&
+            poll_now.sumNs >= pollSnap_[i].sumNs) {
+            poll_count = poll_now.count - pollSnap_[i].count;
+            poll_mean =
+                static_cast<double>(poll_now.sumNs - pollSnap_[i].sumNs) /
+                static_cast<double>(poll_count);
+        }
+        metrics_[i]->observe(now, send, recv, poll_count, poll_mean);
+        sendSnap_[i] = send_now;
+        recvSnap_[i] = recv_now;
+        pollSnap_[i] = poll_now;
+    }
+}
+
+double
+MultiTenantAgent::overallObservedRps(std::size_t i) const
+{
+    const SyscallStats s = readSlot(sendMaps_.statsFd, i);
+    if (s.count == 0 || s.sumNs == 0)
+        return 0.0;
+    return 1e9 * static_cast<double>(s.count) /
+           static_cast<double>(s.sumNs);
+}
+
+double
+MultiTenantAgent::overallSendVariance(std::size_t i) const
+{
+    const SyscallStats s = readSlot(sendMaps_.statsFd, i);
+    return diffStats(SyscallStats{}, s).varianceNs2;
+}
+
+double
+MultiTenantAgent::overallPollMeanDurationNs(std::size_t i) const
+{
+    const SyscallStats s = readSlot(pollMaps_.statsFd, i);
+    if (s.count == 0)
+        return 0.0;
+    return static_cast<double>(s.sumNs) / static_cast<double>(s.count);
+}
+
+std::uint64_t
+MultiTenantAgent::sendSyscalls(std::size_t i) const
+{
+    return readSlot(sendMaps_.statsFd, i).count;
+}
+
+} // namespace reqobs::core

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Per-tenant metric chains and the multi-tenant observability agent.
+ *
+ * TenantMetrics is the estimator stage of ObservabilityAgent factored
+ * out per tenant: one RpsEstimator + SaturationDetector + SlackEstimator
+ * fed windowed differences of one tenant's cumulative counters. The
+ * estimators themselves are reused unchanged from core/estimators.
+ *
+ * MultiTenantAgent is the machine-level sampler: it attaches ONE probe
+ * set per machine — tenant-scoped bytecode from ebpf/probes (tgid-match
+ * prologue, per-tenant stats-map slots) — and on each sample tick
+ * differences every tenant's slot into that tenant's TenantMetrics. All
+ * attribution happens inside the verified bytecode; userspace only ever
+ * reads per-slot counters.
+ */
+
+#ifndef REQOBS_CORE_TENANT_METRICS_HH
+#define REQOBS_CORE_TENANT_METRICS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/agent.hh"
+#include "core/estimators.hh"
+#include "core/profile.hh"
+#include "ebpf/probes.hh"
+#include "ebpf/runtime.hh"
+#include "kernel/kernel.hh"
+
+namespace reqobs::core {
+
+/** One tenant's estimator chain; see file comment. */
+class TenantMetrics
+{
+  public:
+    explicit TenantMetrics(const AgentConfig &config = {});
+
+    /**
+     * Feed one window (already differenced). Mirrors the estimator
+     * update step of ObservabilityAgent::takeSample() and returns the
+     * emitted sample.
+     */
+    MetricsSample observe(sim::Tick t, const DeltaWindow &send,
+                          const DeltaWindow &recv, std::uint64_t poll_count,
+                          double poll_mean_dur_ns);
+
+    const std::vector<MetricsSample> &samples() const { return samples_; }
+    const RpsEstimator &rps() const { return rps_; }
+    const SaturationDetector &saturation() const { return saturation_; }
+    const SlackEstimator &slackEstimator() const { return slack_; }
+
+  private:
+    RpsEstimator rps_;
+    SaturationDetector saturation_;
+    SlackEstimator slack_;
+    std::vector<MetricsSample> samples_;
+};
+
+/** Probe bindings for one tenant on a machine. */
+struct TenantBinding
+{
+    std::string name;       ///< workload name (labels/results)
+    kernel::Pid tgid = 0;   ///< the tenant process the probes filter on
+    SyscallProfile profile; ///< its syscall vocabulary
+};
+
+/** See file comment. */
+class MultiTenantAgent
+{
+  public:
+    MultiTenantAgent(kernel::Kernel &kernel,
+                     std::vector<TenantBinding> tenants,
+                     const AgentConfig &config = {});
+
+    ~MultiTenantAgent();
+
+    MultiTenantAgent(const MultiTenantAgent &) = delete;
+    MultiTenantAgent &operator=(const MultiTenantAgent &) = delete;
+
+    /** Author, verify and attach the tenant probes; begin sampling. */
+    void start();
+
+    /** Detach probes and stop sampling. */
+    void stop();
+
+    bool running() const { return running_; }
+
+    std::size_t tenantCount() const { return tenants_.size(); }
+    const TenantBinding &binding(std::size_t i) const { return tenants_[i]; }
+    const TenantMetrics &tenant(std::size_t i) const { return *metrics_[i]; }
+
+    /** @name Whole-run aggregates from tenant @p i's cumulative slots. @{ */
+    double overallObservedRps(std::size_t i) const;
+    double overallSendVariance(std::size_t i) const;
+    double overallPollMeanDurationNs(std::size_t i) const;
+    /** Send-family syscalls attributed to tenant @p i in-kernel. */
+    std::uint64_t sendSyscalls(std::size_t i) const;
+    /** @} */
+
+    ebpf::EbpfRuntime &runtime() { return *runtime_; }
+
+  private:
+    kernel::Kernel &kernel_;
+    std::vector<TenantBinding> tenants_;
+    AgentConfig config_;
+    std::unique_ptr<ebpf::EbpfRuntime> runtime_;
+    std::vector<std::unique_ptr<TenantMetrics>> metrics_;
+
+    ebpf::probes::DeltaMaps sendMaps_;
+    ebpf::probes::DeltaMaps recvMaps_;
+    ebpf::probes::DurationMaps pollMaps_;
+
+    bool running_ = false;
+    sim::EventId sampleTimer_;
+
+    /** Per-tenant snapshots at the start of the accumulating window. */
+    std::vector<ebpf::probes::SyscallStats> sendSnap_;
+    std::vector<ebpf::probes::SyscallStats> recvSnap_;
+    std::vector<ebpf::probes::SyscallStats> pollSnap_;
+
+    /** Teardown guard; last member so it outlives everything above. */
+    std::shared_ptr<bool> alive_;
+
+    ebpf::probes::SyscallStats readSlot(int fd, std::size_t slot) const;
+    void scheduleSample();
+    void takeSample();
+};
+
+} // namespace reqobs::core
+
+#endif // REQOBS_CORE_TENANT_METRICS_HH

@@ -21,6 +21,95 @@ emitTgidFilter(ProgramBuilder &b, std::uint32_t tgid)
         .jneImm(R7, static_cast<std::int32_t>(tgid), "out");
 }
 
+/**
+ * Emit the tenant-match prologue, the multi-tenant generalisation of
+ * emitTgidFilter: resolve the event's tgid against the tenant set via
+ * an unrolled jeq chain and leave the dense tenant slot in r7 (and
+ * pid_tgid in r6); non-tenant events jump to "out". With
+ * @p match_poll, tenant i's stub additionally requires ctx->id
+ * (pre-loaded into r8 by the caller) to equal that tenant's own poll
+ * syscall — tenants may wait on different syscalls.
+ */
+void
+emitTenantFilter(ProgramBuilder &b, const TenantSet &tenants,
+                 bool match_poll)
+{
+    b.ldxdw(R6, R1, offsetof(TraceCtx, pidTgid))
+        .mov(R7, R6)
+        .rshImm(R7, 32);
+    for (std::size_t i = 0; i < tenants.tgids.size(); ++i)
+        b.jeqImm(R7, static_cast<std::int32_t>(tenants.tgids[i]),
+                 "tenant" + std::to_string(i));
+    b.ja("out");
+    for (std::size_t i = 0; i < tenants.tgids.size(); ++i) {
+        b.label("tenant" + std::to_string(i));
+        if (match_poll)
+            b.jneImm(R8,
+                     static_cast<std::int32_t>(tenants.pollSyscalls[i]),
+                     "out");
+        b.movImm(R7, static_cast<std::int32_t>(i)).ja("tenant_body");
+    }
+    b.label("tenant_body");
+}
+
+/**
+ * Duration accumulate body shared by the single- and multi-tenant exit
+ * probes: r0 points at the SyscallStats slot, r8 holds the duration.
+ */
+void
+emitDurationBody(ProgramBuilder &b, unsigned shift)
+{
+    // stats->count++;
+    b.ldxdw(R3, R0, offsetof(SyscallStats, count))
+        .addImm(R3, 1)
+        .stxdw(R0, offsetof(SyscallStats, count), R3);
+    // stats->sum_ns += duration;
+    b.ldxdw(R3, R0, offsetof(SyscallStats, sumNs))
+        .add(R3, R8)
+        .stxdw(R0, offsetof(SyscallStats, sumNs), R3);
+    // q = duration >> shift; stats->sumsq_q += q * q;
+    b.mov(R4, R8)
+        .rshImm(R4, static_cast<std::int32_t>(shift))
+        .mov(R5, R4)
+        .mul(R5, R4)
+        .ldxdw(R3, R0, offsetof(SyscallStats, sumSqQ))
+        .add(R3, R5)
+        .stxdw(R0, offsetof(SyscallStats, sumSqQ), R3);
+}
+
+/**
+ * Delta accumulate body shared by the single- and multi-tenant exit
+ * probes: r0 points at the SyscallStats slot, r9 holds ctx->ts.
+ */
+void
+emitDeltaBody(ProgramBuilder &b, unsigned shift, bool guarded)
+{
+    // last = stats->last_ts; stats->last_ts = now;
+    b.ldxdw(R3, R0, offsetof(SyscallStats, lastTs))
+        .stxdw(R0, offsetof(SyscallStats, lastTs), R9)
+        .jeqImm(R3, 0, "out"); // first event seeds the chain
+    // Jittered timestamps can run backwards; a u64 delta would wrap to
+    // ~2^64. Drop the inverted pair (last_ts already reseeded above).
+    if (guarded)
+        b.jgt(R3, R9, "out");
+    // delta = now - last;
+    b.mov(R2, R9).sub(R2, R3);
+    // count++, sum += delta
+    b.ldxdw(R3, R0, offsetof(SyscallStats, count))
+        .addImm(R3, 1)
+        .stxdw(R0, offsetof(SyscallStats, count), R3)
+        .ldxdw(R3, R0, offsetof(SyscallStats, sumNs))
+        .add(R3, R2)
+        .stxdw(R0, offsetof(SyscallStats, sumNs), R3);
+    // q = delta >> shift; sumsq += q*q  (Eq. 2's E[x^2] accumulator)
+    b.rshImm(R2, static_cast<std::int32_t>(shift))
+        .mov(R4, R2)
+        .mul(R4, R2)
+        .ldxdw(R3, R0, offsetof(SyscallStats, sumSqQ))
+        .add(R3, R4)
+        .stxdw(R0, offsetof(SyscallStats, sumSqQ), R3);
+}
+
 } // namespace
 
 DurationMaps
@@ -102,22 +191,7 @@ buildDurationExit(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
         .addImm(R2, -24)
         .call(helper::kMapLookupElem)
         .jeqImm(R0, 0, "out");
-    // stats->count++;
-    b.ldxdw(R3, R0, offsetof(SyscallStats, count))
-        .addImm(R3, 1)
-        .stxdw(R0, offsetof(SyscallStats, count), R3);
-    // stats->sum_ns += duration;
-    b.ldxdw(R3, R0, offsetof(SyscallStats, sumNs))
-        .add(R3, R8)
-        .stxdw(R0, offsetof(SyscallStats, sumNs), R3);
-    // q = duration >> shift; stats->sumsq_q += q * q;
-    b.mov(R4, R8)
-        .rshImm(R4, static_cast<std::int32_t>(shift))
-        .mov(R5, R4)
-        .mul(R5, R4)
-        .ldxdw(R3, R0, offsetof(SyscallStats, sumSqQ))
-        .add(R3, R5)
-        .stxdw(R0, offsetof(SyscallStats, sumSqQ), R3);
+    emitDurationBody(b, shift);
     b.label("out").movImm(R0, 0).exit_();
 
     ProgramSpec spec;
@@ -167,34 +241,156 @@ buildDeltaExit(EbpfRuntime &rt, std::uint32_t tgid,
         .addImm(R2, -4)
         .call(helper::kMapLookupElem)
         .jeqImm(R0, 0, "out");
-    // last = stats->last_ts; stats->last_ts = now;
-    b.ldxdw(R3, R0, offsetof(SyscallStats, lastTs))
-        .stxdw(R0, offsetof(SyscallStats, lastTs), R9)
-        .jeqImm(R3, 0, "out"); // first event seeds the chain
-    // Jittered timestamps can run backwards; a u64 delta would wrap to
-    // ~2^64. Drop the inverted pair (last_ts already reseeded above).
-    if (guarded)
-        b.jgt(R3, R9, "out");
-    // delta = now - last;
-    b.mov(R2, R9).sub(R2, R3);
-    // count++, sum += delta
-    b.ldxdw(R3, R0, offsetof(SyscallStats, count))
-        .addImm(R3, 1)
-        .stxdw(R0, offsetof(SyscallStats, count), R3)
-        .ldxdw(R3, R0, offsetof(SyscallStats, sumNs))
-        .add(R3, R2)
-        .stxdw(R0, offsetof(SyscallStats, sumNs), R3);
-    // q = delta >> shift; sumsq += q*q  (Eq. 2's E[x^2] accumulator)
-    b.rshImm(R2, static_cast<std::int32_t>(shift))
-        .mov(R4, R2)
-        .mul(R4, R2)
-        .ldxdw(R3, R0, offsetof(SyscallStats, sumSqQ))
-        .add(R3, R4)
-        .stxdw(R0, offsetof(SyscallStats, sumSqQ), R3);
+    emitDeltaBody(b, shift, guarded);
     b.label("out").movImm(R0, 0).exit_();
 
     ProgramSpec spec;
     spec.name = "delta_exit";
+    spec.insns = b.build();
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+DeltaMaps
+createTenantDeltaMaps(EbpfRuntime &rt, std::uint32_t tenants,
+                      const std::string &prefix)
+{
+    DeltaMaps m;
+    m.statsFd =
+        rt.createArrayMap(sizeof(SyscallStats), tenants, prefix + ".stats");
+    return m;
+}
+
+ProgramSpec
+buildTenantDeltaExit(EbpfRuntime &rt, const TenantSet &tenants,
+                     const std::vector<std::int64_t> &family,
+                     const DeltaMaps &maps, unsigned shift, bool guarded)
+{
+    if (family.empty())
+        sim::fatal("buildTenantDeltaExit: empty syscall family");
+    if (tenants.tgids.empty())
+        sim::fatal("buildTenantDeltaExit: empty tenant set");
+
+    ProgramBuilder b;
+    // Family match first: cheap rejection of unrelated syscalls.
+    b.ldxdw(R8, R1, offsetof(TraceCtx, id));
+    for (std::int64_t id : family)
+        b.jeqImm(R8, static_cast<std::int32_t>(id), "match");
+    b.ja("out");
+    b.label("match");
+    emitTenantFilter(b, tenants, /*match_poll=*/false); // slot in r7
+    if (guarded) {
+        b.ldxdw(R2, R1, offsetof(TraceCtx, ret)).jsltImm(R2, 0, "out");
+    }
+    // now = ctx->ts
+    b.ldxdw(R9, R1, offsetof(TraceCtx, ts));
+    // stats = &stats_array[slot];
+    b.stx(R10, -4, R7, BPF_W)
+        .ldMapFd(R1, maps.statsFd)
+        .mov(R2, R10)
+        .addImm(R2, -4)
+        .call(helper::kMapLookupElem)
+        .jeqImm(R0, 0, "out");
+    emitDeltaBody(b, shift, guarded);
+    b.label("out").movImm(R0, 0).exit_();
+
+    ProgramSpec spec;
+    spec.name = "tenant_delta_exit";
+    spec.insns = b.build();
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+DurationMaps
+createTenantDurationMaps(EbpfRuntime &rt, std::uint32_t tenants,
+                         const std::string &prefix)
+{
+    DurationMaps m;
+    m.startFd = rt.createHashMap(sizeof(std::uint64_t), sizeof(std::uint64_t),
+                                 16384, prefix + ".start");
+    m.statsFd =
+        rt.createArrayMap(sizeof(SyscallStats), tenants, prefix + ".stats");
+    return m;
+}
+
+ProgramSpec
+buildTenantDurationEnter(EbpfRuntime &rt, const TenantSet &tenants,
+                         const DurationMaps &maps)
+{
+    if (tenants.tgids.empty() ||
+        tenants.pollSyscalls.size() != tenants.tgids.size())
+        sim::fatal("buildTenantDurationEnter: malformed tenant set");
+
+    ProgramBuilder b;
+    // ctx->id in r8 before the prologue: each tenant stub matches its
+    // own poll syscall.
+    b.ldxdw(R8, R1, offsetof(TraceCtx, id));
+    emitTenantFilter(b, tenants, /*match_poll=*/true);
+    // u64 t = bpf_ktime_get_ns();
+    b.call(helper::kKtimeGetNs);
+    // start.update(&pid_tgid, &t);  — pid_tgid already identifies the
+    // tenant's thread, so one shared start map serves every tenant.
+    b.stxdw(R10, -8, R6)
+        .stxdw(R10, -16, R0)
+        .ldMapFd(R1, maps.startFd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .mov(R3, R10)
+        .addImm(R3, -16)
+        .movImm(R4, BPF_ANY)
+        .call(helper::kMapUpdateElem);
+    b.label("out").movImm(R0, 0).exit_();
+
+    ProgramSpec spec;
+    spec.name = "tenant_duration_enter";
+    spec.insns = b.build();
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+ProgramSpec
+buildTenantDurationExit(EbpfRuntime &rt, const TenantSet &tenants,
+                        const DurationMaps &maps, unsigned shift,
+                        bool guarded)
+{
+    if (tenants.tgids.empty() ||
+        tenants.pollSyscalls.size() != tenants.tgids.size())
+        sim::fatal("buildTenantDurationExit: malformed tenant set");
+
+    ProgramBuilder b;
+    b.ldxdw(R8, R1, offsetof(TraceCtx, id));
+    emitTenantFilter(b, tenants, /*match_poll=*/true); // slot in r7
+    // u64 end_ns = ctx->ts.
+    b.ldxdw(R9, R1, offsetof(TraceCtx, ts));
+    // u64 *start_ns = start.lookup(&pid_tgid);
+    b.stxdw(R10, -8, R6)
+        .ldMapFd(R1, maps.startFd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .call(helper::kMapLookupElem)
+        .jeqImm(R0, 0, "out");
+    b.ldxdw(R3, R0, 0);
+    if (guarded)
+        b.jgt(R3, R9, "out");
+    // duration = end_ns - *start_ns;  (r8 is free once the id matched)
+    b.mov(R8, R9).sub(R8, R3);
+    // start.delete(&pid_tgid);  (key buffer still on the stack)
+    b.ldMapFd(R1, maps.startFd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .call(helper::kMapDeleteElem);
+    // stats = &stats_array[slot];
+    b.stx(R10, -24, R7, BPF_W)
+        .ldMapFd(R1, maps.statsFd)
+        .mov(R2, R10)
+        .addImm(R2, -24)
+        .call(helper::kMapLookupElem)
+        .jeqImm(R0, 0, "out");
+    emitDurationBody(b, shift);
+    b.label("out").movImm(R0, 0).exit_();
+
+    ProgramSpec spec;
+    spec.name = "tenant_duration_exit";
     spec.insns = b.build();
     spec.maps = rt.mapTable();
     return spec;

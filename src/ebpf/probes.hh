@@ -115,6 +115,79 @@ ProgramSpec buildDeltaExit(EbpfRuntime &rt, std::uint32_t tgid,
                            unsigned shift = kDeltaShift,
                            bool guarded = false);
 
+/**
+ * @name Tenant-scoped probes (multi-tenant machines).
+ *
+ * One attached program serves every co-located tenant: the bytecode
+ * prologue matches the event's tgid against the registered tenant set
+ * (an unrolled jeq chain, the multi-tenant generalisation of the
+ * paper's PID_TGID filter) and resolves it to a dense tenant slot. The
+ * stats map is an array with one SyscallStats slot per tenant, so a
+ * single program run attributes the event to exactly one tenant — all
+ * filtering and attribution happens in verified eBPF, never userspace.
+ * @{
+ */
+
+/** Per-tenant probe identity: slot i of every tenant map. */
+struct TenantSet
+{
+    /** Tenant tgids; index is the stats-map slot. */
+    std::vector<std::uint32_t> tgids;
+    /**
+     * Per-tenant poll syscall (duration probes): tenants may use
+     * different wait syscalls (epoll_wait vs select). Same length as
+     * tgids.
+     */
+    std::vector<std::int64_t> pollSyscalls;
+};
+
+/** Allocate the per-tenant stats array for a tenant delta probe. */
+DeltaMaps createTenantDeltaMaps(EbpfRuntime &rt, std::uint32_t tenants,
+                                const std::string &prefix);
+
+/**
+ * Tenant-scoped inter-syscall-delta probe: family match, then the
+ * tgid-match prologue resolves the tenant slot; count/Σdelta/Σdelta²
+ * accumulate into stats[slot]. @p family is the union of the tenants'
+ * syscall vocabularies — attribution stays exact because a tenant only
+ * ever executes its own vocabulary.
+ */
+ProgramSpec buildTenantDeltaExit(EbpfRuntime &rt, const TenantSet &tenants,
+                                 const std::vector<std::int64_t> &family,
+                                 const DeltaMaps &maps,
+                                 unsigned shift = kDeltaShift,
+                                 bool guarded = false);
+
+/**
+ * Allocate the maps for a tenant duration-probe pair: one shared
+ * pid_tgid-keyed start map (thread identity already disambiguates
+ * tenants) plus the per-tenant stats array.
+ */
+DurationMaps createTenantDurationMaps(EbpfRuntime &rt, std::uint32_t tenants,
+                                      const std::string &prefix);
+
+/**
+ * sys_enter half of the tenant Listing-1 pair: the tgid-match prologue
+ * also checks the tenant's own poll syscall id, then records the entry
+ * timestamp keyed by pid_tgid.
+ */
+ProgramSpec buildTenantDurationEnter(EbpfRuntime &rt,
+                                     const TenantSet &tenants,
+                                     const DurationMaps &maps);
+
+/**
+ * sys_exit half: duration = ctx->ts - start[pid_tgid], accumulated into
+ * stats[slot]. @p guarded skips clock-inverted samples as in
+ * buildDurationExit.
+ */
+ProgramSpec buildTenantDurationExit(EbpfRuntime &rt,
+                                    const TenantSet &tenants,
+                                    const DurationMaps &maps,
+                                    unsigned shift = kDeltaShift,
+                                    bool guarded = false);
+
+/** @} */
+
 /** Maps used by a stream probe. */
 struct StreamMaps
 {

@@ -104,6 +104,7 @@ sim::Tick
 Kernel::fireEnter(Tid tid, std::int64_t syscall)
 {
     ++syscalls_;
+    ++syscallsByTgid_[threadOf(tid).pid];
     RawSyscallEvent ev;
     ev.point = TracepointId::SysEnter;
     ev.syscall = syscall;
@@ -188,6 +189,13 @@ Kernel::threadFinished(Tid tid) const
 {
     auto it = threads_.find(tid);
     return it != threads_.end() && it->second.finished;
+}
+
+std::uint64_t
+Kernel::syscallCountFor(Pid pid) const
+{
+    auto it = syscallsByTgid_.find(pid);
+    return it != syscallsByTgid_.end() ? it->second : 0;
 }
 
 // ----------------------------------------------------- descriptor setup

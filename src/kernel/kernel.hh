@@ -363,6 +363,20 @@ class Kernel
     /** Total syscalls dispatched. */
     std::uint64_t syscallCount() const { return syscalls_; }
 
+    /**
+     * Syscalls dispatched by threads of process @p pid (tgid). The basis
+     * of per-tenant attribution on multi-tenant machines: userspace can
+     * cross-check a tenant's in-kernel counters against the kernel's own
+     * per-process accounting. Unknown pids read as 0.
+     */
+    std::uint64_t syscallCountFor(Pid pid) const;
+
+    /** Per-tgid dispatch counts for every process that made a syscall. */
+    const std::map<Pid, std::uint64_t> &syscallsByTgid() const
+    {
+        return syscallsByTgid_;
+    }
+
   private:
     friend class EpollWaitOp;
     friend class FutexWaitOp;
@@ -406,6 +420,7 @@ class Kernel
     Pid nextPid_ = 1000;
     Tid nextTid_ = 5000;
     std::uint64_t syscalls_ = 0;
+    std::map<Pid, std::uint64_t> syscallsByTgid_;
     fault::FaultInjector *fault_ = nullptr;
     /** Teardown guard shared with every scheduled completion event. */
     std::shared_ptr<bool> alive_;

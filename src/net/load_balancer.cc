@@ -1,0 +1,60 @@
+#include "net/load_balancer.hh"
+
+#include "sim/logging.hh"
+
+namespace reqobs::net {
+
+const char *
+lbPolicyName(LbPolicy policy)
+{
+    switch (policy) {
+    case LbPolicy::RoundRobin:
+        return "round-robin";
+    case LbPolicy::LeastConnections:
+        return "least-connections";
+    }
+    return "?";
+}
+
+LoadBalancer::LoadBalancer(LbPolicy policy, std::size_t backends)
+    : policy_(policy), inflight_(backends, 0), dispatched_(backends, 0)
+{
+    if (backends == 0)
+        sim::fatal("LoadBalancer: need at least one backend");
+}
+
+std::size_t
+LoadBalancer::pick()
+{
+    const std::size_t n = inflight_.size();
+    std::size_t chosen = cursor_;
+    if (policy_ == LbPolicy::LeastConnections) {
+        // Scan from the cursor so ties rotate instead of pinning the
+        // lowest index.
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t b = (cursor_ + k) % n;
+            if (inflight_[b] < inflight_[chosen])
+                chosen = b;
+        }
+    }
+    cursor_ = (chosen + 1) % n;
+    return chosen;
+}
+
+void
+LoadBalancer::onDispatch(std::size_t backend)
+{
+    ++inflight_[backend];
+    ++dispatched_[backend];
+}
+
+void
+LoadBalancer::onComplete(std::size_t backend)
+{
+    if (inflight_[backend] == 0)
+        sim::fatal("LoadBalancer: completion without dispatch on backend %zu",
+                   backend);
+    --inflight_[backend];
+}
+
+} // namespace reqobs::net

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Client-side load balancer across a fleet of backend machines.
+ *
+ * Pure routing policy, decoupled from transport: callers ask pick() for
+ * a backend index, then report dispatch/completion so the balancer can
+ * track per-backend inflight counts. This mirrors how an L4 balancer or
+ * a client library (gRPC pick_first/least_request) sits in front of the
+ * per-connection links — the links themselves stay the existing
+ * netem/TCP pipes, so substituting the balancer never changes the
+ * per-connection packet dynamics (DESIGN.md §10 substitution argument).
+ *
+ * Both policies are deterministic: RoundRobin cycles; LeastConnections
+ * picks the minimum-inflight backend, breaking ties by scanning from the
+ * round-robin cursor so equal-load fleets degrade to round-robin rather
+ * than pinning backend 0.
+ */
+
+#ifndef REQOBS_NET_LOAD_BALANCER_HH
+#define REQOBS_NET_LOAD_BALANCER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reqobs::net {
+
+/** Routing policy; see file comment. */
+enum class LbPolicy
+{
+    RoundRobin,
+    LeastConnections,
+};
+
+/** Human-readable policy name ("round-robin" / "least-connections"). */
+const char *lbPolicyName(LbPolicy policy);
+
+/** See file comment. */
+class LoadBalancer
+{
+  public:
+    LoadBalancer(LbPolicy policy, std::size_t backends);
+
+    /** Choose the backend for the next request (does not dispatch). */
+    std::size_t pick();
+
+    /** Report a request dispatched to @p backend. */
+    void onDispatch(std::size_t backend);
+
+    /** Report a request completed (or abandoned) on @p backend. */
+    void onComplete(std::size_t backend);
+
+    std::size_t backends() const { return inflight_.size(); }
+    LbPolicy policy() const { return policy_; }
+
+    /** Requests currently outstanding on @p backend. */
+    std::uint64_t inflight(std::size_t backend) const
+    {
+        return inflight_[backend];
+    }
+
+    /** Total requests ever dispatched to @p backend. */
+    std::uint64_t dispatched(std::size_t backend) const
+    {
+        return dispatched_[backend];
+    }
+
+  private:
+    LbPolicy policy_;
+    std::size_t cursor_ = 0; ///< round-robin position / tie-break origin
+    std::vector<std::uint64_t> inflight_;
+    std::vector<std::uint64_t> dispatched_;
+};
+
+} // namespace reqobs::net
+
+#endif // REQOBS_NET_LOAD_BALANCER_HH

@@ -1,0 +1,57 @@
+#include "workload/machine.hh"
+
+#include "sim/logging.hh"
+
+namespace reqobs::workload {
+
+Machine::Machine(sim::Simulation &sim, const kernel::KernelConfig &config)
+    : kernel_(sim, config)
+{}
+
+ServerApp &
+Machine::addTenant(const WorkloadConfig &config)
+{
+    if (started_)
+        sim::fatal("Machine: addTenant() after start()");
+    tenants_.push_back(std::make_unique<ServerApp>(kernel_, config));
+    return *tenants_.back();
+}
+
+kernel::Pid
+Machine::addAntagonist(const AntagonistConfig &config)
+{
+    if (started_)
+        sim::fatal("Machine: addAntagonist() after start()");
+    Antagonist a;
+    a.config = config;
+    a.pid = kernel_.createProcess("antagonist");
+    antagonists_.push_back(a);
+    return a.pid;
+}
+
+void
+Machine::start()
+{
+    if (started_)
+        sim::fatal("Machine: start() called twice");
+    started_ = true;
+    for (auto &t : tenants_)
+        t->start();
+    for (const Antagonist &a : antagonists_) {
+        for (unsigned i = 0; i < a.config.threads; ++i) {
+            const AntagonistConfig cfg = a.config;
+            kernel_.spawnThread(
+                a.pid,
+                [cfg](kernel::Kernel &k, kernel::Tid tid) -> kernel::Task {
+                    // Fixed-cadence burn: contention pressure without a
+                    // random stream (keeps tenant RNG forks untouched).
+                    for (;;) {
+                        co_await k.compute(tid, cfg.burst);
+                        co_await k.sleepFor(tid, cfg.gap);
+                    }
+                });
+        }
+    }
+}
+
+} // namespace reqobs::workload

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Fleet-layer tests: tenant-scoped probe bytecode (verified tgid
+ * attribution), the load balancer, fleet sample aggregation, and the
+ * cluster experiment harness (including its degenerate single-machine
+ * equivalence with runExperiment).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hh"
+#include "ebpf/probes.hh"
+#include "ebpf/runtime.hh"
+#include "kernel/kernel.hh"
+#include "net/load_balancer.hh"
+#include "sim/simulation.hh"
+
+namespace reqobs {
+namespace {
+
+using ebpf::probes::SyscallStats;
+using kernel::Kernel;
+using kernel::Pid;
+using kernel::Syscall;
+using kernel::syscallId;
+using kernel::Task;
+using kernel::Tid;
+
+// ---------------------------------------------------------------------
+// Tenant-scoped probes: attribution decided by verified bytecode.
+
+struct TenantHarness
+{
+    sim::Simulation sim{11};
+    Kernel kernel{sim};
+    ebpf::EbpfRuntime rt{kernel};
+    Pid tenantA = kernel.createProcess("tenant-a");
+    Pid tenantB = kernel.createProcess("tenant-b");
+    Pid foreign = kernel.createProcess("foreign");
+
+    ebpf::probes::TenantSet
+    tenants() const
+    {
+        ebpf::probes::TenantSet set;
+        set.tgids = {static_cast<std::uint32_t>(tenantA),
+                     static_cast<std::uint32_t>(tenantB)};
+        set.pollSyscalls = {syscallId(Syscall::Nanosleep),
+                            syscallId(Syscall::Nanosleep)};
+        return set;
+    }
+
+    void
+    attach(ebpf::ProgramSpec spec, kernel::TracepointId point)
+    {
+        const auto vr = rt.loadAndAttach(std::move(spec), point);
+        ASSERT_TRUE(vr.ok) << vr.error;
+    }
+
+    /** Sleep @p n times on a fresh thread of @p pid. */
+    void
+    sleeper(Pid pid, int n, sim::Tick nap)
+    {
+        kernel.spawnThread(pid, [n, nap](Kernel &k, Tid tid) -> Task {
+            for (int i = 0; i < n; ++i)
+                co_await k.sleepFor(tid, nap);
+        });
+    }
+};
+
+TEST(TenantDeltaProbeTest, AttributesPerTenantSlots)
+{
+    TenantHarness h;
+    const auto set = h.tenants();
+    const auto maps = ebpf::probes::createTenantDeltaMaps(h.rt, 2, "d");
+    h.attach(ebpf::probes::buildTenantDeltaExit(
+                 h.rt, set, {syscallId(Syscall::Nanosleep)}, maps),
+             kernel::TracepointId::SysExit);
+
+    h.sleeper(h.tenantA, 5, sim::milliseconds(1));
+    h.sleeper(h.tenantB, 9, sim::milliseconds(1));
+    h.sleeper(h.foreign, 7, sim::milliseconds(1));
+    h.sim.runFor(sim::milliseconds(30));
+
+    // A delta probe records n-1 inter-syscall gaps for n syscalls.
+    const auto a = h.rt.arrayAt(maps.statsFd).at<SyscallStats>(0);
+    const auto b = h.rt.arrayAt(maps.statsFd).at<SyscallStats>(1);
+    EXPECT_EQ(a.count, 4u);
+    EXPECT_EQ(b.count, 8u);
+    EXPECT_GT(a.sumNs, 0u);
+    EXPECT_GT(b.sumNs, a.sumNs);
+}
+
+TEST(TenantDurationProbeTest, MeasuresPerTenantDurations)
+{
+    TenantHarness h;
+    const auto set = h.tenants();
+    const auto maps =
+        ebpf::probes::createTenantDurationMaps(h.rt, 2, "poll");
+    h.attach(ebpf::probes::buildTenantDurationEnter(h.rt, set, maps),
+             kernel::TracepointId::SysEnter);
+    h.attach(ebpf::probes::buildTenantDurationExit(h.rt, set, maps),
+             kernel::TracepointId::SysExit);
+
+    h.sleeper(h.tenantA, 3, sim::milliseconds(2));
+    h.sleeper(h.tenantB, 2, sim::milliseconds(5));
+    h.sleeper(h.foreign, 4, sim::milliseconds(3));
+    h.sim.runFor(sim::milliseconds(40));
+
+    const auto a = h.rt.arrayAt(maps.statsFd).at<SyscallStats>(0);
+    const auto b = h.rt.arrayAt(maps.statsFd).at<SyscallStats>(1);
+    EXPECT_EQ(a.count, 3u);
+    EXPECT_EQ(b.count, 2u);
+    // Durations include probe cost; just check the ordering is right.
+    EXPECT_GT(b.sumNs, a.sumNs);
+}
+
+TEST(TenantProbeTest, ForeignTgidNeverLandsInAnySlot)
+{
+    TenantHarness h;
+    const auto set = h.tenants();
+    const auto maps = ebpf::probes::createTenantDeltaMaps(h.rt, 2, "d");
+    h.attach(ebpf::probes::buildTenantDeltaExit(
+                 h.rt, set, {syscallId(Syscall::Nanosleep)}, maps),
+             kernel::TracepointId::SysExit);
+
+    h.sleeper(h.foreign, 10, sim::milliseconds(1));
+    h.sim.runFor(sim::milliseconds(20));
+
+    EXPECT_EQ(h.rt.arrayAt(maps.statsFd).at<SyscallStats>(0).count, 0u);
+    EXPECT_EQ(h.rt.arrayAt(maps.statsFd).at<SyscallStats>(1).count, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Load balancer.
+
+TEST(LoadBalancerTest, RoundRobinCycles)
+{
+    net::LoadBalancer lb(net::LbPolicy::RoundRobin, 3);
+    for (std::size_t i = 0; i < 7; ++i)
+        EXPECT_EQ(lb.pick(), i % 3);
+}
+
+TEST(LoadBalancerTest, LeastConnectionsFollowsInflight)
+{
+    net::LoadBalancer lb(net::LbPolicy::LeastConnections, 3);
+    // Load backend 0 and 1; the emptiest backend must win.
+    lb.onDispatch(0);
+    lb.onDispatch(0);
+    lb.onDispatch(1);
+    EXPECT_EQ(lb.pick(), 2u);
+    lb.onDispatch(2);
+    lb.onDispatch(2);
+    // Now 1 is least loaded.
+    EXPECT_EQ(lb.pick(), 1u);
+    // Completions drain backend 0 below everyone else.
+    lb.onComplete(0);
+    lb.onComplete(0);
+    EXPECT_EQ(lb.pick(), 0u);
+    EXPECT_EQ(lb.inflight(0), 0u);
+}
+
+TEST(LoadBalancerTest, LeastConnectionsRotatesTies)
+{
+    net::LoadBalancer lb(net::LbPolicy::LeastConnections, 3);
+    // All equal: consecutive picks must not pile onto one backend.
+    const std::size_t first = lb.pick();
+    lb.onDispatch(first);
+    lb.onComplete(first);
+    const std::size_t second = lb.pick();
+    EXPECT_NE(first, second);
+}
+
+// ---------------------------------------------------------------------
+// Fleet aggregation.
+
+core::MetricsSample
+sampleAt(sim::Tick t, double rps, std::uint64_t count, double var,
+         double slack)
+{
+    core::MetricsSample s;
+    s.t = t;
+    s.rpsObsv = rps;
+    s.send.count = count;
+    s.send.varianceNs2 = var;
+    s.slack = slack;
+    return s;
+}
+
+TEST(FleetAggregatorTest, MergesBucketsAcrossMachines)
+{
+    core::FleetAggregator agg(2, sim::milliseconds(100));
+    // Same bucket, both machines: rates add, slack takes the minimum,
+    // variance pools by window count.
+    agg.add(0, sampleAt(sim::milliseconds(100), 10.0, 100, 4.0, 0.5));
+    agg.add(1, sampleAt(sim::milliseconds(150), 20.0, 300, 8.0, 0.2));
+    // Later bucket, one machine only.
+    agg.add(0, sampleAt(sim::milliseconds(210), 12.0, 120, 4.0, 0.6));
+
+    const auto merged = agg.merged();
+    ASSERT_EQ(merged.size(), 2u);
+
+    EXPECT_EQ(merged[0].t, sim::milliseconds(100));
+    EXPECT_DOUBLE_EQ(merged[0].rpsObsv, 30.0);
+    EXPECT_EQ(merged[0].sendCount, 400u);
+    EXPECT_EQ(merged[0].contributors, 2u);
+    EXPECT_DOUBLE_EQ(merged[0].slack, 0.2);
+    EXPECT_DOUBLE_EQ(merged[0].varianceNs2,
+                     (100.0 * 4.0 + 300.0 * 8.0) / 400.0);
+
+    EXPECT_EQ(merged[1].t, sim::milliseconds(200));
+    EXPECT_EQ(merged[1].contributors, 1u);
+    EXPECT_DOUBLE_EQ(merged[1].rpsObsv, 12.0);
+}
+
+TEST(FleetAggregatorTest, LatestSampleWinsWithinBucket)
+{
+    core::FleetAggregator agg(1, sim::milliseconds(100));
+    agg.add(0, sampleAt(sim::milliseconds(110), 10.0, 100, 1.0, 0.9));
+    agg.add(0, sampleAt(sim::milliseconds(190), 15.0, 150, 1.0, 0.8));
+    const auto merged = agg.merged();
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_DOUBLE_EQ(merged[0].rpsObsv, 15.0);
+}
+
+// ---------------------------------------------------------------------
+// Cluster harness.
+
+TEST(ClusterExperimentTest, DegenerateCaseMatchesRunExperimentExactly)
+{
+    core::ClusterExperimentConfig cc;
+    core::ClusterTenantSpec spec;
+    spec.workload = workload::workloadByName("img-dnn");
+    spec.offeredRps = 500.0;
+    spec.requests = 800;
+    cc.tenants.push_back(spec);
+    cc.seed = 11;
+    ASSERT_TRUE(core::isDegenerateCluster(cc));
+
+    core::ExperimentConfig ec;
+    ec.workload = spec.workload;
+    ec.offeredRps = spec.offeredRps;
+    ec.requests = spec.requests;
+    ec.seed = 11;
+
+    const auto cluster = core::runClusterExperiment(cc);
+    const auto single = core::runExperiment(ec);
+
+    ASSERT_EQ(cluster.tenants.size(), 1u);
+    const auto &t = cluster.tenants[0];
+    EXPECT_DOUBLE_EQ(t.achievedRps, single.achievedRps);
+    EXPECT_DOUBLE_EQ(t.observedRps, single.observedRps);
+    EXPECT_EQ(t.completed, single.completed);
+    EXPECT_EQ(t.p99Ns, single.p99Ns);
+    EXPECT_EQ(cluster.syscalls, single.syscalls);
+    EXPECT_EQ(cluster.probeEvents, single.probeEvents);
+}
+
+TEST(ClusterExperimentTest, CoLocatedTenantsGetSeparateAccurateMetrics)
+{
+    core::ClusterExperimentConfig cc;
+    for (const auto &spec :
+         {std::pair<const char *, double>{"img-dnn", 400.0},
+          std::pair<const char *, double>{"xapian", 250.0}}) {
+        core::ClusterTenantSpec t;
+        t.workload = workload::workloadByName(spec.first);
+        t.offeredRps = spec.second;
+        t.requests = 900;
+        cc.tenants.push_back(std::move(t));
+    }
+    cc.seed = 5;
+
+    const auto res = core::runClusterExperiment(cc);
+    ASSERT_EQ(res.tenants.size(), 2u);
+    for (const auto &t : res.tenants) {
+        ASSERT_EQ(t.machines.size(), 1u);
+        const auto &m = t.machines[0];
+        // The verified bytecode attributed events to this tenant's slot,
+        // and they are a subset of the kernel's own per-tgid count.
+        EXPECT_GT(m.probeSendSyscalls, 0u);
+        EXPECT_LT(m.probeSendSyscalls, m.kernelSyscalls);
+        // Eq. 1 per tenant tracks that tenant's achieved rate.
+        EXPECT_GT(m.samples, 0u);
+        EXPECT_NEAR(t.observedRps, t.achievedRps, 0.15 * t.achievedRps);
+    }
+    // The two tenants' estimates are genuinely separate streams.
+    EXPECT_NEAR(res.tenants[0].observedRps, 400.0, 80.0);
+    EXPECT_NEAR(res.tenants[1].observedRps, 250.0, 50.0);
+}
+
+TEST(ClusterExperimentTest, FleetSpreadsLoadAndAggregates)
+{
+    core::ClusterExperimentConfig cc;
+    core::ClusterTenantSpec t;
+    t.workload = workload::workloadByName("img-dnn");
+    t.offeredRps = 900.0; // fleet aggregate over 2 machines
+    t.requests = 1200;
+    cc.tenants.push_back(std::move(t));
+    cc.machines = 2;
+    cc.seed = 13;
+
+    const auto res = core::runClusterExperiment(cc);
+    ASSERT_EQ(res.tenants.size(), 1u);
+    const auto &tr = res.tenants[0];
+    ASSERT_EQ(tr.machines.size(), 2u);
+    // Round-robin splits the arrivals roughly evenly.
+    for (const auto &m : tr.machines)
+        EXPECT_NEAR(m.achievedRps, 450.0, 90.0);
+    // The merged series carries full-fleet buckets whose rate is the
+    // fleet rate, not one machine's.
+    bool saw_full_bucket = false;
+    for (const auto &s : tr.fleetSeries) {
+        if (s.contributors == 2 && s.rpsObsv > 700.0)
+            saw_full_bucket = true;
+    }
+    EXPECT_TRUE(saw_full_bucket);
+    EXPECT_NEAR(tr.observedRps, tr.achievedRps, 0.15 * tr.achievedRps);
+}
+
+TEST(ClusterExperimentTest, AntagonistStaysOutOfTenantCounters)
+{
+    core::ClusterExperimentConfig cc;
+    core::ClusterTenantSpec t;
+    t.workload = workload::workloadByName("img-dnn");
+    t.offeredRps = 400.0;
+    t.requests = 700;
+    cc.tenants.push_back(std::move(t));
+    cc.antagonist = true; // busy co-resident with a foreign tgid
+    cc.seed = 17;
+
+    const auto res = core::runClusterExperiment(cc);
+    const auto &m = res.tenants[0].machines[0];
+    // The antagonist syscalls (nanosleep gaps) raise the machine's
+    // total, but the tenant slot still only sees tenant traffic.
+    EXPECT_GT(res.syscalls, m.kernelSyscalls);
+    EXPECT_GT(m.probeSendSyscalls, 0u);
+    EXPECT_NEAR(res.tenants[0].observedRps, res.tenants[0].achievedRps,
+                0.15 * res.tenants[0].achievedRps);
+}
+
+} // namespace
+} // namespace reqobs
