@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full pre-merge check: Release build + tier-1 tests, sanitizer build +
-# tier-1 tests, then the host-perf report (BENCH_perf.json at the repo
-# root). Run from anywhere; all paths are repo-relative.
+# tier-1 tests, then the host-perf report (BENCH_perf.json) and the
+# closed-loop control report (BENCH_control.json) at the repo root. Run
+# from anywhere; all paths are repo-relative.
 #
 # Usage: scripts/check.sh [--no-sanitize] [--no-bench]
 set -euo pipefail
@@ -37,6 +38,12 @@ echo "== Fleet suite =="
 ctest --test-dir "$repo/build-check" --output-on-failure -j "$jobs" \
     -L fleet --timeout 300
 
+# The control suite (closed-loop controller, eHashPipe sketch): same
+# belt-and-braces label run.
+echo "== Control suite =="
+ctest --test-dir "$repo/build-check" --output-on-failure -j "$jobs" \
+    -L control --timeout 300
+
 # Cluster runs must be bit-deterministic: same config, same bytes. Run
 # the co-location bench twice and require byte-identical stdout + JSON.
 echo "== Cluster determinism =="
@@ -64,11 +71,20 @@ if [ "$run_sanitize" = 1 ]; then
     echo "== Sanitizer chaos suite =="
     ctest --test-dir "$repo/build-check-asan" --output-on-failure \
         -j "$jobs" -L chaos --timeout 300
+    # Same for the control suite: the controller's teardown guard and
+    # the sketch's pinned count slab are exactly sanitizer territory.
+    echo "== Sanitizer control suite =="
+    ctest --test-dir "$repo/build-check-asan" --output-on-failure \
+        -j "$jobs" -L control --timeout 300
 fi
 
 if [ "$run_bench" = 1 ]; then
     echo "== Host perf report =="
     "$repo/build-check/bench/bench_perf" --json "$repo/BENCH_perf.json"
+    # Closed-loop acceptance: open loop violates, closed loop holds
+    # (bench_control exits non-zero if either side misbehaves).
+    echo "== Closed-loop control report =="
+    "$repo/build-check/bench/bench_control" --json "$repo/BENCH_control.json"
 fi
 
 echo "== check.sh OK =="

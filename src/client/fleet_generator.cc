@@ -60,11 +60,35 @@ FleetLoadGenerator::stop()
 }
 
 void
+FleetLoadGenerator::setOfferedRps(double rps)
+{
+    if (rps <= 0.0)
+        sim::fatal("FleetLoadGenerator::setOfferedRps: rate must be "
+                   "positive");
+    config_.offeredRps = rps;
+    interArrival_ = std::make_unique<sim::ExponentialDist>(
+        std::max<sim::Tick>(1, static_cast<sim::Tick>(1e9 / rps)));
+}
+
+void
+FleetLoadGenerator::setAdmission(double shed, sim::Tick retry_after)
+{
+    if (shed < 0.0 || shed > 1.0)
+        sim::fatal("FleetLoadGenerator::setAdmission: probability %f out "
+                   "of range",
+                   shed);
+    shedProb_ = shed;
+    retryAfter_ = retry_after;
+}
+
+void
 FleetLoadGenerator::scheduleNextArrival()
 {
     if (!running_)
         return;
-    if (config_.maxRequests && sent_ >= config_.maxRequests) {
+    // The budget counts logical requests, not sends: a shed arrival
+    // consumed its slot even if every retry is later rejected.
+    if (config_.maxRequests && arrivals_ >= config_.maxRequests) {
         running_ = false;
         arrivalsEnd_ = sim_.now();
         return;
@@ -83,6 +107,32 @@ FleetLoadGenerator::fireRequest()
 {
     if (!running_)
         return;
+    ++arrivals_;
+    attemptSend(0);
+}
+
+void
+FleetLoadGenerator::attemptSend(unsigned attempt)
+{
+    // Disengaged shedding draws no RNG at all: the arrival stream of a
+    // never-shed run is bit-identical to one without admission control.
+    if (shedProb_ > 0.0 && rng_.uniform() < shedProb_) {
+        ++shedded_;
+        if (attempt >= shedMaxRetries_) {
+            ++shedDropped_;
+            return;
+        }
+        const sim::Tick delay = std::min<sim::Tick>(
+            retryBackoffCap_,
+            std::max<sim::Tick>(1, retryAfter_) << attempt);
+        auto alive = alive_;
+        sim_.schedule(delay, [this, alive, attempt] {
+            if (!*alive)
+                return;
+            attemptSend(attempt + 1);
+        });
+        return;
+    }
     const std::size_t backend = lb_.pick();
     Backend &b = backends_[backend];
 

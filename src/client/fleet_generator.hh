@@ -56,8 +56,31 @@ class FleetLoadGenerator
     void start();
     void stop();
 
+    /** Re-rate the Poisson arrival process (diurnal/flash profiles). */
+    void setOfferedRps(double rps);
+
+    /**
+     * Admission control (the controller's shed actuator): each new
+     * arrival (and each retry) is rejected with probability @p shed,
+     * and rejected attempts retry after @p retry_after with capped
+     * exponential backoff (doubling per attempt, bounded by
+     * retryBackoffCap); a request out of retries is dropped and counted
+     * in shedDropped(). Pass shed = 0 to disengage. While disengaged no
+     * RNG is drawn, so runs that never enable shedding are bit-identical
+     * to builds without this mechanism.
+     */
+    void setAdmission(double shed, sim::Tick retry_after);
+
+    double shedProbability() const { return shedProb_; }
+
     /** @name Results (fleet-wide unless noted). @{ */
     std::uint64_t sent() const { return sent_; }
+    /** Logical requests generated (== sent() without shedding). */
+    std::uint64_t arrivals() const { return arrivals_; }
+    /** Admission rejections (attempts, not unique requests). */
+    std::uint64_t shedded() const { return shedded_; }
+    /** Requests abandoned after exhausting shed retries. */
+    std::uint64_t shedDropped() const { return shedDropped_; }
     std::uint64_t completed() const { return completed_; }
     const stats::LatencyHistogram &latencies() const { return latencies_; }
     double achievedRps() const;
@@ -73,6 +96,8 @@ class FleetLoadGenerator
     double backendAchievedRps(std::size_t backend) const;
 
     const net::LoadBalancer &balancer() const { return lb_; }
+    /** Mutable balancer access (the controller's migration actuator). */
+    net::LoadBalancer &balancer() { return lb_; }
     const ClientConfig &config() const { return config_; }
     /** @} */
 
@@ -93,8 +118,17 @@ class FleetLoadGenerator
     std::vector<Backend> backends_;
 
     std::uint64_t nextRequestId_ = 1;
+    std::uint64_t arrivals_ = 0; ///< logical requests (== sent_ w/o shed)
     std::uint64_t sent_ = 0;
     std::uint64_t completed_ = 0;
+    std::uint64_t shedded_ = 0;
+    std::uint64_t shedDropped_ = 0;
+    double shedProb_ = 0.0;
+    sim::Tick retryAfter_ = 0;
+    /** Backoff delays double per attempt but never exceed this. */
+    sim::Tick retryBackoffCap_ = sim::milliseconds(500);
+    /** Attempts per logical request before it is dropped. */
+    unsigned shedMaxRetries_ = 6;
     std::uint64_t completedDuringLoad_ = 0;
     std::vector<std::uint64_t> backendCompleted_;
     bool running_ = false;
@@ -115,6 +149,8 @@ class FleetLoadGenerator
 
     void scheduleNextArrival();
     void fireRequest();
+    /** Admission gate + send; retries re-enter here with attempt > 0. */
+    void attemptSend(unsigned attempt);
     void onResponse(kernel::Message &&msg);
 };
 

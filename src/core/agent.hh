@@ -70,6 +70,21 @@ struct AgentConfig
     /** @} */
 
     /**
+     * @name Heavy-hitter sketch (MultiTenantAgent only).
+     *
+     * Attach an extra in-kernel probe that counts send-family events
+     * per tenant slot in an eHashPipe-style hash pipe, so a controller
+     * finds the noisiest tenants via SketchMap::topK() without reading
+     * every stats slot. Off by default: the extra probe costs per-event
+     * time, so existing runs are unchanged.
+     * @{
+     */
+    bool heavyHitterSketch = false;
+    std::uint32_t sketchStages = 4; ///< hash-pipe depth
+    std::uint32_t sketchWidth = 8;  ///< slots per stage
+    /** @} */
+
+    /**
      * Called after every emitted sample — the supervisor's checkpoint
      * hook. Unset (the default) means no call and no overhead.
      */

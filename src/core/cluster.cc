@@ -19,7 +19,8 @@ isDegenerateCluster(const ClusterExperimentConfig &config)
         (config.machineSpeedFactors.size() == 1 &&
          config.machineSpeedFactors[0] == 1.0);
     return config.machines == 1 && config.tenants.size() == 1 &&
-           !config.antagonist && uniform_speed;
+           config.tenants[0].loadProfile.empty() && !config.antagonist &&
+           !config.controller.enabled && uniform_speed;
 }
 
 namespace {
@@ -89,9 +90,15 @@ runClusterExperiment(const ClusterExperimentConfig &config)
     if (!config.machineSpeedFactors.empty() &&
         config.machineSpeedFactors.size() != config.machines)
         sim::fatal("runClusterExperiment: machineSpeedFactors size mismatch");
-    for (const ClusterTenantSpec &t : config.tenants)
+    for (const ClusterTenantSpec &t : config.tenants) {
         if (t.offeredRps <= 0.0)
             sim::fatal("runClusterExperiment: tenant offeredRps must be set");
+        for (const LoadPhase &p : t.loadProfile)
+            if (p.factor <= 0.0)
+                sim::fatal("runClusterExperiment: load factor must be > 0");
+    }
+    if (config.controller.enabled && !config.attachAgents)
+        sim::fatal("runClusterExperiment: the controller needs agents");
 
     if (isDegenerateCluster(config)) {
         ExperimentConfig single;
@@ -156,6 +163,20 @@ runClusterExperiment(const ClusterExperimentConfig &config)
             config.lbPolicy));
     }
 
+    // Offered-load schedules (diurnal curves, flash crowds). Phases are
+    // scheduled up front; an empty profile schedules nothing, keeping the
+    // constant-rate path untouched.
+    double min_load_factor = 1.0;
+    for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+        const ClusterTenantSpec &spec = config.tenants[t];
+        client::FleetLoadGenerator *gen = gens[t].get();
+        for (const LoadPhase &phase : spec.loadProfile) {
+            min_load_factor = std::min(min_load_factor, phase.factor);
+            const double rps = spec.offeredRps * phase.factor;
+            sim.scheduleAt(phase.at, [gen, rps] { gen->setOfferedRps(rps); });
+        }
+    }
+
     // One multi-tenant agent per machine: one probe set, T stats slots.
     std::vector<std::unique_ptr<MultiTenantAgent>> agents;
     if (config.attachAgents) {
@@ -175,18 +196,82 @@ runClusterExperiment(const ClusterExperimentConfig &config)
         }
     }
 
+    // Closed-loop controller (disabled by default: nothing below runs,
+    // nothing is scheduled, existing runs are bit-identical).
+    std::unique_ptr<FleetController> controller;
+    if (config.controller.enabled) {
+        // Pre-provision scalable worker pools before the machines start:
+        // workers cannot be spawned mid-run, only parked and unparked.
+        for (auto &machine : machines)
+            for (std::size_t t = 0; t < config.tenants.size(); ++t)
+                if (config.tenants[t].workload.model ==
+                    workload::ThreadingModel::DispatcherWorkers)
+                    machine->tenant(t).enableWorkerScaling(
+                        config.controller.maxWorkers);
+
+        FleetActuators act;
+        act.setShed = [&gens](std::size_t t, double p, sim::Tick retry) {
+            gens[t]->setAdmission(p, retry);
+        };
+        act.setDrained = [&gens](std::size_t m, bool drained) {
+            for (auto &gen : gens)
+                gen->balancer().setDrained(m, drained);
+        };
+        act.setWorkerTarget = [&machines, &config](std::size_t m,
+                                                   unsigned workers) {
+            // setWorkerTarget is a no-op on non-DispatcherWorkers apps.
+            for (std::size_t t = 0; t < config.tenants.size(); ++t)
+                machines[m]->tenant(t).setWorkerTarget(workers);
+        };
+        controller = std::make_unique<FleetController>(
+            sim, config.controller, config.machines, config.tenants.size(),
+            std::move(act));
+        controller->setInputProvider([&agents, &config] {
+            std::vector<ControllerInput> inputs;
+            inputs.reserve(agents.size() * config.tenants.size());
+            for (std::size_t m = 0; m < agents.size(); ++m) {
+                for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+                    const TenantMetrics &tm = agents[m]->tenant(t);
+                    ControllerInput in;
+                    in.machine = m;
+                    in.tenant = t;
+                    if (!tm.samples().empty()) {
+                        const MetricsSample &s = tm.samples().back();
+                        in.t = s.t;
+                        in.slack = s.slack;
+                        in.saturated = s.saturated;
+                        in.sendCount = s.send.count;
+                        in.degraded = s.health.degraded();
+                        in.varianceRatio = tm.saturation().varianceRatio();
+                    }
+                    inputs.push_back(in);
+                }
+            }
+            return inputs;
+        });
+    }
+
     for (auto &machine : machines)
         machine->start();
     for (auto &agent : agents)
         agent->start();
     for (auto &gen : gens)
         gen->start();
+    if (controller)
+        controller->start();
 
-    const sim::Tick grace = std::max<sim::Tick>(
+    sim::Tick grace = std::max<sim::Tick>(
         sim::milliseconds(500), 4 * max_qos + 8 * config.netem.delay);
+    // Shed-retry backoff can hold the last admitted requests for seconds.
+    if (config.controller.enabled)
+        grace += sim::seconds(4);
+    // A load profile stretches the arrival schedule by up to the inverse
+    // of its lowest factor (the budget drains slowest at the trough).
     const sim::Tick horizon =
         config.warmup +
-        static_cast<sim::Tick>(max_offered_seconds * 1.05 * 1e9) + grace;
+        static_cast<sim::Tick>(max_offered_seconds / min_load_factor * 1.05 *
+                               1e9) +
+        grace;
     sim.runUntil(horizon);
 
     ClusterExperimentResult out;
@@ -201,6 +286,9 @@ runClusterExperiment(const ClusterExperimentConfig &config)
         tr.p95Ns = gen.latencies().p95();
         tr.p99Ns = gen.latencies().p99();
         tr.qosViolated = gen.qosViolated();
+        tr.arrivals = gen.arrivals();
+        tr.shedded = gen.shedded();
+        tr.shedDropped = gen.shedDropped();
 
         FleetAggregator agg(config.machines,
                             std::max<sim::Tick>(1,
@@ -233,6 +321,10 @@ runClusterExperiment(const ClusterExperimentConfig &config)
     }
     for (auto &machine : machines)
         out.syscalls += machine->kernel().syscallCount();
+    if (controller) {
+        controller->stop();
+        out.controller = controller->stats();
+    }
     for (auto &agent : agents) {
         out.probeEvents += agent->runtime().eventsProcessed();
         out.probeInsns += agent->runtime().insnsInterpreted();

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/controller.hh"
 #include "core/experiment.hh"
 #include "core/fleet.hh"
 #include "core/tenant_metrics.hh"
@@ -25,6 +26,17 @@
 #include "workload/machine.hh"
 
 namespace reqobs::core {
+
+/**
+ * One step of a tenant's offered-load schedule: at tick @p at (absolute
+ * sim time) the tenant's arrival rate becomes offeredRps * factor.
+ * Diurnal curves and flash crowds are both a handful of phases.
+ */
+struct LoadPhase
+{
+    sim::Tick at = 0;
+    double factor = 1.0;
+};
 
 /** One tenant of the cluster (co-located on every machine). */
 struct ClusterTenantSpec
@@ -34,6 +46,8 @@ struct ClusterTenantSpec
     double offeredRps = 0.0;
     /** Arrival budget for this tenant's client population. */
     std::uint64_t requests = 20000;
+    /** Offered-load schedule; empty = constant offeredRps. */
+    std::vector<LoadPhase> loadProfile;
 };
 
 /** Everything defining one cluster run. */
@@ -60,6 +74,14 @@ struct ClusterExperimentConfig
 
     bool attachAgents = true;
     AgentConfig agent;
+
+    /**
+     * Closed-loop fleet controller (see core/controller). Disabled by
+     * default: with controller.enabled == false nothing is constructed
+     * or scheduled, so existing runs are bit-identical. Enabling it
+     * requires attachAgents (the controller feeds on agent estimates).
+     */
+    ControllerConfig controller;
 
     /** Co-locate a best-effort CPU antagonist on every machine. */
     bool antagonist = false;
@@ -93,6 +115,11 @@ struct ClusterTenantResult
     std::uint64_t p95Ns = 0;
     std::uint64_t p99Ns = 0;
     bool qosViolated = false;
+    /** @name Admission-control outcome (zero without a controller). @{ */
+    std::uint64_t arrivals = 0;    ///< logical requests generated
+    std::uint64_t shedded = 0;     ///< admission rejections (incl. retries)
+    std::uint64_t shedDropped = 0; ///< requests abandoned after max retries
+    /** @} */
     std::vector<TenantMachineResult> machines;
     /** Per-machine sample streams merged on agent-period buckets. */
     std::vector<FleetSample> fleetSeries;
@@ -109,6 +136,8 @@ struct ClusterExperimentResult
     std::uint64_t probeEvents = 0; ///< Σ agents
     std::uint64_t probeInsns = 0;
     std::int64_t probeCostNs = 0;
+    /** Controller behaviour over the run (zeros when disabled). */
+    ControllerStats controller;
 };
 
 /** True when @p config reduces to a plain runExperiment() call. */

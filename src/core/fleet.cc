@@ -50,6 +50,13 @@ FleetAggregator::merged() const
                 continue;
             ++f.contributors;
             f.rpsObsv += slot.sample.rpsObsv;
+            // A zero-event window carries no variance or slack signal:
+            // pooling it would multiply a possibly-NaN variance by zero
+            // count, and its placeholder slack would masquerade as a
+            // saturated machine in the fleet minimum. Count the
+            // contributor, skip its empty statistics.
+            if (slot.sample.send.count == 0)
+                continue;
             f.sendCount += slot.sample.send.count;
             weighted_var += slot.sample.send.varianceNs2 *
                             static_cast<double>(slot.sample.send.count);

@@ -15,7 +15,7 @@ TenantMetrics::TenantMetrics(const AgentConfig &config)
 MetricsSample
 TenantMetrics::observe(sim::Tick t, const DeltaWindow &send,
                        const DeltaWindow &recv, std::uint64_t poll_count,
-                       double poll_mean_dur_ns)
+                       double poll_mean_dur_ns, const AgentHealth &health)
 {
     MetricsSample s;
     s.t = t;
@@ -23,6 +23,7 @@ TenantMetrics::observe(sim::Tick t, const DeltaWindow &send,
     s.recv = recv;
     s.pollCount = poll_count;
     s.pollMeanDurNs = poll_mean_dur_ns;
+    s.health = health;
     s.rpsObsv = rpsFromWindow(send);
 
     rps_.observe(send);
@@ -99,6 +100,13 @@ MultiTenantAgent::start()
     };
 
     const unsigned shift = ebpf::probes::kDeltaShift;
+    if (config_.heavyHitterSketch) {
+        sketchFd_ = ebpf::probes::createTenantSketchMap(
+            *runtime_, config_.sketchStages, config_.sketchWidth, "send");
+        attach(ebpf::probes::buildTenantHeavyHitter(*runtime_, set,
+                                                    send_family, sketchFd_),
+               "send.heavy_hitter", kernel::TracepointId::SysExit);
+    }
     attach(ebpf::probes::buildTenantDeltaExit(*runtime_, set, send_family,
                                               sendMaps_, shift,
                                               config_.guardedProbes),
@@ -115,10 +123,47 @@ MultiTenantAgent::start()
            "poll.duration_exit", kernel::TracepointId::SysExit);
 
     running_ = true;
+    // loadAndAttach is fatal on rejection, so reaching here means every
+    // family is live.
+    health_.sendAttached = true;
+    health_.recvAttached = true;
+    health_.pollAttached = true;
     sendSnap_.assign(tenants_.size(), SyscallStats{});
     recvSnap_.assign(tenants_.size(), SyscallStats{});
     pollSnap_.assign(tenants_.size(), SyscallStats{});
+    lossSendSnap_.assign(tenants_.size(), LossSnap{});
+    lossRecvSnap_.assign(tenants_.size(), LossSnap{});
+    lossPollEnterSnap_.assign(tenants_.size(), LossSnap{});
+    lossPollExitSnap_.assign(tenants_.size(), LossSnap{});
     scheduleSample();
+}
+
+MultiTenantAgent::LossSnap
+MultiTenantAgent::familySnap(const char *name) const
+{
+    return {runtime_->probeLoss(name), runtime_->probeMissesFor(name),
+            runtime_->probeRunsFor(name)};
+}
+
+std::uint64_t
+MultiTenantAgent::lostEvents(const LossSnap &now, const LossSnap &snap,
+                             std::uint64_t window_count, double share)
+{
+    // Same reconstruction as ObservabilityAgent::lostEvents, with one
+    // multi-tenant twist: in-program losses are counted program-wide,
+    // and the program is shared by every tenant, so each tenant claims
+    // only its share of this tick's fresh events. Misses strike before
+    // the filter and are already prorated by the tenant's
+    // events-per-run ratio.
+    const std::uint64_t d_inprog =
+        (now.loss - now.misses) - (snap.loss - snap.misses);
+    const std::uint64_t d_miss = now.misses - snap.misses;
+    const std::uint64_t d_runs = now.runs - snap.runs;
+    std::uint64_t est = static_cast<std::uint64_t>(
+        static_cast<double>(d_inprog) * share + 0.5);
+    if (d_miss > 0 && d_runs > 0)
+        est += (window_count * d_miss + d_runs / 2) / d_runs;
+    return est;
 }
 
 void
@@ -155,32 +200,80 @@ void
 MultiTenantAgent::takeSample()
 {
     const sim::Tick now = kernel_.sim().now();
-    for (std::size_t i = 0; i < tenants_.size(); ++i) {
-        const SyscallStats send_now = readSlot(sendMaps_.statsFd, i);
-        const SyscallStats recv_now = readSlot(recvMaps_.statsFd, i);
-        const SyscallStats poll_now = readSlot(pollMaps_.statsFd, i);
 
+    // First pass: read every tenant's slots and total the fresh events,
+    // so loss proration knows each emitting tenant's share of the tick.
+    std::vector<SyscallStats> send_now(tenants_.size());
+    std::vector<SyscallStats> recv_now(tenants_.size());
+    std::vector<SyscallStats> poll_now(tenants_.size());
+    std::uint64_t total_fresh = 0;
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        send_now[i] = readSlot(sendMaps_.statsFd, i);
+        recv_now[i] = readSlot(recvMaps_.statsFd, i);
+        poll_now[i] = readSlot(pollMaps_.statsFd, i);
+        total_fresh += send_now[i].count - sendSnap_[i].count;
+    }
+
+    if (config_.lossAware) {
+        health_.mapUpdateFails = runtime_->mapUpdateFails();
+        health_.ringbufDrops = runtime_->ringbufDrops();
+        health_.probeMisses = runtime_->probeMisses();
+    }
+
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
         // Per-tenant freshness gate: a quiet tenant keeps accumulating
         // its window while busy neighbours sample normally.
-        const std::uint64_t fresh = send_now.count - sendSnap_[i].count;
-        if (fresh < config_.minWindowSyscalls)
+        const std::uint64_t fresh = send_now[i].count - sendSnap_[i].count;
+        if (fresh < config_.minWindowSyscalls) {
+            ++health_.staleWindows;
             continue;
+        }
 
-        const DeltaWindow send = diffStats(sendSnap_[i], send_now);
-        const DeltaWindow recv = diffStats(recvSnap_[i], recv_now);
+        DeltaWindow send = diffStats(sendSnap_[i], send_now[i]);
+        DeltaWindow recv = diffStats(recvSnap_[i], recv_now[i]);
         std::uint64_t poll_count = 0;
         double poll_mean = 0.0;
-        if (poll_now.count > pollSnap_[i].count &&
-            poll_now.sumNs >= pollSnap_[i].sumNs) {
-            poll_count = poll_now.count - pollSnap_[i].count;
+        if (poll_now[i].count > pollSnap_[i].count &&
+            poll_now[i].sumNs >= pollSnap_[i].sumNs) {
+            poll_count = poll_now[i].count - pollSnap_[i].count;
             poll_mean =
-                static_cast<double>(poll_now.sumNs - pollSnap_[i].sumNs) /
+                static_cast<double>(poll_now[i].sumNs -
+                                    pollSnap_[i].sumNs) /
                 static_cast<double>(poll_count);
         }
-        metrics_[i]->observe(now, send, recv, poll_count, poll_mean);
-        sendSnap_[i] = send_now;
-        recvSnap_[i] = recv_now;
-        pollSnap_[i] = poll_now;
+        if (config_.lossAware) {
+            const double share =
+                total_fresh > 0 ? static_cast<double>(fresh) /
+                                      static_cast<double>(total_fresh)
+                                : 0.0;
+            const LossSnap loss_send = familySnap("send.delta_exit");
+            const LossSnap loss_recv = familySnap("recv.delta_exit");
+            const LossSnap loss_pe = familySnap("poll.duration_enter");
+            const LossSnap loss_px = familySnap("poll.duration_exit");
+            const std::uint64_t d_send =
+                lostEvents(loss_send, lossSendSnap_[i], send.count, share);
+            const std::uint64_t d_recv =
+                lostEvents(loss_recv, lossRecvSnap_[i], recv.count, share);
+            const std::uint64_t d_poll =
+                lostEvents(loss_pe, lossPollEnterSnap_[i], poll_count,
+                           share) +
+                lostEvents(loss_px, lossPollExitSnap_[i], poll_count,
+                           share);
+            send = correctForLoss(send, d_send);
+            recv = correctForLoss(recv, d_recv);
+            if (poll_count > 0)
+                poll_count += d_poll;
+            health_.lossCorrectedEvents += d_send + d_recv + d_poll;
+            lossSendSnap_[i] = loss_send;
+            lossRecvSnap_[i] = loss_recv;
+            lossPollEnterSnap_[i] = loss_pe;
+            lossPollExitSnap_[i] = loss_px;
+        }
+        metrics_[i]->observe(now, send, recv, poll_count, poll_mean,
+                             health_);
+        sendSnap_[i] = send_now[i];
+        recvSnap_[i] = recv_now[i];
+        pollSnap_[i] = poll_now[i];
     }
 }
 
@@ -214,6 +307,20 @@ std::uint64_t
 MultiTenantAgent::sendSyscalls(std::size_t i) const
 {
     return readSlot(sendMaps_.statsFd, i).count;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>>
+MultiTenantAgent::topTenants(std::size_t k) const
+{
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+    if (sketchFd_ < 0)
+        return out;
+    for (const auto &[key, count] : runtime_->sketchAt(sketchFd_).topK(k)) {
+        std::uint32_t slot;
+        std::memcpy(&slot, key.data(), sizeof(slot));
+        out.emplace_back(slot, count);
+    }
+    return out;
 }
 
 } // namespace reqobs::core

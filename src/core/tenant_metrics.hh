@@ -39,13 +39,16 @@ class TenantMetrics
     explicit TenantMetrics(const AgentConfig &config = {});
 
     /**
-     * Feed one window (already differenced). Mirrors the estimator
-     * update step of ObservabilityAgent::takeSample() and returns the
-     * emitted sample.
+     * Feed one window (already differenced, loss-corrected by the
+     * caller when enabled). Mirrors the estimator update step of
+     * ObservabilityAgent::takeSample() and returns the emitted sample;
+     * @p health is stamped onto it so consumers can tell a quiet
+     * tenant from a sick pipeline.
      */
     MetricsSample observe(sim::Tick t, const DeltaWindow &send,
                           const DeltaWindow &recv, std::uint64_t poll_count,
-                          double poll_mean_dur_ns);
+                          double poll_mean_dur_ns,
+                          const AgentHealth &health = {});
 
     const std::vector<MetricsSample> &samples() const { return samples_; }
     const RpsEstimator &rps() const { return rps_; }
@@ -100,6 +103,17 @@ class MultiTenantAgent
     std::uint64_t sendSyscalls(std::size_t i) const;
     /** @} */
 
+    /**
+     * Noisiest tenants by in-kernel send-event count, read from the
+     * heavy-hitter sketch: (tenant slot, approximate count) sorted
+     * descending. Empty unless AgentConfig::heavyHitterSketch.
+     */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>>
+    topTenants(std::size_t k) const;
+
+    /** Machine-level pipeline health (probe attach + loss counters). */
+    const AgentHealth &health() const { return health_; }
+
     ebpf::EbpfRuntime &runtime() { return *runtime_; }
 
   private:
@@ -112,14 +126,40 @@ class MultiTenantAgent
     ebpf::probes::DeltaMaps sendMaps_;
     ebpf::probes::DeltaMaps recvMaps_;
     ebpf::probes::DurationMaps pollMaps_;
+    int sketchFd_ = -1; ///< heavy-hitter sketch (when enabled)
 
     bool running_ = false;
     sim::EventId sampleTimer_;
+    AgentHealth health_;
 
     /** Per-tenant snapshots at the start of the accumulating window. */
     std::vector<ebpf::probes::SyscallStats> sendSnap_;
     std::vector<ebpf::probes::SyscallStats> recvSnap_;
     std::vector<ebpf::probes::SyscallStats> pollSnap_;
+
+    /** Loss-aware reconstruction (mirrors ObservabilityAgent): one
+     *  program's loss counters at the start of a tenant's window. */
+    struct LossSnap
+    {
+        std::uint64_t loss = 0;   ///< misses + map fails + ringbuf drops
+        std::uint64_t misses = 0; ///< pre-filter missed runs
+        std::uint64_t runs = 0;   ///< completed runs (every syscall)
+    };
+    std::vector<LossSnap> lossSendSnap_;
+    std::vector<LossSnap> lossRecvSnap_;
+    std::vector<LossSnap> lossPollEnterSnap_;
+    std::vector<LossSnap> lossPollExitSnap_;
+    LossSnap familySnap(const char *name) const;
+    /**
+     * Events lost over a tenant's window. Misses are prorated by the
+     * tenant's recorded-events-per-run ratio as in the single-tenant
+     * agent; in-program losses (shared across tenants) are prorated by
+     * @p share, the tenant's fraction of this tick's fresh events.
+     */
+    static std::uint64_t lostEvents(const LossSnap &now,
+                                    const LossSnap &snap,
+                                    std::uint64_t window_count,
+                                    double share);
 
     /** Teardown guard; last member so it outlives everything above. */
     std::shared_ptr<bool> alive_;

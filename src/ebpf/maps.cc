@@ -1,5 +1,7 @@
 #include "ebpf/maps.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace reqobs::ebpf {
@@ -123,6 +125,62 @@ int
 ArrayMap::erase(const std::uint8_t *)
 {
     return -22; // arrays cannot delete, like Linux
+}
+
+// ---------------------------------------------------------------- Sketch
+
+SketchMap::SketchMap(std::uint32_t key_size, std::uint32_t stages,
+                     std::uint32_t width, std::string name)
+    : Map(MapType::Sketch, key_size, 8, stages * width, std::move(name)),
+      stages_(stages), width_(width),
+      used_(static_cast<std::size_t>(stages) * width, 0),
+      keys_(static_cast<std::size_t>(stages) * width * key_size),
+      counts_(static_cast<std::size_t>(stages) * width * 8, 0)
+{
+    if (stages == 0 || width == 0)
+        sim::fatal("SketchMap '%s': zero stages/width", name_.c_str());
+    if (key_size > 64)
+        sim::fatal("SketchMap '%s': key size %u > 64", name_.c_str(),
+                   key_size);
+}
+
+std::vector<std::pair<std::vector<std::uint8_t>, std::uint64_t>>
+SketchMap::topK(std::size_t k) const
+{
+    // Merge duplicate keys across stages, then order by count (desc)
+    // with key bytes breaking ties so the result is deterministic.
+    std::vector<std::pair<std::vector<std::uint8_t>, std::uint64_t>> all;
+    forEach([&](const std::uint8_t *key, const std::uint8_t *val) {
+        std::uint64_t c;
+        std::memcpy(&c, val, 8);
+        for (auto &e : all) {
+            if (std::memcmp(e.first.data(), key, keySize_) == 0) {
+                e.second += c;
+                return;
+            }
+        }
+        all.emplace_back(std::vector<std::uint8_t>(key, key + keySize_), c);
+    });
+    std::sort(all.begin(), all.end(), [](const auto &a, const auto &b) {
+        if (a.second != b.second)
+            return a.second > b.second;
+        return a.first < b.first;
+    });
+    if (all.size() > k)
+        all.resize(k);
+    return all;
+}
+
+void
+SketchMap::forEach(
+    const std::function<void(const std::uint8_t *, const std::uint8_t *)> &fn)
+    const
+{
+    for (std::uint32_t idx = 0; idx < stages_ * width_; ++idx) {
+        if (used_[idx])
+            fn(keyAt(idx),
+               counts_.data() + static_cast<std::size_t>(idx) * 8);
+    }
 }
 
 // ---------------------------------------------------------------- RingBuf

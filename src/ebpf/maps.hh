@@ -21,13 +21,15 @@
 
 namespace reqobs::ebpf {
 
-/** Supported map types (kernel enum bpf_map_type subset). */
+/** Supported map types (kernel enum bpf_map_type subset, plus the
+ *  hash-pipe heavy-hitter sketch from eHashPipe). */
 enum class MapType
 {
     Hash,
     Array,
     PerCpuArray,
     RingBuf,
+    Sketch,
 };
 
 /** Update flags (kernel BPF_ANY / BPF_NOEXIST / BPF_EXIST). */
@@ -388,6 +390,182 @@ class ArrayMap : public Map
   private:
     std::vector<std::uint8_t> storage_;
 };
+
+/**
+ * eHashPipe-style top-K heavy-hitter sketch (the "hash pipe").
+ *
+ * d stages of w slots each; every stage hashes the key with a different
+ * seed. An update carries the incoming (key, count) down the pipe:
+ * stage 0 always inserts (evicting the resident entry into the carry),
+ * later stages keep whichever of {carry, resident} has the larger
+ * count; a carry surviving the last stage is dropped and counted in
+ * evictions(). Matching keys merge by addition at any stage, so an
+ * update is a merge-add, never an overwrite — and it always succeeds
+ * (return 0): eviction is approximation, not failure. Deletion is not
+ * part of the structure (erase() returns -EINVAL, and the verifier
+ * statically rejects map_delete_elem on sketch handles).
+ *
+ * The count slab is allocated once and never resized, so the value
+ * pointers lookup() hands to running programs stay stable; lookup()
+ * scans all d candidate slots for an exact key match. Userspace reads
+ * the approximate top-K via topK(), which merges duplicate keys across
+ * stages (always-insert can leave the same key resident in two stages).
+ */
+class SketchMap : public Map
+{
+  public:
+    SketchMap(std::uint32_t key_size, std::uint32_t stages,
+              std::uint32_t width, std::string name = "sketch");
+
+    std::uint8_t *lookup(const std::uint8_t *key) override
+    {
+        return lookupHot(key);
+    }
+    int update(const std::uint8_t *key, const std::uint8_t *value,
+               std::uint64_t flags) override
+    {
+        return updateHot(key, value, flags);
+    }
+    int erase(const std::uint8_t *) override { return -22; } // -EINVAL
+    std::size_t size() const override { return size_; }
+
+    /** @name Non-virtual hot path (shared by both engines). @{ */
+    std::uint8_t *lookupHot(const std::uint8_t *key);
+    int updateHot(const std::uint8_t *key, const std::uint8_t *value,
+                  std::uint64_t flags);
+    /** @} */
+
+    std::uint32_t stages() const { return stages_; }
+    std::uint32_t width() const { return width_; }
+    /** Carries dropped off the end of the pipe (undercount events). */
+    std::uint64_t evictions() const { return evictions_; }
+
+    /**
+     * Approximate top-K: resident entries merged by key, sorted by
+     * count descending then key bytes ascending (deterministic ties).
+     */
+    std::vector<std::pair<std::vector<std::uint8_t>, std::uint64_t>>
+    topK(std::size_t k) const;
+
+    /** Visit every resident (key, count bytes) pair in stage-major
+     *  slot order — exact-state comparison and snapshotting. */
+    void forEach(
+        const std::function<void(const std::uint8_t *, const std::uint8_t *)>
+            &fn) const;
+
+  private:
+    std::uint64_t hashKey(const std::uint8_t *key) const;
+    /** Slot index of @p key in @p stage (stage-seeded hash). */
+    std::uint32_t slotOf(std::uint32_t stage, const std::uint8_t *key) const;
+
+    std::uint8_t *keyAt(std::uint32_t idx)
+    {
+        return keys_.data() + static_cast<std::size_t>(idx) * keySize_;
+    }
+    const std::uint8_t *keyAt(std::uint32_t idx) const
+    {
+        return keys_.data() + static_cast<std::size_t>(idx) * keySize_;
+    }
+    std::uint64_t countAt(std::uint32_t idx) const
+    {
+        std::uint64_t c;
+        std::memcpy(&c, counts_.data() + static_cast<std::size_t>(idx) * 8, 8);
+        return c;
+    }
+    void setCountAt(std::uint32_t idx, std::uint64_t c)
+    {
+        std::memcpy(counts_.data() + static_cast<std::size_t>(idx) * 8, &c, 8);
+    }
+
+    std::uint32_t stages_;
+    std::uint32_t width_;
+    std::size_t size_ = 0;        ///< resident entries
+    std::uint64_t evictions_ = 0; ///< carries dropped off the pipe
+    std::vector<std::uint8_t> used_;   ///< stages_ × width_ occupancy
+    std::vector<std::uint8_t> keys_;   ///< stages_ × width_ × keySize_
+    std::vector<std::uint8_t> counts_; ///< stages_ × width_ × 8, pinned
+};
+
+inline std::uint64_t
+SketchMap::hashKey(const std::uint8_t *key) const
+{
+    if (keySize_ == 4) {
+        std::uint32_t k;
+        std::memcpy(&k, key, 4);
+        return detail::mix64(k);
+    }
+    if (keySize_ == 8) {
+        std::uint64_t k;
+        std::memcpy(&k, key, 8);
+        return detail::mix64(k);
+    }
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::uint32_t i = 0; i < keySize_; ++i) {
+        h ^= key[i];
+        h *= 1099511628211ULL;
+    }
+    return detail::mix64(h);
+}
+
+inline std::uint32_t
+SketchMap::slotOf(std::uint32_t stage, const std::uint8_t *key) const
+{
+    // Re-mix with a per-stage seed so the d hash functions are
+    // independent — the whole point of the pipe.
+    const std::uint64_t seed = 0xA24BAED4963EE407ULL * (stage + 1);
+    return static_cast<std::uint32_t>(detail::mix64(hashKey(key) ^ seed) %
+                                      width_);
+}
+
+inline std::uint8_t *
+SketchMap::lookupHot(const std::uint8_t *key)
+{
+    for (std::uint32_t s = 0; s < stages_; ++s) {
+        const std::uint32_t idx = s * width_ + slotOf(s, key);
+        if (used_[idx] && std::memcmp(keyAt(idx), key, keySize_) == 0)
+            return counts_.data() + static_cast<std::size_t>(idx) * 8;
+    }
+    return nullptr;
+}
+
+inline int
+SketchMap::updateHot(const std::uint8_t *key, const std::uint8_t *value,
+                     std::uint64_t flags)
+{
+    (void)flags; // merge-add semantics regardless of flags
+    std::uint64_t ccnt;
+    std::memcpy(&ccnt, value, 8);
+    // The carry travelling down the pipe; starts as the incoming entry.
+    std::uint8_t ckey[64];
+    std::memcpy(ckey, key, keySize_);
+
+    for (std::uint32_t s = 0; s < stages_; ++s) {
+        const std::uint32_t idx = s * width_ + slotOf(s, ckey);
+        if (!used_[idx]) {
+            used_[idx] = 1;
+            std::memcpy(keyAt(idx), ckey, keySize_);
+            setCountAt(idx, ccnt);
+            ++size_;
+            return 0;
+        }
+        if (std::memcmp(keyAt(idx), ckey, keySize_) == 0) {
+            setCountAt(idx, countAt(idx) + ccnt);
+            return 0;
+        }
+        const std::uint64_t rcnt = countAt(idx);
+        if (s == 0 || ccnt > rcnt) {
+            // Stage 0 always inserts; later stages keep the larger.
+            std::uint8_t tmp[64];
+            std::memcpy(tmp, keyAt(idx), keySize_);
+            std::memcpy(keyAt(idx), ckey, keySize_);
+            std::memcpy(ckey, tmp, keySize_);
+            setCountAt(idx, ccnt);
+            ccnt = rcnt;
+        }
+    }
+    ++evictions_; // residual carry falls off the pipe
+    return 0;
+}
 
 /**
  * BPF_MAP_TYPE_RINGBUF: kernel-to-user record stream. Programs emit

@@ -301,6 +301,60 @@ buildTenantDeltaExit(EbpfRuntime &rt, const TenantSet &tenants,
     return spec;
 }
 
+int
+createTenantSketchMap(EbpfRuntime &rt, std::uint32_t stages,
+                      std::uint32_t width, const std::string &prefix)
+{
+    return rt.createSketchMap(sizeof(std::uint32_t), stages, width,
+                              prefix + ".hh");
+}
+
+ProgramSpec
+buildTenantHeavyHitter(EbpfRuntime &rt, const TenantSet &tenants,
+                       const std::vector<std::int64_t> &family, int sketch_fd)
+{
+    if (family.empty())
+        sim::fatal("buildTenantHeavyHitter: empty syscall family");
+    if (tenants.tgids.empty())
+        sim::fatal("buildTenantHeavyHitter: empty tenant set");
+
+    ProgramBuilder b;
+    b.ldxdw(R8, R1, offsetof(TraceCtx, id));
+    for (std::int64_t id : family)
+        b.jeqImm(R8, static_cast<std::int32_t>(id), "match");
+    b.ja("out");
+    b.label("match");
+    emitTenantFilter(b, tenants, /*match_poll=*/false); // slot in r7
+    // key = tenant slot; resident keys increment their count in place
+    // (no pipe traversal), misses insert value 1 through the pipe.
+    b.stx(R10, -4, R7, BPF_W)
+        .ldMapFd(R1, sketch_fd)
+        .mov(R2, R10)
+        .addImm(R2, -4)
+        .call(helper::kMapLookupElem)
+        .jeqImm(R0, 0, "insert")
+        .ldxdw(R3, R0, 0)
+        .addImm(R3, 1)
+        .stxdw(R0, 0, R3)
+        .ja("out");
+    b.label("insert")
+        .stImm(R10, -16, 1, BPF_DW)
+        .ldMapFd(R1, sketch_fd)
+        .mov(R2, R10)
+        .addImm(R2, -4)
+        .mov(R3, R10)
+        .addImm(R3, -16)
+        .movImm(R4, 0) // BPF_ANY
+        .call(helper::kMapUpdateElem);
+    b.label("out").movImm(R0, 0).exit_();
+
+    ProgramSpec spec;
+    spec.name = "tenant_heavy_hitter";
+    spec.insns = b.build();
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
 DurationMaps
 createTenantDurationMaps(EbpfRuntime &rt, std::uint32_t tenants,
                          const std::string &prefix)

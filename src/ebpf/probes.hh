@@ -186,6 +186,24 @@ ProgramSpec buildTenantDurationExit(EbpfRuntime &rt,
                                     unsigned shift = kDeltaShift,
                                     bool guarded = false);
 
+/**
+ * Allocate the per-machine heavy-hitter sketch: tenant slot (u32) ->
+ * event count, a @p stages × @p width hash pipe. Returns the map fd.
+ */
+int createTenantSketchMap(EbpfRuntime &rt, std::uint32_t stages,
+                          std::uint32_t width, const std::string &prefix);
+
+/**
+ * Tenant-scoped heavy-hitter probe (eHashPipe): family match, tenant
+ * prologue, then count the event against the tenant's slot key in the
+ * sketch — lookup-and-increment in place when the key is resident,
+ * else insert value 1 through the pipe. Userspace reads the noisiest
+ * tenants with SketchMap::topK() instead of scanning every slot.
+ */
+ProgramSpec buildTenantHeavyHitter(EbpfRuntime &rt, const TenantSet &tenants,
+                                   const std::vector<std::int64_t> &family,
+                                   int sketch_fd);
+
 /** @} */
 
 /** Maps used by a stream probe. */

@@ -48,6 +48,14 @@ EbpfRuntime::createRingBuf(std::uint32_t capacity_bytes,
     return createMap(std::make_unique<RingBufMap>(capacity_bytes, name));
 }
 
+int
+EbpfRuntime::createSketchMap(std::uint32_t key_size, std::uint32_t stages,
+                             std::uint32_t width, const std::string &name)
+{
+    return createMap(
+        std::make_unique<SketchMap>(key_size, stages, width, name));
+}
+
 Map &
 EbpfRuntime::mapAt(int fd) const
 {
@@ -84,6 +92,15 @@ EbpfRuntime::ringbufAt(int fd) const
     return *m;
 }
 
+SketchMap &
+EbpfRuntime::sketchAt(int fd) const
+{
+    auto *m = dynamic_cast<SketchMap *>(&mapAt(fd));
+    if (!m)
+        sim::fatal("EbpfRuntime: fd %d is not a sketch", fd);
+    return *m;
+}
+
 std::map<int, Map *>
 EbpfRuntime::mapTable() const
 {
@@ -117,6 +134,14 @@ EbpfRuntime::snapshotMaps() const
                 img.entries.emplace_back(
                     std::vector<std::uint8_t>(k, k + hash->keySize()),
                     std::vector<std::uint8_t>(v, v + hash->valueSize()));
+            });
+        } else if (auto *sk = dynamic_cast<SketchMap *>(map.get())) {
+            // Restore replays these through update(), whose merge-add
+            // into an empty pipe reproduces the per-key totals.
+            sk->forEach([&](const std::uint8_t *k, const std::uint8_t *v) {
+                img.entries.emplace_back(
+                    std::vector<std::uint8_t>(k, k + sk->keySize()),
+                    std::vector<std::uint8_t>(v, v + sk->valueSize()));
             });
         }
         // Ring buffers: transient stream state, imaged as empty.

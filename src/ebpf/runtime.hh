@@ -83,12 +83,15 @@ class EbpfRuntime
     int createArrayMap(std::uint32_t value_size, std::uint32_t max_entries,
                        const std::string &name);
     int createRingBuf(std::uint32_t capacity_bytes, const std::string &name);
+    int createSketchMap(std::uint32_t key_size, std::uint32_t stages,
+                        std::uint32_t width, const std::string &name);
 
     /** Map by fd; fatal on unknown fd. */
     Map &mapAt(int fd) const;
     ArrayMap &arrayAt(int fd) const;
     HashMap &hashAt(int fd) const;
     RingBufMap &ringbufAt(int fd) const;
+    SketchMap &sketchAt(int fd) const;
 
     /** fd -> Map* view for ProgramSpec construction. */
     std::map<int, Map *> mapTable() const;

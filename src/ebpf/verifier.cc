@@ -304,6 +304,11 @@ class Engine
           case helper::kMapDeleteElem:
             if (!need_map(r1, false))
                 return false;
+            // Sketch entries can only decay by eviction; deleting one
+            // would silently lose merged counts, so reject statically.
+            if (r1.map->type() == MapType::Sketch)
+                return setError(pc,
+                                "map_delete: sketch maps cannot delete");
             if (!need_stack_buf(r2, r1.map->keySize(), "key"))
                 return false;
             break;

@@ -464,6 +464,8 @@ mapLookupHot(Map *map, const std::uint8_t *key)
       case MapType::Array:
       case MapType::PerCpuArray:
         return static_cast<ArrayMap *>(map)->lookupHot(key);
+      case MapType::Sketch:
+        return static_cast<SketchMap *>(map)->lookupHot(key);
       default:
         return map->lookup(key);
     }
@@ -475,6 +477,8 @@ mapUpdateHot(Map *map, const std::uint8_t *key, const std::uint8_t *value,
 {
     if (map->type() == MapType::Hash)
         return static_cast<HashMap *>(map)->updateHot(key, value, flags);
+    if (map->type() == MapType::Sketch)
+        return static_cast<SketchMap *>(map)->updateHot(key, value, flags);
     return map->update(key, value, flags);
 }
 

@@ -17,7 +17,8 @@ lbPolicyName(LbPolicy policy)
 }
 
 LoadBalancer::LoadBalancer(LbPolicy policy, std::size_t backends)
-    : policy_(policy), inflight_(backends, 0), dispatched_(backends, 0)
+    : policy_(policy), inflight_(backends, 0), dispatched_(backends, 0),
+      drained_(backends, 0)
 {
     if (backends == 0)
         sim::fatal("LoadBalancer: need at least one backend");
@@ -27,18 +28,45 @@ std::size_t
 LoadBalancer::pick()
 {
     const std::size_t n = inflight_.size();
-    std::size_t chosen = cursor_;
-    if (policy_ == LbPolicy::LeastConnections) {
+    // Drain flags are honoured only while at least one backend remains
+    // undrained; with everything drained they are ignored (see header).
+    const bool honor_drain = drainedCount_ > 0 && drainedCount_ < n;
+    std::size_t chosen = n;
+    if (policy_ == LbPolicy::RoundRobin) {
+        chosen = cursor_;
+        if (honor_drain) {
+            for (std::size_t k = 0; k < n; ++k) {
+                const std::size_t b = (cursor_ + k) % n;
+                if (!drained_[b]) {
+                    chosen = b;
+                    break;
+                }
+            }
+        }
+    } else {
         // Scan from the cursor so ties rotate instead of pinning the
         // lowest index.
         for (std::size_t k = 0; k < n; ++k) {
             const std::size_t b = (cursor_ + k) % n;
-            if (inflight_[b] < inflight_[chosen])
+            if (honor_drain && drained_[b])
+                continue;
+            if (chosen == n || inflight_[b] < inflight_[chosen])
                 chosen = b;
         }
     }
     cursor_ = (chosen + 1) % n;
     return chosen;
+}
+
+void
+LoadBalancer::setDrained(std::size_t backend, bool drained)
+{
+    if (backend >= drained_.size())
+        sim::fatal("LoadBalancer: drain on unknown backend %zu", backend);
+    if (drained_[backend] == (drained ? 1 : 0))
+        return;
+    drained_[backend] = drained ? 1 : 0;
+    drainedCount_ += drained ? 1 : static_cast<std::size_t>(-1);
 }
 
 void

@@ -65,11 +65,27 @@ class LoadBalancer
         return dispatched_[backend];
     }
 
+    /**
+     * Mark @p backend drained (migration): pick() routes new requests
+     * elsewhere while inflight ones complete normally. Draining every
+     * backend is tolerated — pick() then ignores the drain flags rather
+     * than dead-ending, so a confused controller degrades to the
+     * undrained policy instead of wedging the client.
+     */
+    void setDrained(std::size_t backend, bool drained);
+
+    bool drained(std::size_t backend) const { return drained_[backend] != 0; }
+
+    /** Backends currently drained. */
+    std::size_t drainedCount() const { return drainedCount_; }
+
   private:
     LbPolicy policy_;
     std::size_t cursor_ = 0; ///< round-robin position / tie-break origin
     std::vector<std::uint64_t> inflight_;
     std::vector<std::uint64_t> dispatched_;
+    std::vector<std::uint8_t> drained_;
+    std::size_t drainedCount_ = 0;
 };
 
 } // namespace reqobs::net

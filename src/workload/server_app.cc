@@ -212,11 +212,40 @@ ServerApp::startDispatcher()
             k.epollCtlAdd(tid, epfd, fd);
         return dispatcherThread(k, tid, epfd);
     });
-    for (unsigned w = 0; w < config_.workers; ++w) {
-        kernel_.spawnThread(frontPid_, [this](Kernel &k, Tid tid) {
-            return poolWorker(k, tid);
+    const unsigned spawn = std::max(config_.workers, scalableMax_);
+    if (workerTarget_ == 0)
+        workerTarget_ = config_.workers;
+    for (unsigned w = 0; w < spawn; ++w) {
+        kernel_.spawnThread(frontPid_, [this, w](Kernel &k, Tid tid) {
+            return poolWorker(k, tid, w);
         });
     }
+}
+
+void
+ServerApp::enableWorkerScaling(unsigned max_workers)
+{
+    if (started_)
+        sim::fatal("ServerApp: enableWorkerScaling after start()");
+    if (config_.model != ThreadingModel::DispatcherWorkers)
+        sim::fatal("ServerApp: worker scaling needs DispatcherWorkers");
+    if (max_workers == 0)
+        sim::fatal("ServerApp: worker-scaling max must be positive");
+    scalableMax_ = max_workers;
+}
+
+void
+ServerApp::setWorkerTarget(unsigned target)
+{
+    if (config_.model != ThreadingModel::DispatcherWorkers)
+        return;
+    const unsigned spawn = std::max(config_.workers, scalableMax_);
+    workerTarget_ = std::min(std::max(target, 1u), spawn);
+    // Kick every parked waiter so newly unparked workers notice queued
+    // backlog; ineligible ones just re-park (spurious wakes are safe).
+    if (queueNotifier_)
+        while (queueNotifier_->notifyOne()) {
+        }
 }
 
 void
@@ -318,11 +347,16 @@ ServerApp::dispatcherThread(Kernel &k, Tid tid, Fd epfd)
 }
 
 Task
-ServerApp::poolWorker(Kernel &k, Tid tid)
+ServerApp::poolWorker(Kernel &k, Tid tid, unsigned index)
 {
     for (;;) {
-        while (queue_.empty())
+        while (queue_.empty() || index >= workerTarget_) {
+            // A descaled worker woken while work is queued passes the
+            // baton before re-parking so the wake is never lost.
+            if (index >= workerTarget_ && !queue_.empty())
+                queueNotifier_->notifyOne();
             co_await queueNotifier_->wait(tid);
+        }
         QueueItem item = std::move(queue_.front());
         queue_.pop_front();
         maybeContend(queue_.size() >= 2);

@@ -68,6 +68,22 @@ class ServerApp
     /** Contention stalls triggered so far. */
     std::uint64_t contentionStalls() const { return stalls_; }
 
+    /**
+     * @name Worker-pool scaling (DispatcherWorkers only).
+     *
+     * enableWorkerScaling(max) pre-provisions up to @p max pool workers
+     * before start(); workers beyond the current target park on the
+     * queue futex and take no work. setWorkerTarget() moves the target
+     * at runtime (clamped to [1, max]) — the controller's scaling
+     * actuator. Never enabled: exactly config().workers threads run and
+     * the park check is inert, so existing runs are bit-unchanged.
+     * @{
+     */
+    void enableWorkerScaling(unsigned max_workers);
+    void setWorkerTarget(unsigned target);
+    unsigned workerTarget() const { return workerTarget_; }
+    /** @} */
+
   private:
     struct QueueItem
     {
@@ -92,6 +108,9 @@ class ServerApp
     /** DispatcherWorkers: internal work queue + futex. */
     std::deque<QueueItem> queue_;
     std::unique_ptr<kernel::Notifier> queueNotifier_;
+    /** Worker-pool scaling state (see enableWorkerScaling). */
+    unsigned scalableMax_ = 0; ///< 0 = scaling disabled
+    unsigned workerTarget_ = 0;
 
     /** TwoStage: requestId -> client fd awaiting the back-end result. */
     std::unordered_map<std::uint64_t, kernel::Fd> pendingRoutes_;
@@ -142,7 +161,8 @@ class ServerApp
                               std::vector<kernel::Fd> fds);
     kernel::Task dispatcherThread(kernel::Kernel &k, kernel::Tid tid,
                                   kernel::Fd epfd);
-    kernel::Task poolWorker(kernel::Kernel &k, kernel::Tid tid);
+    kernel::Task poolWorker(kernel::Kernel &k, kernel::Tid tid,
+                            unsigned index);
     kernel::Task uringWorker(kernel::Kernel &k, kernel::Tid tid,
                              std::shared_ptr<kernel::IoUring> ring);
     kernel::Task frontendWorker(kernel::Kernel &k, kernel::Tid tid,

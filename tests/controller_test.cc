@@ -1,0 +1,581 @@
+/**
+ * @file
+ * Closed-loop controller suite: the FleetController's robustness
+ * machinery (hysteresis bands, cooldowns, migration circuit breaker,
+ * staleness guard) driven synthetically through tickWith(), the
+ * eHashPipe sketch against exhaustive ground truth, and one end-to-end
+ * cluster run with the controller enabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "core/cluster.hh"
+#include "core/controller.hh"
+#include "ebpf/maps.hh"
+#include "sim/rng.hh"
+#include "sim/simulation.hh"
+
+namespace reqobs {
+namespace {
+
+using core::ControllerConfig;
+using core::ControllerInput;
+using core::FleetActuators;
+using core::FleetController;
+
+// ---------------------------------------------------------------------
+// Synthetic-fleet harness: drives tickWith() directly, recording every
+// actuation, with no cluster underneath.
+
+struct Harness
+{
+    sim::Simulation sim{7};
+    ControllerConfig cfg;
+    std::vector<std::pair<std::size_t, bool>> drains;
+    std::vector<std::pair<std::size_t, unsigned>> workerSets;
+    std::vector<std::pair<std::size_t, double>> sheds;
+    sim::Tick lastRetryAfter = 0;
+
+    explicit Harness(unsigned machines = 3, unsigned tenants = 2)
+    {
+        cfg.enabled = true;
+        cfg.tickPeriod = sim::milliseconds(100);
+        cfg.staleAfter = sim::milliseconds(1000);
+        cfg.migrationCooldown = sim::milliseconds(500);
+        cfg.scaleCooldown = sim::milliseconds(300);
+        cfg.shedCooldown = sim::milliseconds(300);
+        cfg.baseWorkers = 4;
+        cfg.maxWorkers = 8;
+        this->machines = machines;
+        this->tenants = tenants;
+    }
+
+    unsigned machines, tenants;
+    std::unique_ptr<FleetController> ctl;
+
+    FleetController &
+    controller()
+    {
+        if (!ctl) {
+            FleetActuators act;
+            act.setDrained = [this](std::size_t m, bool d) {
+                drains.emplace_back(m, d);
+            };
+            act.setWorkerTarget = [this](std::size_t m, unsigned w) {
+                workerSets.emplace_back(m, w);
+            };
+            act.setShed = [this](std::size_t t, double p, sim::Tick retry) {
+                sheds.emplace_back(t, p);
+                lastRetryAfter = retry;
+            };
+            ctl = std::make_unique<FleetController>(sim, cfg, machines,
+                                                    tenants, std::move(act));
+        }
+        return *ctl;
+    }
+
+    /** A fresh all-healthy input set stamped at @p now. */
+    std::vector<ControllerInput>
+    healthy(sim::Tick now) const
+    {
+        std::vector<ControllerInput> in;
+        for (std::size_t m = 0; m < machines; ++m) {
+            for (std::size_t t = 0; t < tenants; ++t) {
+                ControllerInput i;
+                i.machine = m;
+                i.tenant = t;
+                i.t = now;
+                i.slack = 0.9;
+                i.varianceRatio = 1.0;
+                in.push_back(i);
+            }
+        }
+        return in;
+    }
+
+    /** Set every slot on machine @p m to @p slack. */
+    static void
+    slackOn(std::vector<ControllerInput> &in, std::size_t m, double slack)
+    {
+        for (auto &i : in)
+            if (i.machine == m)
+                i.slack = slack;
+    }
+};
+
+TEST(ControllerConfigTest, RejectsInvertedBandsAndBounds)
+{
+    Harness h;
+    auto broken = [&](auto mutate) {
+        Harness g;
+        mutate(g.cfg);
+        EXPECT_DEATH(g.controller(), "FleetController");
+    };
+    broken([](ControllerConfig &c) { c.shedOffVarianceRatio = 9.0; });
+    broken([](ControllerConfig &c) { c.undrainSlackAbove = 0.05; });
+    broken([](ControllerConfig &c) { c.scaleDownSlackAbove = 0.01; });
+    broken([](ControllerConfig &c) { c.shedMax = 1.5; });
+    broken([](ControllerConfig &c) { c.maxWorkers = 1; });
+    broken([](ControllerConfig &c) { c.tickPeriod = 0; });
+}
+
+TEST(ControllerStalenessTest, FreezesOnMissingOrOldWindows)
+{
+    Harness h;
+    auto &c = h.controller();
+
+    // No tenant anywhere has emitted a window: freeze.
+    auto in = h.healthy(-1);
+    for (auto &i : in)
+        i.t = -1;
+    Harness::slackOn(in, 0, 0.01); // would otherwise drain
+    c.tickWith(in, sim::seconds(1));
+    EXPECT_EQ(c.stats().frozenTicks, 1u);
+    EXPECT_EQ(c.stats().migrations, 0u);
+    EXPECT_TRUE(h.drains.empty());
+
+    // Windows exist but the newest is older than staleAfter: freeze.
+    in = h.healthy(sim::seconds(1));
+    Harness::slackOn(in, 0, 0.01);
+    c.tickWith(in, sim::seconds(1) + h.cfg.staleAfter + 1);
+    EXPECT_EQ(c.stats().frozenTicks, 2u);
+    EXPECT_EQ(c.stats().migrations, 0u);
+
+    // Fresh again: actuation resumes.
+    const sim::Tick now = sim::seconds(3);
+    in = h.healthy(now);
+    Harness::slackOn(in, 0, 0.01);
+    c.tickWith(in, now);
+    EXPECT_EQ(c.stats().frozenTicks, 2u);
+    EXPECT_EQ(c.stats().migrations, 1u);
+}
+
+TEST(ControllerStalenessTest, StaleSlotIsExcludedFromFolds)
+{
+    Harness h;
+    auto &c = h.controller();
+    const sim::Tick now = sim::seconds(5);
+    auto in = h.healthy(now);
+    // Machine 0's slots report collapsed slack — but from long ago.
+    for (auto &i : in)
+        if (i.machine == 0) {
+            i.slack = 0.01;
+            i.t = now - h.cfg.staleAfter - 1;
+        }
+    c.tickWith(in, now);
+    EXPECT_EQ(c.stats().migrations, 0u);
+    EXPECT_FALSE(c.drained(0));
+}
+
+TEST(ControllerMigrationTest, DrainsOnSlackCollapseOnce)
+{
+    Harness h;
+    auto &c = h.controller();
+    sim::Tick now = sim::seconds(1);
+    auto in = h.healthy(now);
+    Harness::slackOn(in, 2, 0.05);
+    c.tickWith(in, now);
+    ASSERT_EQ(h.drains.size(), 1u);
+    EXPECT_EQ(h.drains[0], (std::pair<std::size_t, bool>{2, true}));
+    EXPECT_TRUE(c.drained(2));
+
+    // Still pressed inside the cooldown: no further action.
+    now += sim::milliseconds(100);
+    in = h.healthy(now);
+    Harness::slackOn(in, 2, 0.05);
+    c.tickWith(in, now);
+    EXPECT_EQ(c.stats().migrations, 1u);
+    EXPECT_EQ(h.drains.size(), 1u);
+}
+
+TEST(ControllerMigrationTest, NeverDrainsTheLastMachine)
+{
+    Harness h(2, 1);
+    auto &c = h.controller();
+    const sim::Tick now = sim::seconds(1);
+    auto in = h.healthy(now);
+    Harness::slackOn(in, 0, 0.02);
+    Harness::slackOn(in, 1, 0.02);
+    c.tickWith(in, now);
+    // Both machines qualify, but draining the second would leave zero.
+    EXPECT_EQ(c.stats().migrations, 1u);
+    EXPECT_NE(c.drained(0), c.drained(1));
+}
+
+TEST(ControllerMigrationTest, MidBandSlackNeverUndrains)
+{
+    Harness h;
+    auto &c = h.controller();
+    sim::Tick now = sim::seconds(1);
+    auto in = h.healthy(now);
+    Harness::slackOn(in, 0, 0.05);
+    c.tickWith(in, now);
+    ASSERT_TRUE(c.drained(0));
+
+    // Active fleet hovers in the hysteresis band (between drainSlackBelow
+    // and undrainSlackAbove) for many cooldown periods: the drained
+    // machine must stay parked — this is exactly the reading that would
+    // flap a single-threshold controller.
+    for (int k = 0; k < 10; ++k) {
+        now += h.cfg.migrationCooldown + 1;
+        in = h.healthy(now);
+        Harness::slackOn(in, 1, 0.20);
+        Harness::slackOn(in, 2, 0.20);
+        c.tickWith(in, now);
+    }
+    EXPECT_TRUE(c.drained(0));
+    EXPECT_EQ(c.stats().undrains, 0u);
+    EXPECT_EQ(c.stats().migrations, 1u);
+    EXPECT_FALSE(c.stats().breakerOpen);
+}
+
+TEST(ControllerMigrationTest, ReclaimsCapacityWhenActiveFleetPressed)
+{
+    Harness h;
+    auto &c = h.controller();
+    sim::Tick now = sim::seconds(1);
+    auto in = h.healthy(now);
+    Harness::slackOn(in, 0, 0.05);
+    c.tickWith(in, now);
+    ASSERT_TRUE(c.drained(0));
+
+    // The drain worked: active fleet recovered (clears the breaker
+    // verdict), machine 0 stays parked.
+    now += h.cfg.migrationCooldown + 1;
+    c.tickWith(h.healthy(now), now);
+    EXPECT_TRUE(c.drained(0));
+
+    // Later the active fleet itself runs out of headroom: reclaim. (The
+    // same tick may also drain the now-collapsed machines — that IS the
+    // migration: load moves onto the reclaimed capacity.)
+    now += h.cfg.migrationCooldown + 1;
+    in = h.healthy(now);
+    Harness::slackOn(in, 1, 0.05);
+    Harness::slackOn(in, 2, 0.05);
+    c.tickWith(in, now);
+    EXPECT_FALSE(c.drained(0));
+    EXPECT_EQ(c.stats().undrains, 1u);
+    const std::pair<std::size_t, bool> undrain{0, false};
+    EXPECT_NE(std::find(h.drains.begin(), h.drains.end(), undrain),
+              h.drains.end());
+}
+
+TEST(ControllerBreakerTest, TripsAfterIneffectiveMigrationsAndStopsActing)
+{
+    Harness h;
+    h.cfg.breakerThreshold = 3;
+    auto &c = h.controller();
+
+    // Whatever the controller drains, the fleet stays pressed (a load
+    // problem, not a placement problem). Each judged-ineffective drain
+    // bumps the streak until the breaker opens.
+    sim::Tick now = sim::seconds(1);
+    for (int k = 0; k < 12; ++k) {
+        auto in = h.healthy(now);
+        for (std::size_t m = 0; m < h.machines; ++m)
+            Harness::slackOn(in, m, 0.03);
+        c.tickWith(in, now);
+        now += h.cfg.migrationCooldown + 1;
+    }
+    EXPECT_TRUE(c.stats().breakerOpen);
+    EXPECT_GE(c.stats().breakerStreak, 3u);
+
+    // Once open: no further drains or undrains, ever.
+    const auto migrations = c.stats().migrations;
+    const auto undrains = c.stats().undrains;
+    for (int k = 0; k < 5; ++k) {
+        auto in = h.healthy(now);
+        for (std::size_t m = 0; m < h.machines; ++m)
+            Harness::slackOn(in, m, 0.03);
+        c.tickWith(in, now);
+        now += h.cfg.migrationCooldown + 1;
+    }
+    EXPECT_EQ(c.stats().migrations, migrations);
+    EXPECT_EQ(c.stats().undrains, undrains);
+}
+
+TEST(ControllerBreakerTest, EffectiveMigrationsResetTheStreak)
+{
+    Harness h;
+    h.cfg.breakerThreshold = 2;
+    auto &c = h.controller();
+
+    sim::Tick now = sim::seconds(1);
+    // Ineffective drain: fleet still pressed at the verdict.
+    auto in = h.healthy(now);
+    Harness::slackOn(in, 0, 0.03);
+    c.tickWith(in, now);
+    now += h.cfg.migrationCooldown + 1;
+    in = h.healthy(now);
+    Harness::slackOn(in, 1, 0.03);
+    c.tickWith(in, now); // judges machine 0's drain: pressed -> streak 1
+    EXPECT_EQ(c.stats().breakerStreak, 1u);
+
+    // Machine 1's drain (made in the same tick) gets judged effective:
+    // the fleet recovered, streak resets, breaker never opens.
+    now += h.cfg.migrationCooldown + 1;
+    c.tickWith(h.healthy(now), now);
+    EXPECT_EQ(c.stats().breakerStreak, 0u);
+    EXPECT_FALSE(c.stats().breakerOpen);
+}
+
+TEST(ControllerScalingTest, ScalesWithinBoundsUnderCooldown)
+{
+    Harness h(1, 1);
+    auto &c = h.controller();
+    EXPECT_EQ(c.workerTarget(0), 4u);
+
+    // Slack collapse: up one step per cooldown, capped at maxWorkers.
+    sim::Tick now = sim::seconds(1);
+    for (int k = 0; k < 5; ++k) {
+        auto in = h.healthy(now);
+        Harness::slackOn(in, 0, 0.05);
+        c.tickWith(in, now);
+        now += h.cfg.scaleCooldown + 1;
+    }
+    EXPECT_EQ(c.workerTarget(0), 8u);
+    EXPECT_EQ(c.stats().scaleUps, 2u); // 4 -> 6 -> 8, then pinned
+
+    // Mid-band slack: no change (hysteresis).
+    auto in = h.healthy(now);
+    Harness::slackOn(in, 0, 0.40);
+    c.tickWith(in, now);
+    EXPECT_EQ(c.workerTarget(0), 8u);
+
+    // Idle: back down to the floor, never below.
+    for (int k = 0; k < 5; ++k) {
+        now += h.cfg.scaleCooldown + 1;
+        c.tickWith(h.healthy(now), now);
+    }
+    EXPECT_EQ(c.workerTarget(0), 4u);
+    EXPECT_EQ(c.stats().scaleDowns, 2u);
+
+    // Cooldown: a second collapse inside the window does nothing.
+    auto pressed = h.healthy(now);
+    Harness::slackOn(pressed, 0, 0.05);
+    c.tickWith(pressed, now);
+    const auto ups = c.stats().scaleUps;
+    c.tickWith(pressed, now + 1);
+    EXPECT_EQ(c.stats().scaleUps, ups);
+}
+
+TEST(ControllerShedTest, HysteresisBandAndCapAndRetryAfter)
+{
+    Harness h(1, 2);
+    h.cfg.shedStep = 0.2;
+    h.cfg.shedMax = 0.5;
+    h.cfg.shedRetryAfter = sim::milliseconds(25);
+    auto &c = h.controller();
+
+    auto withRatio = [&](double ratio, sim::Tick now) {
+        auto in = h.healthy(now);
+        for (auto &i : in)
+            if (i.tenant == 0)
+                i.varianceRatio = ratio;
+        return in;
+    };
+
+    // Above the knee: engage and climb to the cap, one step per cooldown.
+    sim::Tick now = sim::seconds(1);
+    for (int k = 0; k < 5; ++k) {
+        c.tickWith(withRatio(12.0, now), now);
+        now += h.cfg.shedCooldown + 1;
+    }
+    EXPECT_DOUBLE_EQ(c.shedProbability(0), 0.5);
+    EXPECT_DOUBLE_EQ(c.shedProbability(1), 0.0); // other tenant untouched
+    EXPECT_EQ(c.stats().shedEngagements, 1u);
+    EXPECT_DOUBLE_EQ(c.stats().maxShed, 0.5);
+    EXPECT_EQ(h.lastRetryAfter, sim::milliseconds(25));
+
+    // In the band (between off=3 and on=8): hold, don't flap.
+    for (int k = 0; k < 3; ++k) {
+        c.tickWith(withRatio(5.0, now), now);
+        now += h.cfg.shedCooldown + 1;
+    }
+    EXPECT_DOUBLE_EQ(c.shedProbability(0), 0.5);
+
+    // Below the band: step back down to zero.
+    for (int k = 0; k < 5; ++k) {
+        c.tickWith(withRatio(1.0, now), now);
+        now += h.cfg.shedCooldown + 1;
+    }
+    EXPECT_DOUBLE_EQ(c.shedProbability(0), 0.0);
+    EXPECT_EQ(c.stats().shedEngagements, 1u); // one engagement, not many
+}
+
+TEST(ControllerShedTest, SaturationVerdictAloneEngages)
+{
+    Harness h(1, 1);
+    auto &c = h.controller();
+    auto in = h.healthy(sim::seconds(1));
+    for (auto &i : in)
+        i.saturated = true; // detector fired; ratio itself is low
+    c.tickWith(in, sim::seconds(1));
+    EXPECT_GT(c.shedProbability(0), 0.0);
+
+    // Ratio low but detector still set: must NOT disengage.
+    c.tickWith(in, sim::seconds(1) + h.cfg.shedCooldown + 1);
+    EXPECT_GT(c.shedProbability(0), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// eHashPipe sketch vs exhaustive ground truth.
+
+std::uint64_t
+keyOf(const std::vector<std::uint8_t> &bytes)
+{
+    std::uint64_t k;
+    std::memcpy(&k, bytes.data(), 8);
+    return k;
+}
+
+void
+updateSketch(ebpf::SketchMap &s, std::uint64_t key, std::uint64_t add)
+{
+    s.updateHot(reinterpret_cast<const std::uint8_t *>(&key),
+                reinterpret_cast<const std::uint8_t *>(&add), 0);
+}
+
+TEST(SketchMapTest, ExactWhenKeysFitTopKMatchesExhaustiveTruth)
+{
+    // 4 stages x 64 slots holds 12 keys without ever dropping a carry,
+    // so the sketch must be EXACT: every count equal to ground truth.
+    ebpf::SketchMap sketch(8, 4, 64);
+    std::map<std::uint64_t, std::uint64_t> truth;
+    sim::Rng rng(42);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t key = 1 + rng.uniformInt(12);
+        const std::uint64_t add = 1 + rng.uniformInt(4);
+        truth[key] += add;
+        updateSketch(sketch, key, add);
+    }
+    ASSERT_EQ(sketch.evictions(), 0u);
+
+    const auto top = sketch.topK(truth.size());
+    ASSERT_EQ(top.size(), truth.size());
+    std::uint64_t prev = ~0ull;
+    for (const auto &[kb, count] : top) {
+        EXPECT_EQ(count, truth.at(keyOf(kb)));
+        EXPECT_LE(count, prev); // sorted descending
+        prev = count;
+    }
+}
+
+TEST(SketchMapTest, HeavyHittersSurviveContention)
+{
+    // 2 stages x 32 slots, 300 distinct tail keys: real contention (the
+    // tail alone outnumbers the slots 5:1). The two overwhelming heavy
+    // hitters must still surface near the top of the ranking, and no
+    // count may exceed ground truth (HashPipe never overcounts).
+    ebpf::SketchMap sketch(8, 2, 32);
+    std::map<std::uint64_t, std::uint64_t> truth;
+    sim::Rng rng(7);
+    for (int i = 0; i < 30000; ++i) {
+        std::uint64_t key;
+        const double roll = rng.uniform();
+        if (roll < 0.45)
+            key = 1000;
+        else if (roll < 0.80)
+            key = 2000;
+        else
+            key = 1 + rng.uniformInt(300);
+        truth[key] += 1;
+        updateSketch(sketch, key, 1);
+    }
+    EXPECT_GT(sketch.evictions(), 0u); // contention actually happened
+
+    const auto top = sketch.topK(6);
+    ASSERT_GE(top.size(), 2u);
+    bool saw_1000 = false, saw_2000 = false;
+    for (const auto &[kb, count] : top) {
+        saw_1000 = saw_1000 || keyOf(kb) == 1000u;
+        saw_2000 = saw_2000 || keyOf(kb) == 2000u;
+    }
+    EXPECT_TRUE(saw_1000);
+    EXPECT_TRUE(saw_2000);
+    for (const auto &[kb, count] : sketch.topK(1000))
+        EXPECT_LE(count, truth.at(keyOf(kb)));
+}
+
+TEST(SketchMapTest, DeleteIsNotPartOfTheStructure)
+{
+    ebpf::SketchMap sketch(8, 2, 4);
+    const std::uint64_t key = 99;
+    updateSketch(sketch, key, 5);
+    EXPECT_EQ(sketch.erase(reinterpret_cast<const std::uint8_t *>(&key)),
+              -22);
+    // The entry is untouched.
+    const std::uint8_t *v =
+        sketch.lookupHot(reinterpret_cast<const std::uint8_t *>(&key));
+    ASSERT_NE(v, nullptr);
+    std::uint64_t count;
+    std::memcpy(&count, v, 8);
+    EXPECT_EQ(count, 5u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: a small cluster run with the controller in the loop.
+
+TEST(ControllerClusterTest, ClosedLoopRunsAndReportsStats)
+{
+    core::ClusterExperimentConfig cfg;
+    cfg.machines = 2;
+    cfg.warmup = sim::milliseconds(200);
+    cfg.seed = 5;
+    core::ClusterTenantSpec t;
+    t.workload = workload::workloadByName("img-dnn");
+    t.offeredRps = 0.3 * t.workload.saturationRps * 2.0;
+    t.requests = 1500;
+    cfg.tenants.push_back(std::move(t));
+    cfg.controller.enabled = true;
+    cfg.controller.tickPeriod = sim::milliseconds(100);
+    cfg.controller.maxWorkers = cfg.controller.baseWorkers;
+
+    const auto res = core::runClusterExperiment(cfg);
+    EXPECT_GT(res.controller.ticks, 0u);
+    // A comfortably provisioned fleet: the controller must not act.
+    EXPECT_EQ(res.controller.migrations, 0u);
+    EXPECT_FALSE(res.controller.breakerOpen);
+    EXPECT_DOUBLE_EQ(res.controller.maxShed, 0.0);
+    // Every request arrives (nothing shed); completed excludes warmup.
+    EXPECT_EQ(res.tenants[0].arrivals, 1500u);
+    EXPECT_EQ(res.tenants[0].shedded, 0u);
+    EXPECT_GT(res.tenants[0].completed, 1100u);
+    EXPECT_FALSE(res.tenants[0].qosViolated);
+}
+
+TEST(ControllerClusterTest, LoadProfileShiftsOfferedRate)
+{
+    auto config = [](bool halved) {
+        core::ClusterExperimentConfig cfg;
+        // Two machines so neither run takes the degenerate
+        // single-machine delegation path (which reports no arrivals).
+        cfg.machines = 2;
+        cfg.warmup = sim::milliseconds(200);
+        cfg.seed = 6;
+        core::ClusterTenantSpec t;
+        t.workload = workload::workloadByName("img-dnn");
+        t.offeredRps = 0.3 * t.workload.saturationRps * 2.0;
+        t.requests = 800;
+        // Halve the rate for the whole run: the arrival budget still
+        // drains fully, at half the achieved rate.
+        if (halved)
+            t.loadProfile = {{cfg.warmup, 0.5}};
+        cfg.tenants.push_back(std::move(t));
+        return cfg;
+    };
+    const auto full = core::runClusterExperiment(config(false));
+    const auto half = core::runClusterExperiment(config(true));
+    EXPECT_EQ(full.tenants[0].arrivals, 800u);
+    EXPECT_EQ(half.tenants[0].arrivals, 800u);
+    EXPECT_LT(half.tenants[0].achievedRps,
+              0.7 * full.tenants[0].achievedRps);
+}
+
+} // namespace
+} // namespace reqobs

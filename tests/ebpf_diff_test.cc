@@ -65,6 +65,23 @@ arraySnapshot(ArrayMap &m)
     return out;
 }
 
+/**
+ * Slot-exact snapshot of a sketch, in stage-major slot order. Eviction
+ * decisions depend on resident counts, so the slightest divergence in
+ * update order or arithmetic between the engines shows up here.
+ */
+std::vector<std::pair<std::string, std::string>>
+sketchSnapshot(const SketchMap &m)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    const std::uint32_t ks = m.keySize();
+    m.forEach([&](const std::uint8_t *k, const std::uint8_t *c) {
+        out.emplace_back(std::string(reinterpret_cast<const char *>(k), ks),
+                         std::string(reinterpret_cast<const char *>(c), 8));
+    });
+    return out;
+}
+
 class EngineDiffFuzzTest : public ::testing::TestWithParam<std::uint64_t>
 {};
 
@@ -78,12 +95,16 @@ TEST_P(EngineDiffFuzzTest, VerifiedProgramsAgreeBitForBit)
     auto arrayA = std::make_unique<ArrayMap>(32, 4);
     auto hashB = std::make_unique<HashMap>(8, 8, 64);
     auto arrayB = std::make_unique<ArrayMap>(32, 4);
+    // Tiny sketch (2 stages x 4 slots) so fuzzed updates churn the
+    // eviction/carry path, not just the resident-increment fast path.
+    auto sketchA = std::make_unique<SketchMap>(8, 2, 4);
+    auto sketchB = std::make_unique<SketchMap>(8, 2, 4);
 
     Vm vmA, vmB;
     int accepted = 0;
     for (int trial = 0; trial < 400; ++trial) {
         ProgramBuilder b;
-        FuzzGenerator gen(rng.next());
+        FuzzGenerator gen(rng.next(), /*sketch_fd=*/5);
         const int len = 3 + static_cast<int>(rng.uniformInt(24));
         gen.emitProgram(b, len);
         for (int l = 0; l < 4; ++l)
@@ -95,10 +116,12 @@ TEST_P(EngineDiffFuzzTest, VerifiedProgramsAgreeBitForBit)
         specA.insns = b.build();
         specA.maps[3] = hashA.get();
         specA.maps[4] = arrayA.get();
+        specA.maps[5] = sketchA.get();
 
         ProgramSpec specB = specA;
         specB.maps[3] = hashB.get();
         specB.maps[4] = arrayB.get();
+        specB.maps[5] = sketchB.get();
 
         const VerifyResult vr = verify(specA);
         if (!vr.ok)
@@ -157,9 +180,12 @@ TEST_P(EngineDiffFuzzTest, VerifiedProgramsAgreeBitForBit)
             << disassemble(specA.insns);
         ASSERT_EQ(arraySnapshot(*arrayA), arraySnapshot(*arrayB))
             << disassemble(specA.insns);
+        ASSERT_EQ(sketchSnapshot(*sketchA), sketchSnapshot(*sketchB))
+            << disassemble(specA.insns);
     }
     EXPECT_GT(accepted, 20) << "generator too hostile; tune the mix";
     EXPECT_EQ(vmA.totalInsns(), vmB.totalInsns());
+    EXPECT_EQ(sketchA->evictions(), sketchB->evictions());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineDiffFuzzTest,
@@ -174,6 +200,7 @@ struct ProbeStack
     probes::DurationMaps dur;
     probes::DeltaMaps delta;
     probes::StreamMaps stream;
+    int sketchFd = -1;
 
     explicit ProbeStack(ExecEngine engine)
     {
@@ -184,6 +211,9 @@ struct ProbeStack
         dur = probes::createDurationMaps(*rt, "diff");
         delta = probes::createDeltaMaps(*rt, "diff");
         stream = probes::createStreamMaps(*rt, 1 << 14, "diff");
+        // Undersized sketch so both tenants fight over slots and the
+        // engines must agree on every eviction.
+        sketchFd = probes::createTenantSketchMap(*rt, 2, 2, "diff");
         attach(probes::buildDurationEnter(*rt, 1000, 232, dur),
                kernel::TracepointId::SysEnter);
         attach(probes::buildDurationExit(*rt, 1000, 232, dur),
@@ -193,6 +223,11 @@ struct ProbeStack
         attach(probes::buildStreamProbe(*rt, 1000, false, stream),
                kernel::TracepointId::SysEnter);
         attach(probes::buildStreamProbe(*rt, 1000, true, stream),
+               kernel::TracepointId::SysExit);
+        probes::TenantSet tenants;
+        tenants.tgids = {1000, 2000};
+        tenants.pollSyscalls = {232, 232};
+        attach(probes::buildTenantHeavyHitter(*rt, tenants, {44}, sketchFd),
                kernel::TracepointId::SysExit);
     }
 
@@ -261,6 +296,15 @@ TEST(EngineDiffProbeLibrary, IdenticalEventStreamIdenticalObservations)
               arraySnapshot(xlt.rt->arrayAt(xlt.dur.statsFd)));
     EXPECT_EQ(arraySnapshot(ref.rt->arrayAt(ref.delta.statsFd)),
               arraySnapshot(xlt.rt->arrayAt(xlt.delta.statsFd)));
+
+    // Heavy-hitter sketch: slot-exact contents, same eviction count,
+    // same top-K ranking.
+    SketchMap &ska = ref.rt->sketchAt(ref.sketchFd);
+    SketchMap &skb = xlt.rt->sketchAt(xlt.sketchFd);
+    EXPECT_EQ(sketchSnapshot(ska), sketchSnapshot(skb));
+    EXPECT_EQ(ska.evictions(), skb.evictions());
+    EXPECT_EQ(ska.topK(4), skb.topK(4));
+    EXPECT_GT(ska.topK(4).size(), 0u);
 
     // Ring-buffer payload sequences byte for byte.
     std::vector<std::string> recA, recB;

@@ -27,7 +27,16 @@ namespace reqobs::ebpf {
 class FuzzGenerator
 {
   public:
-    explicit FuzzGenerator(std::uint64_t seed) : rng_(seed) {}
+    /**
+     * @param sketch_fd Optional sketch-map fd: when >= 0, the mix gains
+     * sketch lookup/update/delete cases (the delete must be rejected by
+     * the verifier). Defaults off so existing seeds keep their exact
+     * historical instruction streams.
+     */
+    explicit FuzzGenerator(std::uint64_t seed, int sketch_fd = -1)
+        : rng_(seed), sketchFd_(sketch_fd)
+    {
+    }
 
     void
     emitProgram(ProgramBuilder &b, int len)
@@ -43,6 +52,7 @@ class FuzzGenerator
 
   private:
     sim::Rng rng_;
+    int sketchFd_;
     std::vector<Reg> scalars_;
     std::vector<std::int16_t> slots_;
 
@@ -59,7 +69,7 @@ class FuzzGenerator
     emitOne(ProgramBuilder &b, int remaining)
     {
         const std::string fwd = "L" + std::to_string(rng_.uniformInt(4));
-        switch (rng_.uniformInt(16)) {
+        switch (rng_.uniformInt(sketchFd_ >= 0 ? 18 : 16)) {
           case 0: b.movImm(scalar(), imm()); break;
           case 1: b.mov(scalar(), scalar()); break;
           case 2: b.addImm(scalar(), imm()); break;
@@ -124,6 +134,39 @@ class FuzzGenerator
           case 15:
             b.ldMapFd(scalar() == R0 ? R9 : scalar(),
                       static_cast<int>(rng_.uniformInt(6)));
+            break;
+          case 16: // sketch update (merge-add into the hash pipe)
+            b.stImm(R10, -8, imm(), BPF_DW)
+                .stImm(R10, -16, 1 + static_cast<std::int32_t>(
+                                         rng_.uniformInt(1 << 10)),
+                       BPF_DW)
+                .ldMapFd(R1, sketchFd_)
+                .mov(R2, R10)
+                .addImm(R2, -8)
+                .mov(R3, R10)
+                .addImm(R3, -16)
+                .movImm(R4, 0)
+                .call(helper::kMapUpdateElem);
+            scalars_ = {R0, R6, R7, R8};
+            break;
+          case 17: // sketch lookup with null check, or an illegal delete
+            if (rng_.uniform() < 0.75) {
+                b.stImm(R10, -8, imm(), BPF_DW)
+                    .ldMapFd(R1, sketchFd_)
+                    .mov(R2, R10)
+                    .addImm(R2, -8)
+                    .call(helper::kMapLookupElem)
+                    .jeqImm(R0, 0, fwd)
+                    .ldxdw(R0, R0, 0);
+            } else {
+                // Sketches cannot delete: the verifier must reject this.
+                b.stImm(R10, -8, imm(), BPF_DW)
+                    .ldMapFd(R1, sketchFd_)
+                    .mov(R2, R10)
+                    .addImm(R2, -8)
+                    .call(helper::kMapDeleteElem);
+            }
+            scalars_ = {R0, R6, R7, R8};
             break;
         }
     }

@@ -11,6 +11,7 @@
 
 #include "core/experiment.hh"
 #include "net/link.hh"
+#include "net/load_balancer.hh"
 #include "net/netem.hh"
 #include "net/tcp.hh"
 #include "sim/simulation.hh"
@@ -303,6 +304,86 @@ TEST(NetemExperimentTest, CombinedDelayAndLossStaysWithinSingleFaultEnvelopes)
     // Latency composes additively: combined p99 is bounded by the sum
     // of the single-fault p99s plus the clean baseline.
     EXPECT_LT(both.p99Ns, delayed.p99Ns + lossy.p99Ns + clean.p99Ns);
+}
+
+// ---------------------------------------------------------------------
+// Load balancer edge cases: tie-breaking, drain mid-run, degenerate
+// construction.
+
+TEST(LoadBalancerTest, LeastConnectionsTiesRotateInsteadOfPinning)
+{
+    LoadBalancer lb(LbPolicy::LeastConnections, 3);
+    // All backends idle: ties must rotate from the cursor, so an
+    // equal-load fleet degrades to round-robin rather than hammering
+    // backend 0.
+    EXPECT_EQ(lb.pick(), 0u);
+    EXPECT_EQ(lb.pick(), 1u);
+    EXPECT_EQ(lb.pick(), 2u);
+    EXPECT_EQ(lb.pick(), 0u);
+
+    // With unequal load the minimum always wins, wherever the cursor is.
+    lb.onDispatch(0);
+    lb.onDispatch(0);
+    lb.onDispatch(2);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(lb.pick(), 1u);
+    lb.onDispatch(1);
+    lb.onDispatch(1);
+    lb.onDispatch(1);
+    EXPECT_EQ(lb.pick(), 2u); // 2 has one inflight vs 0's two
+}
+
+TEST(LoadBalancerTest, DrainMidRunRoutesAroundAndRestores)
+{
+    LoadBalancer lb(LbPolicy::RoundRobin, 3);
+    for (int i = 0; i < 3; ++i)
+        lb.onDispatch(lb.pick());
+    ASSERT_EQ(lb.inflight(1), 1u);
+
+    // Drain backend 1 with a request still inflight: new picks skip it,
+    // the inflight one completes normally.
+    lb.setDrained(1, true);
+    EXPECT_TRUE(lb.drained(1));
+    EXPECT_EQ(lb.drainedCount(), 1u);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_NE(lb.pick(), 1u);
+    lb.onComplete(1);
+    EXPECT_EQ(lb.inflight(1), 0u);
+
+    // Undrain: backend 1 rejoins the rotation.
+    lb.setDrained(1, false);
+    EXPECT_EQ(lb.drainedCount(), 0u);
+    bool saw_1 = false;
+    for (int i = 0; i < 3; ++i)
+        saw_1 = saw_1 || lb.pick() == 1;
+    EXPECT_TRUE(saw_1);
+
+    // Redundant drain/undrain calls are idempotent on the count.
+    lb.setDrained(2, true);
+    lb.setDrained(2, true);
+    EXPECT_EQ(lb.drainedCount(), 1u);
+    lb.setDrained(2, false);
+    lb.setDrained(2, false);
+    EXPECT_EQ(lb.drainedCount(), 0u);
+}
+
+TEST(LoadBalancerTest, FullyDrainedFleetDegradesToUndrainedPolicy)
+{
+    LoadBalancer lb(LbPolicy::LeastConnections, 2);
+    lb.setDrained(0, true);
+    lb.setDrained(1, true);
+    // A confused controller drained everything: pick() must keep
+    // working (drain flags ignored) instead of dead-ending the client.
+    EXPECT_EQ(lb.pick(), 0u);
+    EXPECT_EQ(lb.pick(), 1u);
+    EXPECT_EQ(lb.pick(), 0u);
+}
+
+TEST(LoadBalancerTest, DegenerateConstructionAndUnknownDrainDie)
+{
+    EXPECT_DEATH(LoadBalancer(LbPolicy::RoundRobin, 0), "backend");
+    LoadBalancer lb(LbPolicy::RoundRobin, 2);
+    EXPECT_DEATH(lb.setDrained(7, true), "unknown backend");
 }
 
 } // namespace
