@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -176,14 +177,26 @@ int
 main(int argc, char **argv)
 {
     std::string json_path = "BENCH_perf.json";
+    double min_speedup = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc)
+            min_speedup = std::atof(argv[++i]);
     }
 
-    const unsigned cores = std::thread::hardware_concurrency();
+    // hardware_concurrency() may legitimately return 0 ("not
+    // computable") and is 1 in single-core containers; either way the
+    // sweeps below still run, they just can't demonstrate parallel
+    // speedup. Record both the raw detection and what the harness will
+    // actually use so the JSON is honest about the environment.
+    const unsigned cores_detected = std::thread::hardware_concurrency();
+    const unsigned cores = cores_detected == 0 ? 1 : cores_detected;
+    const unsigned effective_jobs = core::effectiveParallelJobs(
+        workload::paperWorkloads().size() * 10);
     bench::printHeader("Host-side performance (wall clock)");
-    std::printf("host cores: %u\n", cores);
+    std::printf("host cores: %u (detected %u), parallel jobs: %u\n", cores,
+                cores_detected, effective_jobs);
 
     // --- eBPF execution engines on the Listing-1 probe pair ---
     const std::uint64_t kPairs = 500000;
@@ -191,7 +204,10 @@ main(int argc, char **argv)
         runListingOneProbe(ebpf::ExecEngine::Reference, kPairs);
     const EngineRun xlt =
         runListingOneProbe(ebpf::ExecEngine::Translated, kPairs);
+    const EngineRun nat =
+        runListingOneProbe(ebpf::ExecEngine::Native, kPairs);
     const double engine_speedup = xlt.eventsPerSec / ref.eventsPerSec;
+    const double native_speedup = nat.eventsPerSec / ref.eventsPerSec;
     std::printf("\neBPF Listing-1 probe pair (%llu enter/exit pairs)\n",
                 (unsigned long long)kPairs);
     std::printf("  %-22s %12s %14s\n", "engine", "events/s", "insns/s");
@@ -199,7 +215,10 @@ main(int argc, char **argv)
                 ref.eventsPerSec, ref.insnsPerSec);
     std::printf("  %-22s %12.0f %14.0f\n", "translation cache",
                 xlt.eventsPerSec, xlt.insnsPerSec);
-    std::printf("  speedup: %.2fx\n", engine_speedup);
+    std::printf("  %-22s %12.0f %14.0f\n", "native kernels",
+                nat.eventsPerSec, nat.insnsPerSec);
+    std::printf("  translated speedup: %.2fx, native speedup: %.2fx\n",
+                engine_speedup, native_speedup);
 
     // --- event queue ---
     const std::uint64_t kEvents = 2000000;
@@ -232,6 +251,8 @@ main(int argc, char **argv)
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"host_cores\": %u,\n", cores);
+    std::fprintf(f, "  \"host_cores_detected\": %u,\n", cores_detected);
+    std::fprintf(f, "  \"effective_jobs\": %u,\n", effective_jobs);
     std::fprintf(f, "  \"ebpf_listing1_probe\": {\n");
     std::fprintf(f, "    \"pairs\": %llu,\n", (unsigned long long)kPairs);
     std::fprintf(f,
@@ -242,7 +263,12 @@ main(int argc, char **argv)
                  "    \"translated\": {\"events_per_sec\": %.0f, "
                  "\"insns_per_sec\": %.0f},\n",
                  xlt.eventsPerSec, xlt.insnsPerSec);
-    std::fprintf(f, "    \"speedup\": %.3f\n  },\n", engine_speedup);
+    std::fprintf(f,
+                 "    \"native\": {\"events_per_sec\": %.0f, "
+                 "\"insns_per_sec\": %.0f},\n",
+                 nat.eventsPerSec, nat.insnsPerSec);
+    std::fprintf(f, "    \"speedup\": %.3f,\n", engine_speedup);
+    std::fprintf(f, "    \"native_speedup\": %.3f\n  },\n", native_speedup);
     std::fprintf(f, "  \"event_queue\": {\n");
     std::fprintf(f, "    \"schedule_run_per_sec\": %.0f,\n", eq_run);
     std::fprintf(f, "    \"half_cancelled_per_sec\": %.0f\n  },\n",
@@ -260,5 +286,16 @@ main(int argc, char **argv)
     std::fprintf(f, "\n  }\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", json_path.c_str());
+
+    // Perf floor gate for CI: the native engine exists to beat the
+    // reference interpreter by an order of magnitude on this exact
+    // probe pair; a regression below the floor fails the run visibly.
+    if (min_speedup > 0.0 && native_speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "bench_perf: FAIL native speedup %.2fx below floor "
+                     "%.2fx\n",
+                     native_speedup, min_speedup);
+        return 1;
+    }
     return 0;
 }

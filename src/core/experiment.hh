@@ -173,6 +173,15 @@ runExperimentsParallel(const std::vector<ExperimentConfig> &configs,
 unsigned parallelJobsFromEnv();
 
 /**
+ * The worker count runExperimentsParallel(threads=0) would actually use
+ * for @p jobs independent runs: REQOBS_JOBS env override, else hardware
+ * concurrency (with a serial fallback when the runtime reports 0
+ * cores), clamped to [1, jobs]. Exposed so benches can record the
+ * effective parallelism next to their timings instead of guessing.
+ */
+unsigned effectiveParallelJobs(std::size_t jobs);
+
+/**
  * Parallel load sweep: one experiment per fraction, results in input
  * order. Equivalent to (and checked against) mapping runExperiment over
  * sweepPointConfig serially.

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Devirtualized map dispatch shared by every execution engine.
+ *
+ * The MapType tag identifies the concrete class, so the common
+ * hash/array/sketch operations inline (maps.hh *Hot) instead of going
+ * through the vtable on every event. Behaviour is identical to the
+ * virtual calls. The translated VM (vm.cc) and the native engine
+ * (native.cc) both include this header so a semantic fix lands in every
+ * engine at once — the differential suite would catch a divergence, but
+ * sharing the body prevents one.
+ */
+
+#ifndef REQOBS_EBPF_MAP_DISPATCH_HH
+#define REQOBS_EBPF_MAP_DISPATCH_HH
+
+#include <cstdint>
+
+#include "ebpf/maps.hh"
+
+namespace reqobs::ebpf {
+
+/**
+ * Kernel-side lookup. @p cpu selects the shard of per-CPU maps and is
+ * ignored by every other type (scalar execution always passes 0, which
+ * keeps per-CPU maps bit-compatible with plain arrays there).
+ */
+inline std::uint8_t *
+mapLookupHot(Map *map, const std::uint8_t *key, std::uint32_t cpu = 0)
+{
+    switch (map->type()) {
+      case MapType::Hash:
+        return static_cast<HashMap *>(map)->lookupHot(key);
+      case MapType::Array:
+        return static_cast<ArrayMap *>(map)->lookupHot(key);
+      case MapType::PerCpuArray:
+        return static_cast<PerCpuArrayMap *>(map)->lookupShard(key, cpu);
+      case MapType::Sketch:
+        return static_cast<SketchMap *>(map)->lookupHot(key);
+      default:
+        return map->lookup(key);
+    }
+}
+
+inline int
+mapUpdateHot(Map *map, const std::uint8_t *key, const std::uint8_t *value,
+             std::uint64_t flags)
+{
+    if (map->type() == MapType::Hash)
+        return static_cast<HashMap *>(map)->updateHot(key, value, flags);
+    if (map->type() == MapType::Sketch)
+        return static_cast<SketchMap *>(map)->updateHot(key, value, flags);
+    return map->update(key, value, flags);
+}
+
+inline int
+mapEraseHot(Map *map, const std::uint8_t *key)
+{
+    if (map->type() == MapType::Hash)
+        return static_cast<HashMap *>(map)->eraseHot(key);
+    return map->erase(key);
+}
+
+} // namespace reqobs::ebpf
+
+#endif // REQOBS_EBPF_MAP_DISPATCH_HH

@@ -1,0 +1,755 @@
+/**
+ * @file
+ * Shape-specialised native kernels and the recogniser that maps library
+ * probes onto them (see native.hh for the contract).
+ *
+ * Every kernel retires the exact instruction count the interpreter
+ * would on the same control-flow path: the counters are accumulated
+ * incrementally, one `n += k` per emitted run of straight-line
+ * bytecode, mirroring the structure of the probes::emit functions
+ * line for line. Fault-injection draws happen at the same helper-call
+ * sites in the same order, so differential runs with a shared
+ * fault-injector RNG stay aligned across engines.
+ */
+
+#include "ebpf/native.hh"
+
+#include <cstring>
+
+#include "ebpf/map_dispatch.hh"
+#include "ebpf/probes.hh"
+#include "fault/fault.hh"
+
+namespace reqobs::ebpf {
+
+namespace {
+
+/** Sign-extend a 32-bit jump immediate the way the VM does. */
+inline std::uint64_t
+sx(std::int32_t v)
+{
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+}
+
+inline const std::uint8_t *
+bytes(const void *p)
+{
+    return static_cast<const std::uint8_t *>(p);
+}
+
+/** Map update with the VM's injected-pressure gate (-E2BIG on hash). */
+inline void
+gatedMapUpdate(Map *m, const std::uint8_t *key, const std::uint8_t *val,
+               std::uint64_t flags, ExecEnv &env, NativeResult &res)
+{
+    int rc;
+    if (env.fault && m->type() == MapType::Hash &&
+        env.fault->injectMapUpdateFail())
+        rc = -7; // -E2BIG
+    else
+        rc = mapUpdateHot(m, key, val, flags);
+    if (rc < 0)
+        ++res.mapUpdateFails;
+}
+
+/** Ring-buffer output with the VM's injected-drop gate (-ENOSPC). */
+inline void
+gatedRingbufOutput(RingBufMap *rb, const std::uint8_t *data,
+                   std::uint32_t len, ExecEnv &env, NativeResult &res)
+{
+    int rc;
+    if (env.fault && env.fault->injectRingbufDrop()) {
+        rb->noteDrop(); // capacity pressure: record lost
+        rc = -28;       // -ENOSPC
+    } else {
+        rc = rb->output(data, len);
+    }
+    if (rc == -28)
+        ++res.ringbufDrops;
+}
+
+/**
+ * Duration accumulate body (13 insns, counted by the caller): the
+ * native form of probes.cc emitDurationBody. @p s points at a
+ * SyscallStats slot.
+ */
+inline void
+accumulateDuration(std::uint8_t *s, std::uint64_t dur, unsigned shift)
+{
+    std::uint64_t v;
+    std::memcpy(&v, s + 0, 8);
+    v += 1;
+    std::memcpy(s + 0, &v, 8);
+    std::memcpy(&v, s + 8, 8);
+    v += dur;
+    std::memcpy(s + 8, &v, 8);
+    const std::uint64_t q = dur >> (shift & 63);
+    std::memcpy(&v, s + 16, 8);
+    v += q * q;
+    std::memcpy(s + 16, &v, 8);
+}
+
+/**
+ * Delta accumulate body, the native form of emitDeltaBody. Returns the
+ * instructions retired inside the body (3 first-event, 4 inverted-pair
+ * under guard, 17 full, 18 full guarded). last_ts is reseeded before
+ * the zero check, exactly as the bytecode stores before branching.
+ */
+inline std::uint64_t
+runDeltaBody(std::uint8_t *s, std::uint64_t now, unsigned shift,
+             bool guarded)
+{
+    std::uint64_t last;
+    std::memcpy(&last, s + 24, 8);
+    std::memcpy(s + 24, &now, 8);
+    if (last == 0)
+        return 3; // ldxdw, stxdw, jeq taken: first event seeds the chain
+    if (guarded && last > now)
+        return 4; // + jgt taken: drop the inverted pair
+    const std::uint64_t delta = now - last;
+    std::uint64_t v;
+    std::memcpy(&v, s + 0, 8);
+    v += 1;
+    std::memcpy(s + 0, &v, 8);
+    std::memcpy(&v, s + 8, 8);
+    v += delta;
+    std::memcpy(s + 8, &v, 8);
+    const std::uint64_t q = delta >> (shift & 63);
+    std::memcpy(&v, s + 16, 8);
+    v += q * q;
+    std::memcpy(s + 16, &v, 8);
+    return guarded ? 18 : 17;
+}
+
+/**
+ * Family jeq chain: @p n accumulates one insn per tested comparand,
+ * plus the fall-through ja on a miss. The leading ldxdw r8 is counted
+ * by the caller.
+ */
+inline bool
+matchFamily(const std::vector<std::uint64_t> &fam, std::uint64_t id,
+            std::uint64_t &n)
+{
+    for (std::size_t i = 0; i < fam.size(); ++i) {
+        ++n; // jeq family[i]
+        if (id == fam[i])
+            return true;
+    }
+    ++n; // ja out
+    return false;
+}
+
+/**
+ * Tenant-match prologue (probes.cc emitTenantFilter): returns the dense
+ * tenant slot, or -1 when the event falls through to "out" (non-tenant
+ * tgid, or poll-syscall mismatch under @p match_poll). @p n accumulates
+ * the executed instructions.
+ */
+inline int
+matchTenant(const NativeProgram &p, std::uint64_t tgid_hi, std::uint64_t id,
+            bool match_poll, std::uint64_t &n)
+{
+    n += 3; // ldxdw r6, mov r7, rsh r7
+    for (std::size_t t = 0; t < p.tenantCmp.size(); ++t) {
+        ++n; // jeq tenant t
+        if (tgid_hi == p.tenantCmp[t]) {
+            if (match_poll) {
+                ++n; // jne poll syscall
+                if (id != p.pollCmp[t])
+                    return -1;
+            }
+            n += 2; // movImm r7 slot, ja tenant_body
+            return static_cast<int>(t);
+        }
+    }
+    ++n; // ja out
+    return -1;
+}
+
+// --------------------------------------------------------------- kernels
+
+void
+runDurationEnter(const NativeProgram &p, const TraceCtx &ctx, ExecEnv &env,
+                 NativeResult &res)
+{
+    std::uint64_t n = 4; // ldxdw r6, mov r7, rsh, jne tgid
+    if ((ctx.pidTgid >> 32) == p.tgidCmp) {
+        n += 2; // ldxdw r8 id, jne syscall
+        if (ctx.id == p.syscallCmp) {
+            // ktime, 2 key/value stores, ld_map_fd, 4 arg insns, mov
+            // flags, call update
+            n += 10;
+            const std::uint64_t key = ctx.pidTgid;
+            const std::uint64_t val = env.nowNs;
+            gatedMapUpdate(p.start, bytes(&key), bytes(&val), BPF_ANY, env,
+                           res);
+        }
+    }
+    res.insns += n + 2; // out: mov r0, exit
+}
+
+void
+runDurationExit(const NativeProgram &p, const TraceCtx &ctx, ExecEnv &env,
+                NativeResult &res)
+{
+    std::uint64_t n = 4; // tgid filter
+    do {
+        if ((ctx.pidTgid >> 32) != p.tgidCmp)
+            break;
+        n += 2; // ldxdw r8 id, jne syscall
+        if (ctx.id != p.syscallCmp)
+            break;
+        n += 1; // ldxdw r9 = ctx->ts
+        const std::uint64_t key = ctx.pidTgid;
+        n += 6; // stxdw key, ld_map_fd, mov, add, call lookup, jeq null
+        std::uint8_t *sv = mapLookupHot(p.start, bytes(&key), env.cpu);
+        if (!sv)
+            break;
+        n += 1; // ldxdw r3 = *start_ns
+        std::uint64_t startNs;
+        std::memcpy(&startNs, sv, 8);
+        if (p.guarded) {
+            n += 1; // jgt: skip clock-inverted sample
+            if (startNs > ctx.ts)
+                break;
+        }
+        n += 2; // mov r8, sub
+        const std::uint64_t dur = ctx.ts - startNs;
+        n += 4; // delete: ld_map_fd, mov, add, call
+        mapEraseHot(p.start, bytes(&key));
+        n += 6; // st idx0, ld_map_fd, mov, add, call lookup, jeq null
+        const std::uint32_t idx = 0;
+        std::uint8_t *slot = mapLookupHot(p.stats, bytes(&idx), env.cpu);
+        if (!slot)
+            break;
+        n += 13; // duration body
+        accumulateDuration(slot, dur, p.shift);
+    } while (false);
+    res.insns += n + 2; // out: mov r0, exit
+}
+
+void
+runDeltaExit(const NativeProgram &p, const TraceCtx &ctx, ExecEnv &env,
+             NativeResult &res)
+{
+    std::uint64_t n = 1; // ldxdw r8 id
+    do {
+        if (!matchFamily(p.familyCmp, ctx.id, n))
+            break;
+        n += 4; // tgid filter
+        if ((ctx.pidTgid >> 32) != p.tgidCmp)
+            break;
+        if (p.guarded) {
+            n += 2; // ldxdw ret, jslt: failed syscalls excluded
+            if (ctx.ret < 0)
+                break;
+        }
+        n += 1; // ldxdw r9 = ctx->ts
+        n += 6; // st idx0, ld_map_fd, mov, add, call lookup, jeq null
+        const std::uint32_t idx = 0;
+        std::uint8_t *slot = mapLookupHot(p.stats, bytes(&idx), env.cpu);
+        if (!slot)
+            break;
+        n += runDeltaBody(slot, ctx.ts, p.shift, p.guarded);
+    } while (false);
+    res.insns += n + 2; // out: mov r0, exit
+}
+
+void
+runTenantDeltaExit(const NativeProgram &p, const TraceCtx &ctx, ExecEnv &env,
+                   NativeResult &res)
+{
+    std::uint64_t n = 1; // ldxdw r8 id
+    do {
+        if (!matchFamily(p.familyCmp, ctx.id, n))
+            break;
+        const int t =
+            matchTenant(p, ctx.pidTgid >> 32, 0, /*match_poll=*/false, n);
+        if (t < 0)
+            break;
+        if (p.guarded) {
+            n += 2; // ldxdw ret, jslt
+            if (ctx.ret < 0)
+                break;
+        }
+        n += 1; // ldxdw r9 = ctx->ts
+        n += 6; // stx slot, ld_map_fd, mov, add, call lookup, jeq null
+        const std::uint32_t idx = static_cast<std::uint32_t>(t);
+        std::uint8_t *slot = mapLookupHot(p.stats, bytes(&idx), env.cpu);
+        if (!slot)
+            break;
+        n += runDeltaBody(slot, ctx.ts, p.shift, p.guarded);
+    } while (false);
+    res.insns += n + 2; // out: mov r0, exit
+}
+
+void
+runTenantHeavyHitter(const NativeProgram &p, const TraceCtx &ctx,
+                     ExecEnv &env, NativeResult &res)
+{
+    std::uint64_t n = 1; // ldxdw r8 id
+    do {
+        if (!matchFamily(p.familyCmp, ctx.id, n))
+            break;
+        const int t =
+            matchTenant(p, ctx.pidTgid >> 32, 0, /*match_poll=*/false, n);
+        if (t < 0)
+            break;
+        n += 6; // stx key, ld_map_fd, mov, add, call lookup, jeq insert
+        const std::uint32_t key = static_cast<std::uint32_t>(t);
+        std::uint8_t *v = mapLookupHot(p.sketch, bytes(&key), env.cpu);
+        if (v) {
+            n += 4; // ldxdw, addImm, stxdw, ja out: resident increment
+            std::uint64_t c;
+            std::memcpy(&c, v, 8);
+            c += 1;
+            std::memcpy(v, &c, 8);
+        } else {
+            // stImm 1, ld_map_fd, mov, add, mov, add, movImm flags, call
+            n += 8;
+            const std::uint64_t one = 1;
+            gatedMapUpdate(p.sketch, bytes(&key), bytes(&one), 0, env, res);
+        }
+    } while (false);
+    res.insns += n + 2; // out: mov r0, exit
+}
+
+void
+runTenantDurationEnter(const NativeProgram &p, const TraceCtx &ctx,
+                       ExecEnv &env, NativeResult &res)
+{
+    std::uint64_t n = 1; // ldxdw r8 id (pre-prologue: stubs match poll)
+    const int t =
+        matchTenant(p, ctx.pidTgid >> 32, ctx.id, /*match_poll=*/true, n);
+    if (t >= 0) {
+        // ktime, 2 stores, ld_map_fd, 4 arg insns, mov flags, call
+        n += 10;
+        const std::uint64_t key = ctx.pidTgid;
+        const std::uint64_t val = env.nowNs;
+        gatedMapUpdate(p.start, bytes(&key), bytes(&val), BPF_ANY, env, res);
+    }
+    res.insns += n + 2; // out: mov r0, exit
+}
+
+void
+runTenantDurationExit(const NativeProgram &p, const TraceCtx &ctx,
+                      ExecEnv &env, NativeResult &res)
+{
+    std::uint64_t n = 1; // ldxdw r8 id
+    do {
+        const int t =
+            matchTenant(p, ctx.pidTgid >> 32, ctx.id, /*match_poll=*/true, n);
+        if (t < 0)
+            break;
+        n += 1; // ldxdw r9 = ctx->ts
+        const std::uint64_t key = ctx.pidTgid;
+        n += 6; // stxdw key, ld_map_fd, mov, add, call lookup, jeq null
+        std::uint8_t *sv = mapLookupHot(p.start, bytes(&key), env.cpu);
+        if (!sv)
+            break;
+        n += 1; // ldxdw r3 = *start_ns
+        std::uint64_t startNs;
+        std::memcpy(&startNs, sv, 8);
+        if (p.guarded) {
+            n += 1; // jgt
+            if (startNs > ctx.ts)
+                break;
+        }
+        n += 2; // mov r8, sub
+        const std::uint64_t dur = ctx.ts - startNs;
+        n += 4; // delete: ld_map_fd, mov, add, call
+        mapEraseHot(p.start, bytes(&key));
+        n += 6; // stx slot, ld_map_fd, mov, add, call lookup, jeq null
+        const std::uint32_t idx = static_cast<std::uint32_t>(t);
+        std::uint8_t *slot = mapLookupHot(p.stats, bytes(&idx), env.cpu);
+        if (!slot)
+            break;
+        n += 13; // duration body
+        accumulateDuration(slot, dur, p.shift);
+    } while (false);
+    res.insns += n + 2; // out: mov r0, exit
+}
+
+void
+runStream(const NativeProgram &p, const TraceCtx &ctx, ExecEnv &env,
+          NativeResult &res)
+{
+    std::uint64_t n = 4; // tgid filter
+    if ((ctx.pidTgid >> 32) == p.tgidCmp) {
+        // 8 record-assembly insns + ld_map_fd, mov, add, 2 movImm, call
+        n += 14;
+        probes::StreamRecord rec;
+        rec.id = ctx.id;
+        rec.pidTgid = ctx.pidTgid;
+        rec.ts = ctx.ts;
+        rec.ret = ctx.ret;
+        rec.point = p.exitPoint ? 1 : 0;
+        gatedRingbufOutput(p.ring, bytes(&rec), sizeof(rec), env, res);
+    }
+    res.insns += n + 2; // out: mov r0, exit
+}
+
+// ------------------------------------------------------------ recogniser
+
+constexpr std::uint8_t kJneK = BPF_JMP | BPF_JNE | BPF_K;
+constexpr std::uint8_t kJeqK = BPF_JMP | BPF_JEQ | BPF_K;
+constexpr std::uint8_t kRshK = BPF_ALU64 | BPF_RSH | BPF_K;
+
+/** Immediates of jump insns with @p opcode (optionally dst-filtered). */
+std::vector<std::int32_t>
+jumpImms(const std::vector<Insn> &insns, std::uint8_t opcode, int dst = -1)
+{
+    std::vector<std::int32_t> out;
+    for (const Insn &i : insns)
+        if (i.opcode == opcode && (dst < 0 || i.dst == dst))
+            out.push_back(i.imm);
+    return out;
+}
+
+/** Map fds referenced by ld_map_fd pseudo instructions, stream order. */
+std::vector<int>
+mapFds(const std::vector<Insn> &insns)
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i + 1 < insns.size(); ++i)
+        if (insns[i].cls() == BPF_LD && insns[i].memSize() == BPF_DW &&
+            insns[i].src == BPF_PSEUDO_MAP_FD)
+            out.push_back(insns[i].imm);
+    return out;
+}
+
+/**
+ * Immediate of the last rsh-by-constant: the filter prologue right
+ * shifts by 32, every accumulate body shifts by the probe's
+ * quantisation amount afterwards — so for the shapes that need it, the
+ * last one is the shift. A wrong guess can only fail the re-emission
+ * check, never mis-compile.
+ */
+int
+lastRshImm(const std::vector<Insn> &insns)
+{
+    int v = -1;
+    for (const Insn &i : insns)
+        if (i.opcode == kRshK)
+            v = i.imm;
+    return v;
+}
+
+bool
+sameInsns(const std::vector<Insn> &a, const std::vector<Insn> &b)
+{
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(Insn)) == 0);
+}
+
+Map *
+findMap(const ProgramSpec &spec, int fd)
+{
+    auto it = spec.maps.find(fd);
+    return it == spec.maps.end() ? nullptr : it->second;
+}
+
+/** pid_tgid (u64) -> ts (u64) start map. */
+bool
+startMapOk(const Map *m)
+{
+    return m && m->keySize() == 8 && m->valueSize() == 8;
+}
+
+/** index (u32) -> SyscallStats stats array (plain or per-CPU). */
+bool
+statsMapOk(const Map *m)
+{
+    return m && m->keySize() == 4 &&
+           m->valueSize() == sizeof(probes::SyscallStats);
+}
+
+/** slot (u32) -> count (u64) sketch. */
+bool
+sketchMapOk(const Map *m)
+{
+    return m && m->keySize() == 4 && m->valueSize() == 8;
+}
+
+bool
+matchDurationEnter(const ProgramSpec &spec, NativeProgram *out)
+{
+    const auto tg = jumpImms(spec.insns, kJneK, R7);
+    const auto sc = jumpImms(spec.insns, kJneK, R8);
+    const auto fds = mapFds(spec.insns);
+    if (tg.size() != 1 || sc.size() != 1 || fds.size() != 1)
+        return false;
+    if (!sameInsns(spec.insns,
+                   probes::emit::durationEnter(
+                       static_cast<std::uint32_t>(tg[0]), sc[0], fds[0])))
+        return false;
+    Map *start = findMap(spec, fds[0]);
+    if (!startMapOk(start))
+        return false;
+    out->fn = runDurationEnter;
+    out->shape = "duration_enter";
+    out->tgidCmp = sx(tg[0]);
+    out->syscallCmp = sx(sc[0]);
+    out->start = start;
+    return true;
+}
+
+bool
+matchDurationExit(const ProgramSpec &spec, NativeProgram *out)
+{
+    const auto tg = jumpImms(spec.insns, kJneK, R7);
+    const auto sc = jumpImms(spec.insns, kJneK, R8);
+    const auto fds = mapFds(spec.insns);
+    const int shift = lastRshImm(spec.insns);
+    if (tg.size() != 1 || sc.size() != 1 || fds.size() != 3 || shift < 0)
+        return false;
+    for (bool g : {false, true}) {
+        if (!sameInsns(spec.insns,
+                       probes::emit::durationExit(
+                           static_cast<std::uint32_t>(tg[0]), sc[0], fds[0],
+                           fds[2], static_cast<unsigned>(shift), g)))
+            continue;
+        Map *start = findMap(spec, fds[0]);
+        Map *stats = findMap(spec, fds[2]);
+        if (!startMapOk(start) || !statsMapOk(stats))
+            return false;
+        out->fn = runDurationExit;
+        out->shape = "duration_exit";
+        out->tgidCmp = sx(tg[0]);
+        out->syscallCmp = sx(sc[0]);
+        out->shift = static_cast<unsigned>(shift);
+        out->guarded = g;
+        out->start = start;
+        out->stats = stats;
+        return true;
+    }
+    return false;
+}
+
+bool
+matchDeltaExit(const ProgramSpec &spec, NativeProgram *out)
+{
+    const auto fam = jumpImms(spec.insns, kJeqK, R8);
+    const auto tg = jumpImms(spec.insns, kJneK, R7);
+    const auto fds = mapFds(spec.insns);
+    const int shift = lastRshImm(spec.insns);
+    if (fam.empty() || tg.size() != 1 || fds.size() != 1 || shift < 0)
+        return false;
+    const std::vector<std::int64_t> family(fam.begin(), fam.end());
+    for (bool g : {false, true}) {
+        if (!sameInsns(spec.insns,
+                       probes::emit::deltaExit(
+                           static_cast<std::uint32_t>(tg[0]), family, fds[0],
+                           static_cast<unsigned>(shift), g)))
+            continue;
+        Map *stats = findMap(spec, fds[0]);
+        if (!statsMapOk(stats))
+            return false;
+        out->fn = runDeltaExit;
+        out->shape = "delta_exit";
+        out->tgidCmp = sx(tg[0]);
+        out->shift = static_cast<unsigned>(shift);
+        out->guarded = g;
+        out->stats = stats;
+        for (std::int32_t f : fam)
+            out->familyCmp.push_back(sx(f));
+        return true;
+    }
+    return false;
+}
+
+/** Tenant set as re-emission input: tgids from the jeq chain, polls
+ * from the stub jne chain (empty unless the shape matches polls). */
+probes::TenantSet
+tenantSetFrom(const std::vector<std::int32_t> &tgids,
+              const std::vector<std::int32_t> &polls)
+{
+    probes::TenantSet ts;
+    for (std::int32_t t : tgids)
+        ts.tgids.push_back(static_cast<std::uint32_t>(t));
+    if (polls.empty())
+        ts.pollSyscalls.assign(tgids.size(), 0); // unused by the emitter
+    else
+        for (std::int32_t p : polls)
+            ts.pollSyscalls.push_back(p);
+    return ts;
+}
+
+bool
+matchTenantDeltaExit(const ProgramSpec &spec, NativeProgram *out)
+{
+    const auto fam = jumpImms(spec.insns, kJeqK, R8);
+    const auto tgids = jumpImms(spec.insns, kJeqK, R7);
+    const auto fds = mapFds(spec.insns);
+    const int shift = lastRshImm(spec.insns);
+    if (fam.empty() || tgids.empty() || fds.size() != 1 || shift < 0)
+        return false;
+    const std::vector<std::int64_t> family(fam.begin(), fam.end());
+    const probes::TenantSet ts = tenantSetFrom(tgids, {});
+    for (bool g : {false, true}) {
+        if (!sameInsns(spec.insns,
+                       probes::emit::tenantDeltaExit(
+                           ts, family, fds[0],
+                           static_cast<unsigned>(shift), g)))
+            continue;
+        Map *stats = findMap(spec, fds[0]);
+        if (!statsMapOk(stats))
+            return false;
+        out->fn = runTenantDeltaExit;
+        out->shape = "tenant_delta_exit";
+        out->shift = static_cast<unsigned>(shift);
+        out->guarded = g;
+        out->stats = stats;
+        for (std::int32_t f : fam)
+            out->familyCmp.push_back(sx(f));
+        for (std::int32_t t : tgids)
+            out->tenantCmp.push_back(sx(t));
+        return true;
+    }
+    return false;
+}
+
+bool
+matchTenantHeavyHitter(const ProgramSpec &spec, NativeProgram *out)
+{
+    const auto fam = jumpImms(spec.insns, kJeqK, R8);
+    const auto tgids = jumpImms(spec.insns, kJeqK, R7);
+    const auto fds = mapFds(spec.insns);
+    if (fam.empty() || tgids.empty() || fds.size() != 2)
+        return false;
+    const std::vector<std::int64_t> family(fam.begin(), fam.end());
+    if (!sameInsns(spec.insns,
+                   probes::emit::tenantHeavyHitter(tenantSetFrom(tgids, {}),
+                                                   family, fds[0])))
+        return false;
+    Map *sketch = findMap(spec, fds[0]);
+    if (!sketchMapOk(sketch))
+        return false;
+    out->fn = runTenantHeavyHitter;
+    out->shape = "tenant_heavy_hitter";
+    out->sketch = sketch;
+    for (std::int32_t f : fam)
+        out->familyCmp.push_back(sx(f));
+    for (std::int32_t t : tgids)
+        out->tenantCmp.push_back(sx(t));
+    return true;
+}
+
+bool
+matchTenantDurationEnter(const ProgramSpec &spec, NativeProgram *out)
+{
+    const auto tgids = jumpImms(spec.insns, kJeqK, R7);
+    const auto polls = jumpImms(spec.insns, kJneK, R8);
+    const auto fds = mapFds(spec.insns);
+    if (tgids.empty() || polls.size() != tgids.size() || fds.size() != 1)
+        return false;
+    if (!sameInsns(spec.insns,
+                   probes::emit::tenantDurationEnter(
+                       tenantSetFrom(tgids, polls), fds[0])))
+        return false;
+    Map *start = findMap(spec, fds[0]);
+    if (!startMapOk(start))
+        return false;
+    out->fn = runTenantDurationEnter;
+    out->shape = "tenant_duration_enter";
+    out->start = start;
+    for (std::int32_t t : tgids)
+        out->tenantCmp.push_back(sx(t));
+    for (std::int32_t p : polls)
+        out->pollCmp.push_back(sx(p));
+    return true;
+}
+
+bool
+matchTenantDurationExit(const ProgramSpec &spec, NativeProgram *out)
+{
+    const auto tgids = jumpImms(spec.insns, kJeqK, R7);
+    const auto polls = jumpImms(spec.insns, kJneK, R8);
+    const auto fds = mapFds(spec.insns);
+    const int shift = lastRshImm(spec.insns);
+    if (tgids.empty() || polls.size() != tgids.size() || fds.size() != 3 ||
+        shift < 0)
+        return false;
+    const probes::TenantSet ts = tenantSetFrom(tgids, polls);
+    for (bool g : {false, true}) {
+        if (!sameInsns(spec.insns,
+                       probes::emit::tenantDurationExit(
+                           ts, fds[0], fds[2],
+                           static_cast<unsigned>(shift), g)))
+            continue;
+        Map *start = findMap(spec, fds[0]);
+        Map *stats = findMap(spec, fds[2]);
+        if (!startMapOk(start) || !statsMapOk(stats))
+            return false;
+        out->fn = runTenantDurationExit;
+        out->shape = "tenant_duration_exit";
+        out->shift = static_cast<unsigned>(shift);
+        out->guarded = g;
+        out->start = start;
+        out->stats = stats;
+        for (std::int32_t t : tgids)
+            out->tenantCmp.push_back(sx(t));
+        for (std::int32_t p : polls)
+            out->pollCmp.push_back(sx(p));
+        return true;
+    }
+    return false;
+}
+
+bool
+matchStream(const ProgramSpec &spec, NativeProgram *out, bool exit_point)
+{
+    const auto tg = jumpImms(spec.insns, kJneK, R7);
+    const auto fds = mapFds(spec.insns);
+    if (tg.size() != 1 || fds.size() != 1)
+        return false;
+    if (!sameInsns(spec.insns,
+                   probes::emit::streamProbe(
+                       static_cast<std::uint32_t>(tg[0]), exit_point,
+                       fds[0])))
+        return false;
+    Map *ring = findMap(spec, fds[0]);
+    if (!ring || ring->type() != MapType::RingBuf)
+        return false;
+    out->fn = runStream;
+    out->shape = exit_point ? "stream_exit" : "stream_enter";
+    out->tgidCmp = sx(tg[0]);
+    out->exitPoint = exit_point;
+    out->ring = static_cast<RingBufMap *>(ring);
+    return true;
+}
+
+} // namespace
+
+bool
+compileNative(const ProgramSpec &spec, NativeProgram *out)
+{
+    *out = NativeProgram{};
+    // The name is only a prefilter picking which recogniser to try; the
+    // byte-exact re-emission check is the authority.
+    bool ok = false;
+    if (spec.name == "duration_enter")
+        ok = matchDurationEnter(spec, out);
+    else if (spec.name == "duration_exit")
+        ok = matchDurationExit(spec, out);
+    else if (spec.name == "delta_exit")
+        ok = matchDeltaExit(spec, out);
+    else if (spec.name == "tenant_delta_exit")
+        ok = matchTenantDeltaExit(spec, out);
+    else if (spec.name == "tenant_heavy_hitter")
+        ok = matchTenantHeavyHitter(spec, out);
+    else if (spec.name == "tenant_duration_enter")
+        ok = matchTenantDurationEnter(spec, out);
+    else if (spec.name == "tenant_duration_exit")
+        ok = matchTenantDurationExit(spec, out);
+    else if (spec.name == "stream_enter")
+        ok = matchStream(spec, out, false);
+    else if (spec.name == "stream_exit")
+        ok = matchStream(spec, out, true);
+    if (!ok)
+        *out = NativeProgram{};
+    return ok;
+}
+
+} // namespace reqobs::ebpf

@@ -112,20 +112,10 @@ emitDeltaBody(ProgramBuilder &b, unsigned shift, bool guarded)
 
 } // namespace
 
-DurationMaps
-createDurationMaps(EbpfRuntime &rt, const std::string &prefix)
-{
-    DurationMaps m;
-    m.startFd = rt.createHashMap(sizeof(std::uint64_t), sizeof(std::uint64_t),
-                                 16384, prefix + ".start");
-    m.statsFd =
-        rt.createArrayMap(sizeof(SyscallStats), 1, prefix + ".stats");
-    return m;
-}
+namespace emit {
 
-ProgramSpec
-buildDurationEnter(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
-                   const DurationMaps &maps)
+std::vector<Insn>
+durationEnter(std::uint32_t tgid, std::int64_t syscall, int start_fd)
 {
     ProgramBuilder b;
     emitTgidFilter(b, tgid);
@@ -137,7 +127,7 @@ buildDurationEnter(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
     // start.update(&pid_tgid, &t);
     b.stxdw(R10, -8, R6)  // key = pid_tgid
         .stxdw(R10, -16, R0) // value = t
-        .ldMapFd(R1, maps.startFd)
+        .ldMapFd(R1, start_fd)
         .mov(R2, R10)
         .addImm(R2, -8)
         .mov(R3, R10)
@@ -145,17 +135,12 @@ buildDurationEnter(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
         .movImm(R4, BPF_ANY)
         .call(helper::kMapUpdateElem);
     b.label("out").movImm(R0, 0).exit_();
-
-    ProgramSpec spec;
-    spec.name = "duration_enter";
-    spec.insns = b.build();
-    spec.maps = rt.mapTable();
-    return spec;
+    return b.build();
 }
 
-ProgramSpec
-buildDurationExit(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
-                  const DurationMaps &maps, unsigned shift, bool guarded)
+std::vector<Insn>
+durationExit(std::uint32_t tgid, std::int64_t syscall, int start_fd,
+             int stats_fd, unsigned shift, bool guarded)
 {
     ProgramBuilder b;
     emitTgidFilter(b, tgid);
@@ -165,7 +150,7 @@ buildDurationExit(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
     b.ldxdw(R9, R1, offsetof(TraceCtx, ts));
     // u64 *start_ns = start.lookup(&pid_tgid);
     b.stxdw(R10, -8, R6)
-        .ldMapFd(R1, maps.startFd)
+        .ldMapFd(R1, start_fd)
         .mov(R2, R10)
         .addImm(R2, -8)
         .call(helper::kMapLookupElem)
@@ -180,43 +165,28 @@ buildDurationExit(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
     // duration = end_ns - *start_ns;   (keep in callee-saved r8)
     b.mov(R8, R9).sub(R8, R3);
     // start.delete(&pid_tgid);  (key buffer still on the stack)
-    b.ldMapFd(R1, maps.startFd)
+    b.ldMapFd(R1, start_fd)
         .mov(R2, R10)
         .addImm(R2, -8)
         .call(helper::kMapDeleteElem);
     // stats = &stats_array[0];
     b.stImm(R10, -24, 0, BPF_W)
-        .ldMapFd(R1, maps.statsFd)
+        .ldMapFd(R1, stats_fd)
         .mov(R2, R10)
         .addImm(R2, -24)
         .call(helper::kMapLookupElem)
         .jeqImm(R0, 0, "out");
     emitDurationBody(b, shift);
     b.label("out").movImm(R0, 0).exit_();
-
-    ProgramSpec spec;
-    spec.name = "duration_exit";
-    spec.insns = b.build();
-    spec.maps = rt.mapTable();
-    return spec;
+    return b.build();
 }
 
-DeltaMaps
-createDeltaMaps(EbpfRuntime &rt, const std::string &prefix)
-{
-    DeltaMaps m;
-    m.statsFd =
-        rt.createArrayMap(sizeof(SyscallStats), 1, prefix + ".stats");
-    return m;
-}
-
-ProgramSpec
-buildDeltaExit(EbpfRuntime &rt, std::uint32_t tgid,
-               const std::vector<std::int64_t> &family, const DeltaMaps &maps,
-               unsigned shift, bool guarded)
+std::vector<Insn>
+deltaExit(std::uint32_t tgid, const std::vector<std::int64_t> &family,
+          int stats_fd, unsigned shift, bool guarded)
 {
     if (family.empty())
-        sim::fatal("buildDeltaExit: empty syscall family");
+        sim::fatal("emit::deltaExit: empty syscall family");
 
     ProgramBuilder b;
     // Family match first: cheap rejection of unrelated syscalls.
@@ -236,40 +206,25 @@ buildDeltaExit(EbpfRuntime &rt, std::uint32_t tgid,
     b.ldxdw(R9, R1, offsetof(TraceCtx, ts));
     // stats = &stats_array[0];
     b.stImm(R10, -4, 0, BPF_W)
-        .ldMapFd(R1, maps.statsFd)
+        .ldMapFd(R1, stats_fd)
         .mov(R2, R10)
         .addImm(R2, -4)
         .call(helper::kMapLookupElem)
         .jeqImm(R0, 0, "out");
     emitDeltaBody(b, shift, guarded);
     b.label("out").movImm(R0, 0).exit_();
-
-    ProgramSpec spec;
-    spec.name = "delta_exit";
-    spec.insns = b.build();
-    spec.maps = rt.mapTable();
-    return spec;
+    return b.build();
 }
 
-DeltaMaps
-createTenantDeltaMaps(EbpfRuntime &rt, std::uint32_t tenants,
-                      const std::string &prefix)
-{
-    DeltaMaps m;
-    m.statsFd =
-        rt.createArrayMap(sizeof(SyscallStats), tenants, prefix + ".stats");
-    return m;
-}
-
-ProgramSpec
-buildTenantDeltaExit(EbpfRuntime &rt, const TenantSet &tenants,
-                     const std::vector<std::int64_t> &family,
-                     const DeltaMaps &maps, unsigned shift, bool guarded)
+std::vector<Insn>
+tenantDeltaExit(const TenantSet &tenants,
+                const std::vector<std::int64_t> &family, int stats_fd,
+                unsigned shift, bool guarded)
 {
     if (family.empty())
-        sim::fatal("buildTenantDeltaExit: empty syscall family");
+        sim::fatal("emit::tenantDeltaExit: empty syscall family");
     if (tenants.tgids.empty())
-        sim::fatal("buildTenantDeltaExit: empty tenant set");
+        sim::fatal("emit::tenantDeltaExit: empty tenant set");
 
     ProgramBuilder b;
     // Family match first: cheap rejection of unrelated syscalls.
@@ -286,37 +241,24 @@ buildTenantDeltaExit(EbpfRuntime &rt, const TenantSet &tenants,
     b.ldxdw(R9, R1, offsetof(TraceCtx, ts));
     // stats = &stats_array[slot];
     b.stx(R10, -4, R7, BPF_W)
-        .ldMapFd(R1, maps.statsFd)
+        .ldMapFd(R1, stats_fd)
         .mov(R2, R10)
         .addImm(R2, -4)
         .call(helper::kMapLookupElem)
         .jeqImm(R0, 0, "out");
     emitDeltaBody(b, shift, guarded);
     b.label("out").movImm(R0, 0).exit_();
-
-    ProgramSpec spec;
-    spec.name = "tenant_delta_exit";
-    spec.insns = b.build();
-    spec.maps = rt.mapTable();
-    return spec;
+    return b.build();
 }
 
-int
-createTenantSketchMap(EbpfRuntime &rt, std::uint32_t stages,
-                      std::uint32_t width, const std::string &prefix)
-{
-    return rt.createSketchMap(sizeof(std::uint32_t), stages, width,
-                              prefix + ".hh");
-}
-
-ProgramSpec
-buildTenantHeavyHitter(EbpfRuntime &rt, const TenantSet &tenants,
-                       const std::vector<std::int64_t> &family, int sketch_fd)
+std::vector<Insn>
+tenantHeavyHitter(const TenantSet &tenants,
+                  const std::vector<std::int64_t> &family, int sketch_fd)
 {
     if (family.empty())
-        sim::fatal("buildTenantHeavyHitter: empty syscall family");
+        sim::fatal("emit::tenantHeavyHitter: empty syscall family");
     if (tenants.tgids.empty())
-        sim::fatal("buildTenantHeavyHitter: empty tenant set");
+        sim::fatal("emit::tenantHeavyHitter: empty tenant set");
 
     ProgramBuilder b;
     b.ldxdw(R8, R1, offsetof(TraceCtx, id));
@@ -347,10 +289,199 @@ buildTenantHeavyHitter(EbpfRuntime &rt, const TenantSet &tenants,
         .movImm(R4, 0) // BPF_ANY
         .call(helper::kMapUpdateElem);
     b.label("out").movImm(R0, 0).exit_();
+    return b.build();
+}
 
+std::vector<Insn>
+tenantDurationEnter(const TenantSet &tenants, int start_fd)
+{
+    if (tenants.tgids.empty() ||
+        tenants.pollSyscalls.size() != tenants.tgids.size())
+        sim::fatal("emit::tenantDurationEnter: malformed tenant set");
+
+    ProgramBuilder b;
+    // ctx->id in r8 before the prologue: each tenant stub matches its
+    // own poll syscall.
+    b.ldxdw(R8, R1, offsetof(TraceCtx, id));
+    emitTenantFilter(b, tenants, /*match_poll=*/true);
+    // u64 t = bpf_ktime_get_ns();
+    b.call(helper::kKtimeGetNs);
+    // start.update(&pid_tgid, &t);  — pid_tgid already identifies the
+    // tenant's thread, so one shared start map serves every tenant.
+    b.stxdw(R10, -8, R6)
+        .stxdw(R10, -16, R0)
+        .ldMapFd(R1, start_fd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .mov(R3, R10)
+        .addImm(R3, -16)
+        .movImm(R4, BPF_ANY)
+        .call(helper::kMapUpdateElem);
+    b.label("out").movImm(R0, 0).exit_();
+    return b.build();
+}
+
+std::vector<Insn>
+tenantDurationExit(const TenantSet &tenants, int start_fd, int stats_fd,
+                   unsigned shift, bool guarded)
+{
+    if (tenants.tgids.empty() ||
+        tenants.pollSyscalls.size() != tenants.tgids.size())
+        sim::fatal("emit::tenantDurationExit: malformed tenant set");
+
+    ProgramBuilder b;
+    b.ldxdw(R8, R1, offsetof(TraceCtx, id));
+    emitTenantFilter(b, tenants, /*match_poll=*/true); // slot in r7
+    // u64 end_ns = ctx->ts.
+    b.ldxdw(R9, R1, offsetof(TraceCtx, ts));
+    // u64 *start_ns = start.lookup(&pid_tgid);
+    b.stxdw(R10, -8, R6)
+        .ldMapFd(R1, start_fd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .call(helper::kMapLookupElem)
+        .jeqImm(R0, 0, "out");
+    b.ldxdw(R3, R0, 0);
+    if (guarded)
+        b.jgt(R3, R9, "out");
+    // duration = end_ns - *start_ns;  (r8 is free once the id matched)
+    b.mov(R8, R9).sub(R8, R3);
+    // start.delete(&pid_tgid);  (key buffer still on the stack)
+    b.ldMapFd(R1, start_fd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .call(helper::kMapDeleteElem);
+    // stats = &stats_array[slot];
+    b.stx(R10, -24, R7, BPF_W)
+        .ldMapFd(R1, stats_fd)
+        .mov(R2, R10)
+        .addImm(R2, -24)
+        .call(helper::kMapLookupElem)
+        .jeqImm(R0, 0, "out");
+    emitDurationBody(b, shift);
+    b.label("out").movImm(R0, 0).exit_();
+    return b.build();
+}
+
+std::vector<Insn>
+streamProbe(std::uint32_t tgid, bool exit_point, int ring_fd)
+{
+    ProgramBuilder b;
+    emitTgidFilter(b, tgid);
+    // Assemble a StreamRecord at r10-40.
+    b.ldxdw(R2, R1, offsetof(TraceCtx, id))
+        .stxdw(R10, -40, R2)
+        .stxdw(R10, -32, R6) // pid_tgid (from the filter)
+        .ldxdw(R2, R1, offsetof(TraceCtx, ts))
+        .stxdw(R10, -24, R2)
+        .ldxdw(R2, R1, offsetof(TraceCtx, ret))
+        .stxdw(R10, -16, R2)
+        .stImm(R10, -8, exit_point ? 1 : 0, BPF_DW);
+    b.ldMapFd(R1, ring_fd)
+        .mov(R2, R10)
+        .addImm(R2, -40)
+        .movImm(R3, sizeof(StreamRecord))
+        .movImm(R4, 0)
+        .call(helper::kRingbufOutput);
+    b.label("out").movImm(R0, 0).exit_();
+    return b.build();
+}
+
+} // namespace emit
+
+DurationMaps
+createDurationMaps(EbpfRuntime &rt, const std::string &prefix)
+{
+    DurationMaps m;
+    m.startFd = rt.createHashMap(sizeof(std::uint64_t), sizeof(std::uint64_t),
+                                 16384, prefix + ".start");
+    m.statsFd =
+        rt.createArrayMap(sizeof(SyscallStats), 1, prefix + ".stats");
+    return m;
+}
+
+ProgramSpec
+buildDurationEnter(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
+                   const DurationMaps &maps)
+{
+    ProgramSpec spec;
+    spec.name = "duration_enter";
+    spec.insns = emit::durationEnter(tgid, syscall, maps.startFd);
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+ProgramSpec
+buildDurationExit(EbpfRuntime &rt, std::uint32_t tgid, std::int64_t syscall,
+                  const DurationMaps &maps, unsigned shift, bool guarded)
+{
+    ProgramSpec spec;
+    spec.name = "duration_exit";
+    spec.insns = emit::durationExit(tgid, syscall, maps.startFd, maps.statsFd,
+                                    shift, guarded);
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+DeltaMaps
+createDeltaMaps(EbpfRuntime &rt, const std::string &prefix)
+{
+    DeltaMaps m;
+    m.statsFd =
+        rt.createArrayMap(sizeof(SyscallStats), 1, prefix + ".stats");
+    return m;
+}
+
+ProgramSpec
+buildDeltaExit(EbpfRuntime &rt, std::uint32_t tgid,
+               const std::vector<std::int64_t> &family, const DeltaMaps &maps,
+               unsigned shift, bool guarded)
+{
+    ProgramSpec spec;
+    spec.name = "delta_exit";
+    spec.insns = emit::deltaExit(tgid, family, maps.statsFd, shift, guarded);
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+DeltaMaps
+createTenantDeltaMaps(EbpfRuntime &rt, std::uint32_t tenants,
+                      const std::string &prefix)
+{
+    DeltaMaps m;
+    m.statsFd =
+        rt.createArrayMap(sizeof(SyscallStats), tenants, prefix + ".stats");
+    return m;
+}
+
+ProgramSpec
+buildTenantDeltaExit(EbpfRuntime &rt, const TenantSet &tenants,
+                     const std::vector<std::int64_t> &family,
+                     const DeltaMaps &maps, unsigned shift, bool guarded)
+{
+    ProgramSpec spec;
+    spec.name = "tenant_delta_exit";
+    spec.insns =
+        emit::tenantDeltaExit(tenants, family, maps.statsFd, shift, guarded);
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+int
+createTenantSketchMap(EbpfRuntime &rt, std::uint32_t stages,
+                      std::uint32_t width, const std::string &prefix)
+{
+    return rt.createSketchMap(sizeof(std::uint32_t), stages, width,
+                              prefix + ".hh");
+}
+
+ProgramSpec
+buildTenantHeavyHitter(EbpfRuntime &rt, const TenantSet &tenants,
+                       const std::vector<std::int64_t> &family, int sketch_fd)
+{
     ProgramSpec spec;
     spec.name = "tenant_heavy_hitter";
-    spec.insns = b.build();
+    spec.insns = emit::tenantHeavyHitter(tenants, family, sketch_fd);
     spec.maps = rt.mapTable();
     return spec;
 }
@@ -371,33 +502,9 @@ ProgramSpec
 buildTenantDurationEnter(EbpfRuntime &rt, const TenantSet &tenants,
                          const DurationMaps &maps)
 {
-    if (tenants.tgids.empty() ||
-        tenants.pollSyscalls.size() != tenants.tgids.size())
-        sim::fatal("buildTenantDurationEnter: malformed tenant set");
-
-    ProgramBuilder b;
-    // ctx->id in r8 before the prologue: each tenant stub matches its
-    // own poll syscall.
-    b.ldxdw(R8, R1, offsetof(TraceCtx, id));
-    emitTenantFilter(b, tenants, /*match_poll=*/true);
-    // u64 t = bpf_ktime_get_ns();
-    b.call(helper::kKtimeGetNs);
-    // start.update(&pid_tgid, &t);  — pid_tgid already identifies the
-    // tenant's thread, so one shared start map serves every tenant.
-    b.stxdw(R10, -8, R6)
-        .stxdw(R10, -16, R0)
-        .ldMapFd(R1, maps.startFd)
-        .mov(R2, R10)
-        .addImm(R2, -8)
-        .mov(R3, R10)
-        .addImm(R3, -16)
-        .movImm(R4, BPF_ANY)
-        .call(helper::kMapUpdateElem);
-    b.label("out").movImm(R0, 0).exit_();
-
     ProgramSpec spec;
     spec.name = "tenant_duration_enter";
-    spec.insns = b.build();
+    spec.insns = emit::tenantDurationEnter(tenants, maps.startFd);
     spec.maps = rt.mapTable();
     return spec;
 }
@@ -407,45 +514,10 @@ buildTenantDurationExit(EbpfRuntime &rt, const TenantSet &tenants,
                         const DurationMaps &maps, unsigned shift,
                         bool guarded)
 {
-    if (tenants.tgids.empty() ||
-        tenants.pollSyscalls.size() != tenants.tgids.size())
-        sim::fatal("buildTenantDurationExit: malformed tenant set");
-
-    ProgramBuilder b;
-    b.ldxdw(R8, R1, offsetof(TraceCtx, id));
-    emitTenantFilter(b, tenants, /*match_poll=*/true); // slot in r7
-    // u64 end_ns = ctx->ts.
-    b.ldxdw(R9, R1, offsetof(TraceCtx, ts));
-    // u64 *start_ns = start.lookup(&pid_tgid);
-    b.stxdw(R10, -8, R6)
-        .ldMapFd(R1, maps.startFd)
-        .mov(R2, R10)
-        .addImm(R2, -8)
-        .call(helper::kMapLookupElem)
-        .jeqImm(R0, 0, "out");
-    b.ldxdw(R3, R0, 0);
-    if (guarded)
-        b.jgt(R3, R9, "out");
-    // duration = end_ns - *start_ns;  (r8 is free once the id matched)
-    b.mov(R8, R9).sub(R8, R3);
-    // start.delete(&pid_tgid);  (key buffer still on the stack)
-    b.ldMapFd(R1, maps.startFd)
-        .mov(R2, R10)
-        .addImm(R2, -8)
-        .call(helper::kMapDeleteElem);
-    // stats = &stats_array[slot];
-    b.stx(R10, -24, R7, BPF_W)
-        .ldMapFd(R1, maps.statsFd)
-        .mov(R2, R10)
-        .addImm(R2, -24)
-        .call(helper::kMapLookupElem)
-        .jeqImm(R0, 0, "out");
-    emitDurationBody(b, shift);
-    b.label("out").movImm(R0, 0).exit_();
-
     ProgramSpec spec;
     spec.name = "tenant_duration_exit";
-    spec.insns = b.build();
+    spec.insns = emit::tenantDurationExit(tenants, maps.startFd, maps.statsFd,
+                                          shift, guarded);
     spec.maps = rt.mapTable();
     return spec;
 }
@@ -463,28 +535,9 @@ ProgramSpec
 buildStreamProbe(EbpfRuntime &rt, std::uint32_t tgid, bool exit_point,
                  const StreamMaps &maps)
 {
-    ProgramBuilder b;
-    emitTgidFilter(b, tgid);
-    // Assemble a StreamRecord at r10-40.
-    b.ldxdw(R2, R1, offsetof(TraceCtx, id))
-        .stxdw(R10, -40, R2)
-        .stxdw(R10, -32, R6) // pid_tgid (from the filter)
-        .ldxdw(R2, R1, offsetof(TraceCtx, ts))
-        .stxdw(R10, -24, R2)
-        .ldxdw(R2, R1, offsetof(TraceCtx, ret))
-        .stxdw(R10, -16, R2)
-        .stImm(R10, -8, exit_point ? 1 : 0, BPF_DW);
-    b.ldMapFd(R1, maps.ringFd)
-        .mov(R2, R10)
-        .addImm(R2, -40)
-        .movImm(R3, sizeof(StreamRecord))
-        .movImm(R4, 0)
-        .call(helper::kRingbufOutput);
-    b.label("out").movImm(R0, 0).exit_();
-
     ProgramSpec spec;
     spec.name = exit_point ? "stream_exit" : "stream_enter";
-    spec.insns = b.build();
+    spec.insns = emit::streamProbe(tgid, exit_point, maps.ringFd);
     spec.maps = rt.mapTable();
     return spec;
 }

@@ -223,6 +223,44 @@ StreamMaps createStreamMaps(EbpfRuntime &rt, std::uint32_t capacity_bytes,
 ProgramSpec buildStreamProbe(EbpfRuntime &rt, std::uint32_t tgid,
                              bool exit_point, const StreamMaps &maps);
 
+/**
+ * @name Bytecode emitters.
+ *
+ * Each emit::* function returns the exact instruction stream of the
+ * corresponding build* probe (the builders delegate to these). The
+ * native compiler (native.cc) recognises a program by extracting
+ * candidate parameters from its bytecode, re-emitting through the same
+ * function and requiring byte equality — so a probe matches its native
+ * kernel if and only if it is literally a library probe. Map arguments
+ * are fds as baked into ld_map_fd.
+ * @{
+ */
+namespace emit {
+
+std::vector<Insn> durationEnter(std::uint32_t tgid, std::int64_t syscall,
+                                int start_fd);
+std::vector<Insn> durationExit(std::uint32_t tgid, std::int64_t syscall,
+                               int start_fd, int stats_fd, unsigned shift,
+                               bool guarded);
+std::vector<Insn> deltaExit(std::uint32_t tgid,
+                            const std::vector<std::int64_t> &family,
+                            int stats_fd, unsigned shift, bool guarded);
+std::vector<Insn> tenantDeltaExit(const TenantSet &tenants,
+                                  const std::vector<std::int64_t> &family,
+                                  int stats_fd, unsigned shift, bool guarded);
+std::vector<Insn> tenantHeavyHitter(const TenantSet &tenants,
+                                    const std::vector<std::int64_t> &family,
+                                    int sketch_fd);
+std::vector<Insn> tenantDurationEnter(const TenantSet &tenants, int start_fd);
+std::vector<Insn> tenantDurationExit(const TenantSet &tenants, int start_fd,
+                                     int stats_fd, unsigned shift,
+                                     bool guarded);
+std::vector<Insn> streamProbe(std::uint32_t tgid, bool exit_point,
+                              int ring_fd);
+
+} // namespace emit
+/** @} */
+
 } // namespace reqobs::ebpf::probes
 
 #endif // REQOBS_EBPF_PROBES_HH

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ebpf/maps.hh"
+#include "ebpf/native.hh"
 #include "ebpf/program.hh"
 #include "ebpf/verifier.hh"
 #include "ebpf/vm.hh"
@@ -36,14 +37,26 @@ namespace reqobs::ebpf {
  * Execution-engine selection. Translated is the default (the simulator
  * analogue of the kernel JIT-compiling eBPF, see §VI of the paper):
  * programs are pre-decoded once at attach time. Reference re-decodes
- * every instruction per event and serves as the semantic oracle
- * (tests/ebpf_diff_test.cc asserts the two agree bit-for-bit).
+ * every instruction per event and serves as the semantic oracle.
+ * Native compiles recognised library probes to directly callable
+ * shape-specialised kernels (native.hh) and silently falls back to
+ * Translated for anything else. Results are identical across all three
+ * (tests/ebpf_diff_test.cc asserts the agreement bit-for-bit).
  */
 enum class ExecEngine
 {
     Translated,
     Reference,
+    Native,
 };
+
+/**
+ * Process-wide default engine: REQOBS_ENGINE=reference|translated|
+ * native, cached on first use; Translated (with a warning on unknown
+ * values) otherwise. Explicit RuntimeConfig::engine assignments
+ * override it.
+ */
+ExecEngine defaultExecEngine();
 
 /** Cost model for in-kernel probe execution. */
 struct RuntimeConfig
@@ -55,7 +68,15 @@ struct RuntimeConfig
     /** Verifier limits used at load time. */
     VerifierLimits limits;
     /** Host-side execution engine; results are identical either way. */
-    ExecEngine engine = ExecEngine::Translated;
+    ExecEngine engine = defaultExecEngine();
+    /**
+     * Simulated CPUs the batched pipeline stripes events across: lane i
+     * of a burst runs with env.cpu = i % batchCpus, selecting per-CPU
+     * map shards. 1 (default) keeps batched execution bit-identical to
+     * scalar dispatch (which always runs on CPU 0); only the per-CPU
+     * ablation in bench_scale raises it.
+     */
+    std::uint32_t batchCpus = 1;
 };
 
 /** Loaded-program id. */
@@ -85,6 +106,9 @@ class EbpfRuntime
     int createRingBuf(std::uint32_t capacity_bytes, const std::string &name);
     int createSketchMap(std::uint32_t key_size, std::uint32_t stages,
                         std::uint32_t width, const std::string &name);
+    int createPerCpuArrayMap(std::uint32_t value_size,
+                             std::uint32_t max_entries, std::uint32_t cpus,
+                             const std::string &name);
 
     /** Map by fd; fatal on unknown fd. */
     Map &mapAt(int fd) const;
@@ -155,9 +179,15 @@ class EbpfRuntime
 
     std::size_t loadedPrograms() const { return programs_.size(); }
 
+    /** Loaded programs that compiled to a native kernel. */
+    std::size_t nativePrograms() const;
+
     /** @name Execution statistics. @{ */
     std::uint64_t eventsProcessed() const { return events_; }
-    std::uint64_t insnsInterpreted() const { return vm_.totalInsns(); }
+    std::uint64_t insnsInterpreted() const
+    {
+        return vm_.totalInsns() + nativeInsns_;
+    }
     sim::Tick totalProbeCost() const { return totalCost_; }
     /** @} */
 
@@ -211,6 +241,10 @@ class EbpfRuntime
         ProgramSpec spec;
         /** Attach-time pre-decoded form (translation cache). */
         TranslatedProgram xprog;
+        /** Attach-time native compile (nprog.fn null: fall back). */
+        NativeProgram nprog;
+        /** Program calls bpf_get_prandom_u32 (shares the runtime RNG). */
+        bool usesRng = false;
         kernel::TracepointId point;
         kernel::ProbeHandle handle;
         std::uint64_t events = 0;
@@ -232,9 +266,11 @@ class EbpfRuntime
     std::uint64_t mapUpdateFails_ = 0;
     std::uint64_t ringbufDrops_ = 0;
     std::uint64_t probeMisses_ = 0;
+    std::uint64_t nativeInsns_ = 0;
     fault::FaultInjector *fault_ = nullptr;
 
     sim::Tick execute(Loaded &prog, const kernel::RawSyscallEvent &ev);
+    sim::Tick executeBatch(Loaded &prog, const kernel::RawSyscallBatch &batch);
 };
 
 } // namespace reqobs::ebpf

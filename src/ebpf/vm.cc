@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "ebpf/map_dispatch.hh"
 #include "fault/fault.hh"
 
 namespace reqobs::ebpf {
@@ -239,7 +240,7 @@ Vm::run(const ProgramSpec &prog, std::uint8_t *ctx, std::uint32_t ctx_len,
                                   : 0;
                     break;
                   case helper::kMapLookupElem:
-                    err = callMapLookup(reg);
+                    err = callMapLookup(reg, env);
                     break;
                   case helper::kMapUpdateElem:
                     err = callMapUpdate(reg, env, res);
@@ -447,50 +448,8 @@ Vm::run(const ProgramSpec &prog, std::uint8_t *ctx, std::uint32_t ctx_len,
       REQOBS_NEXT;                                                           \
   }
 
-namespace {
-
-/**
- * Devirtualized map dispatch for the helper hot path: the MapType tag
- * identifies the concrete class, so the common hash/array operations
- * inline (maps.hh *Hot) instead of going through the vtable on every
- * event. Behaviour is identical to the virtual calls.
- */
-inline std::uint8_t *
-mapLookupHot(Map *map, const std::uint8_t *key)
-{
-    switch (map->type()) {
-      case MapType::Hash:
-        return static_cast<HashMap *>(map)->lookupHot(key);
-      case MapType::Array:
-      case MapType::PerCpuArray:
-        return static_cast<ArrayMap *>(map)->lookupHot(key);
-      case MapType::Sketch:
-        return static_cast<SketchMap *>(map)->lookupHot(key);
-      default:
-        return map->lookup(key);
-    }
-}
-
-inline int
-mapUpdateHot(Map *map, const std::uint8_t *key, const std::uint8_t *value,
-             std::uint64_t flags)
-{
-    if (map->type() == MapType::Hash)
-        return static_cast<HashMap *>(map)->updateHot(key, value, flags);
-    if (map->type() == MapType::Sketch)
-        return static_cast<SketchMap *>(map)->updateHot(key, value, flags);
-    return map->update(key, value, flags);
-}
-
-inline int
-mapEraseHot(Map *map, const std::uint8_t *key)
-{
-    if (map->type() == MapType::Hash)
-        return static_cast<HashMap *>(map)->eraseHot(key);
-    return map->erase(key);
-}
-
-} // namespace
+// The devirtualized map dispatch (mapLookupHot and friends) moved to
+// map_dispatch.hh so the native engine shares the exact bodies.
 
 #define REQOBS_CALL(NAME, BODY)                                              \
   REQOBS_CASE(NAME) : {                                                      \
@@ -671,7 +630,7 @@ Vm::run(const TranslatedProgram &prog, std::uint8_t *ctx,
                 failRun(res, pc, "map_lookup: bad key pointer");
                 return res;
             }
-            std::uint8_t *val = mapLookupHot(m, key);
+            std::uint8_t *val = mapLookupHot(m, key, env.cpu);
             reg[R0] = reinterpret_cast<std::uint64_t>(val);
             if (val) {
                 addMapValueRegion(val, m->valueSize());
@@ -790,13 +749,13 @@ L_budget:
 #undef REQOBS_CHARGE
 
 const char *
-Vm::callMapLookup(std::uint64_t *reg)
+Vm::callMapLookup(std::uint64_t *reg, ExecEnv &env)
 {
     Map *map = reinterpret_cast<Map *>(reg[R1]);
     const std::uint8_t *key = checkAccess(reg[R2], map->keySize(), false);
     if (!key)
         return "map_lookup: bad key pointer";
-    std::uint8_t *val = mapLookupHot(map, key);
+    std::uint8_t *val = mapLookupHot(map, key, env.cpu);
     reg[R0] = reinterpret_cast<std::uint64_t>(val);
     if (val)
         addMapValueRegion(val, map->valueSize());

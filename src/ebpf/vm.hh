@@ -103,7 +103,7 @@ class Vm
 
     /** @name Helper-call bodies shared by both engines.
      * Return nullptr on success, or a fault message. @{ */
-    const char *callMapLookup(std::uint64_t *reg);
+    const char *callMapLookup(std::uint64_t *reg, ExecEnv &env);
     const char *callMapUpdate(std::uint64_t *reg, ExecEnv &env,
                               RunResult &res);
     const char *callMapDelete(std::uint64_t *reg);

@@ -42,6 +42,30 @@ struct RawSyscallEvent
  */
 using TracepointProbe = std::function<sim::Tick(const RawSyscallEvent &)>;
 
+/**
+ * Structure-of-arrays view of a burst of events on one tracepoint, the
+ * spine of the batched pipeline: columns are parallel arrays indexed
+ * 0..n-1, in event (time) order. @c rets may be null (sys_enter bursts
+ * have no return values; probes observe ret == 0, exactly as scalar
+ * dispatch fills the field).
+ */
+struct RawSyscallBatch
+{
+    TracepointId point = TracepointId::SysEnter;
+    std::size_t n = 0;
+    const std::int64_t *syscalls = nullptr;
+    const std::int64_t *rets = nullptr;
+    const PidTgid *pidTgids = nullptr;
+    const sim::Tick *timestamps = nullptr;
+};
+
+/**
+ * Batched form of a probe: consumes a whole burst in one call (amortised
+ * entry, engine state hot in cache). Must be observably equivalent to
+ * running the scalar probe once per event in order.
+ */
+using TracepointBatchProbe = std::function<sim::Tick(const RawSyscallBatch &)>;
+
 /** Handle for detaching a probe. */
 using ProbeHandle = std::uint64_t;
 
@@ -55,6 +79,25 @@ class TracepointRegistry
     /** Attach @p probe to @p point. @return handle for detach(). */
     ProbeHandle attach(TracepointId point, TracepointProbe probe);
 
+    /**
+     * Attach a probe that also understands bursts. fireBatch() runs
+     * @p batch probe-major only when it can prove the reordering is
+     * unobservable; otherwise it falls back to @p probe per event.
+     *
+     * @param batchReady Dynamic go/no-go the owner re-evaluates per
+     *        burst (e.g. "no fault injector installed"); null means
+     *        always ready.
+     * @param stateRefs Opaque identities of the mutable state (maps,
+     *        ring buffers, RNGs) the probe touches. Two probes on the
+     *        same tracepoint sharing any ref are run event-major, since
+     *        probe-major execution would reorder their interleaved
+     *        accesses.
+     */
+    ProbeHandle attach(TracepointId point, TracepointProbe probe,
+                       TracepointBatchProbe batch,
+                       std::function<bool()> batchReady,
+                       std::vector<const void *> stateRefs);
+
     /** Detach a previously attached probe; unknown handles are ignored. */
     void detach(ProbeHandle handle);
 
@@ -63,6 +106,19 @@ class TracepointRegistry
      * @return total probe cost in ticks.
      */
     sim::Tick fire(const RawSyscallEvent &event);
+
+    /**
+     * Fire a burst of events on one tracepoint. Equivalent to fire()
+     * once per event, but when every probe on the point is
+     * batch-capable, ready, and pairwise state-disjoint, probes run
+     * probe-major (each consumes the whole burst before the next probe
+     * starts) — the amortisation the 10⁷-events/sec pipeline needs.
+     * State disjointness makes the transposition unobservable: with no
+     * shared maps/ringbuf/RNG, per-probe effects commute across events
+     * of different probes, and each probe still sees its own events in
+     * order. @return total probe cost in ticks.
+     */
+    sim::Tick fireBatch(const RawSyscallBatch &batch);
 
     /** Number of live probes on @p point. */
     std::size_t probeCount(TracepointId point) const;
@@ -76,11 +132,29 @@ class TracepointRegistry
         ProbeHandle handle;
         TracepointId point;
         TracepointProbe probe;
+        TracepointBatchProbe batch;          ///< null: scalar-only
+        std::function<bool()> batchReady;    ///< null: always ready
+        std::vector<const void *> stateRefs; ///< mutable state identities
     };
+
+    /**
+     * Cached per-point structural batchability (all probes batch-capable
+     * and state-disjoint); recomputed lazily after attach/detach. The
+     * dynamic batchReady predicates are re-evaluated every burst.
+     */
+    struct BatchPlan
+    {
+        bool computed = false;
+        bool batchable = false;
+    };
+
+    BatchPlan &planFor(TracepointId point);
+    void invalidatePlans();
 
     std::vector<Entry> probes_;
     ProbeHandle nextHandle_ = 1;
     std::uint64_t fired_ = 0;
+    BatchPlan plans_[2];
 };
 
 } // namespace reqobs::kernel

@@ -1,18 +1,25 @@
 /**
  * @file
- * Differential test between the two eBPF execution engines: the
- * reference interpreter (decode-per-execution) and the translation
- * cache (pre-decoded at attach time). The engines must be
- * observationally identical for every verified program: same r0, same
+ * Differential test between the three eBPF execution engines: the
+ * reference interpreter (decode-per-execution), the translation cache
+ * (pre-decoded at attach time) and the native compiler
+ * (shape-specialised C++ kernels). The engines must be observationally
+ * identical for every verified program: same r0, same
  * retired-instruction counts (the probe cost model feeds on them), same
  * map contents, same ring-buffer payloads, same failure counters.
  *
  * Two angles:
  *  - a fuzz corpus: randomly generated programs that pass the verifier
- *    are executed through both engines with separate map instances;
- *  - the probe library end to end: two simulated kernels, one per
- *    engine, fed an identical syscall event stream through the
- *    Listing-1 duration pair, a delta probe and stream probes.
+ *    are executed through both VM engines with separate map instances,
+ *    and the native compiler must reject them gracefully (it only
+ *    accepts byte-exact library probes — anything else falls back to
+ *    the translated form at runtime);
+ *  - the probe library end to end: three simulated kernels, one per
+ *    engine, fed an identical syscall event stream through the full
+ *    library — Listing-1 duration pair (plain and guarded), delta and
+ *    tenant-delta probes, tenant duration pair, heavy-hitter sketch,
+ *    and stream probes — including clock-inverted and negative-ret
+ *    events so the guarded skip paths execute.
  */
 
 #include <gtest/gtest.h>
@@ -26,6 +33,7 @@
 #include "ebpf/assembler.hh"
 #include "ebpf/helpers.hh"
 #include "ebpf/maps.hh"
+#include "ebpf/native.hh"
 #include "ebpf/probes.hh"
 #include "ebpf/runtime.hh"
 #include "ebpf/translate.hh"
@@ -128,6 +136,15 @@ TEST_P(EngineDiffFuzzTest, VerifiedProgramsAgreeBitForBit)
             continue;
         ++accepted;
 
+        // The native compiler accepts a program only when re-emitting
+        // its extracted parameters reproduces the instruction stream
+        // byte for byte — a random program is structurally rejected
+        // (and at runtime would execute through the translated form).
+        NativeProgram np;
+        EXPECT_FALSE(compileNative(specA, &np))
+            << disassemble(specA.insns);
+        EXPECT_EQ(np.fn, nullptr);
+
         TranslatedProgram xprog;
         std::string xerr;
         ASSERT_TRUE(translate(specB, vr.maxStackDepth, &xprog, &xerr))
@@ -198,7 +215,10 @@ struct ProbeStack
     std::unique_ptr<kernel::Kernel> kernel;
     std::unique_ptr<EbpfRuntime> rt;
     probes::DurationMaps dur;
+    probes::DurationMaps durGuarded;
+    probes::DurationMaps durTenant;
     probes::DeltaMaps delta;
+    probes::DeltaMaps deltaTenant;
     probes::StreamMaps stream;
     int sketchFd = -1;
 
@@ -208,8 +228,14 @@ struct ProbeStack
         RuntimeConfig rc;
         rc.engine = engine;
         rt = std::make_unique<EbpfRuntime>(*kernel, rc);
+        probes::TenantSet tenants;
+        tenants.tgids = {1000, 2000};
+        tenants.pollSyscalls = {232, 232};
         dur = probes::createDurationMaps(*rt, "diff");
+        durGuarded = probes::createDurationMaps(*rt, "diffg");
+        durTenant = probes::createTenantDurationMaps(*rt, 2, "difft");
         delta = probes::createDeltaMaps(*rt, "diff");
+        deltaTenant = probes::createTenantDeltaMaps(*rt, 2, "difftd");
         stream = probes::createStreamMaps(*rt, 1 << 14, "diff");
         // Undersized sketch so both tenants fight over slots and the
         // engines must agree on every eviction.
@@ -218,15 +244,27 @@ struct ProbeStack
                kernel::TracepointId::SysEnter);
         attach(probes::buildDurationExit(*rt, 1000, 232, dur),
                kernel::TracepointId::SysExit);
+        // Guarded pair on the other tgid: the clock-inverted events in
+        // the stream exercise its skip path.
+        attach(probes::buildDurationEnter(*rt, 2000, 232, durGuarded),
+               kernel::TracepointId::SysEnter);
+        attach(probes::buildDurationExit(*rt, 2000, 232, durGuarded,
+                                         probes::kDeltaShift, true),
+               kernel::TracepointId::SysExit);
+        attach(probes::buildTenantDurationEnter(*rt, tenants, durTenant),
+               kernel::TracepointId::SysEnter);
+        attach(probes::buildTenantDurationExit(*rt, tenants, durTenant,
+                                               probes::kDeltaShift, true),
+               kernel::TracepointId::SysExit);
         attach(probes::buildDeltaExit(*rt, 1000, {44}, delta),
+               kernel::TracepointId::SysExit);
+        attach(probes::buildTenantDeltaExit(*rt, tenants, {44, 0},
+                                            deltaTenant),
                kernel::TracepointId::SysExit);
         attach(probes::buildStreamProbe(*rt, 1000, false, stream),
                kernel::TracepointId::SysEnter);
         attach(probes::buildStreamProbe(*rt, 1000, true, stream),
                kernel::TracepointId::SysExit);
-        probes::TenantSet tenants;
-        tenants.tgids = {1000, 2000};
-        tenants.pollSyscalls = {232, 232};
         attach(probes::buildTenantHeavyHitter(*rt, tenants, {44}, sketchFd),
                kernel::TracepointId::SysExit);
     }
@@ -244,43 +282,22 @@ struct ProbeStack
     }
 };
 
-TEST(EngineDiffProbeLibrary, IdenticalEventStreamIdenticalObservations)
+/** Every probe-visible observation of @p a must equal @p b's. */
+void
+expectStacksEqual(ProbeStack &a, ProbeStack &b, const char *label)
 {
-    ProbeStack ref(ExecEngine::Reference);
-    ProbeStack xlt(ExecEngine::Translated);
-
-    // A deterministic mixed stream: the traced tgid and an untraced one,
-    // the traced syscall, the delta family and an ignored syscall,
-    // occasional failures. Small ring capacity makes both stacks hit the
-    // drop path at the same events.
-    std::uint64_t ts = 1000;
-    for (int i = 0; i < 20000; ++i) {
-        kernel::RawSyscallEvent ev;
-        ev.syscall = (i % 4 == 0) ? 232 : (i % 4 == 1 ? 44 : 0);
-        ev.pidTgid = kernel::makePidTgid(i % 3 == 0 ? 1000 : 2000,
-                                         1 + (i % 2));
-        ev.ret = (i % 7 == 0) ? -4 : 100;
-
-        ev.point = kernel::TracepointId::SysEnter;
-        ev.timestamp = static_cast<sim::Tick>(ts += 350);
-        ref.fire(ev);
-        xlt.fire(ev);
-
-        ev.point = kernel::TracepointId::SysExit;
-        ev.timestamp = static_cast<sim::Tick>(ts += 650);
-        ref.fire(ev);
-        xlt.fire(ev);
-    }
+    SCOPED_TRACE(label);
 
     // Aggregate accounting must agree exactly: the probe cost model is
     // driven by the retired-instruction count.
-    EXPECT_EQ(ref.rt->eventsProcessed(), xlt.rt->eventsProcessed());
-    EXPECT_EQ(ref.rt->insnsInterpreted(), xlt.rt->insnsInterpreted());
-    EXPECT_EQ(ref.rt->mapUpdateFails(), xlt.rt->mapUpdateFails());
-    EXPECT_EQ(ref.rt->ringbufDrops(), xlt.rt->ringbufDrops());
+    EXPECT_EQ(a.rt->eventsProcessed(), b.rt->eventsProcessed());
+    EXPECT_EQ(a.rt->insnsInterpreted(), b.rt->insnsInterpreted());
+    EXPECT_EQ(a.rt->totalProbeCost(), b.rt->totalProbeCost());
+    EXPECT_EQ(a.rt->mapUpdateFails(), b.rt->mapUpdateFails());
+    EXPECT_EQ(a.rt->ringbufDrops(), b.rt->ringbufDrops());
 
-    const auto pa = ref.rt->probeCounters();
-    const auto pb = xlt.rt->probeCounters();
+    const auto pa = a.rt->probeCounters();
+    const auto pb = b.rt->probeCounters();
     ASSERT_EQ(pa.size(), pb.size());
     for (std::size_t i = 0; i < pa.size(); ++i) {
         EXPECT_EQ(pa[i].name, pb[i].name);
@@ -289,37 +306,98 @@ TEST(EngineDiffProbeLibrary, IdenticalEventStreamIdenticalObservations)
         EXPECT_EQ(pa[i].ringbufDrops, pb[i].ringbufDrops) << pa[i].name;
     }
 
-    // Map contents byte for byte.
-    EXPECT_EQ(hashSnapshot(ref.rt->hashAt(ref.dur.startFd)),
-              hashSnapshot(xlt.rt->hashAt(xlt.dur.startFd)));
-    EXPECT_EQ(arraySnapshot(ref.rt->arrayAt(ref.dur.statsFd)),
-              arraySnapshot(xlt.rt->arrayAt(xlt.dur.statsFd)));
-    EXPECT_EQ(arraySnapshot(ref.rt->arrayAt(ref.delta.statsFd)),
-              arraySnapshot(xlt.rt->arrayAt(xlt.delta.statsFd)));
+    // Map contents byte for byte, every probe family.
+    EXPECT_EQ(hashSnapshot(a.rt->hashAt(a.dur.startFd)),
+              hashSnapshot(b.rt->hashAt(b.dur.startFd)));
+    EXPECT_EQ(arraySnapshot(a.rt->arrayAt(a.dur.statsFd)),
+              arraySnapshot(b.rt->arrayAt(b.dur.statsFd)));
+    EXPECT_EQ(hashSnapshot(a.rt->hashAt(a.durGuarded.startFd)),
+              hashSnapshot(b.rt->hashAt(b.durGuarded.startFd)));
+    EXPECT_EQ(arraySnapshot(a.rt->arrayAt(a.durGuarded.statsFd)),
+              arraySnapshot(b.rt->arrayAt(b.durGuarded.statsFd)));
+    EXPECT_EQ(hashSnapshot(a.rt->hashAt(a.durTenant.startFd)),
+              hashSnapshot(b.rt->hashAt(b.durTenant.startFd)));
+    EXPECT_EQ(arraySnapshot(a.rt->arrayAt(a.durTenant.statsFd)),
+              arraySnapshot(b.rt->arrayAt(b.durTenant.statsFd)));
+    EXPECT_EQ(arraySnapshot(a.rt->arrayAt(a.delta.statsFd)),
+              arraySnapshot(b.rt->arrayAt(b.delta.statsFd)));
+    EXPECT_EQ(arraySnapshot(a.rt->arrayAt(a.deltaTenant.statsFd)),
+              arraySnapshot(b.rt->arrayAt(b.deltaTenant.statsFd)));
 
     // Heavy-hitter sketch: slot-exact contents, same eviction count,
     // same top-K ranking.
-    SketchMap &ska = ref.rt->sketchAt(ref.sketchFd);
-    SketchMap &skb = xlt.rt->sketchAt(xlt.sketchFd);
+    SketchMap &ska = a.rt->sketchAt(a.sketchFd);
+    SketchMap &skb = b.rt->sketchAt(b.sketchFd);
     EXPECT_EQ(sketchSnapshot(ska), sketchSnapshot(skb));
     EXPECT_EQ(ska.evictions(), skb.evictions());
     EXPECT_EQ(ska.topK(4), skb.topK(4));
     EXPECT_GT(ska.topK(4).size(), 0u);
 
+    EXPECT_EQ(a.rt->ringbufAt(a.stream.ringFd).drops(),
+              b.rt->ringbufAt(b.stream.ringFd).drops());
+}
+
+/** Drain a stack's stream ring into a payload sequence (destructive —
+ *  call once per stack, then compare the sequences). */
+std::vector<std::string>
+drainRing(ProbeStack &s)
+{
+    std::vector<std::string> rec;
+    s.rt->ringbufAt(s.stream.ringFd)
+        .consume([&](const std::uint8_t *d, std::uint32_t n) {
+            rec.emplace_back(reinterpret_cast<const char *>(d), n);
+        });
+    return rec;
+}
+
+TEST(EngineDiffProbeLibrary, IdenticalEventStreamIdenticalObservations)
+{
+    ProbeStack ref(ExecEngine::Reference);
+    ProbeStack xlt(ExecEngine::Translated);
+    ProbeStack nat(ExecEngine::Native);
+
+    // Every library probe must have native-compiled in the native
+    // stack — a silent fallback here would make this test vacuous for
+    // the native engine.
+    EXPECT_EQ(nat.rt->nativePrograms(), nat.rt->loadedPrograms());
+
+    // A deterministic mixed stream: the traced tgids and an untraced
+    // one, the traced syscall, the delta family and an ignored syscall,
+    // occasional failures, and occasional clock-inverted exits (the
+    // guarded probes skip those, the unguarded ones wrap). Small ring
+    // capacity makes all stacks hit the drop path at the same events.
+    std::uint64_t ts = 1000;
+    for (int i = 0; i < 20000; ++i) {
+        kernel::RawSyscallEvent ev;
+        ev.syscall = (i % 4 == 0) ? 232 : (i % 4 == 1 ? 44 : 0);
+        ev.pidTgid = kernel::makePidTgid(
+            i % 5 == 4 ? 7777 : (i % 3 == 0 ? 1000 : 2000), 1 + (i % 2));
+        ev.ret = (i % 7 == 0) ? -4 : 100;
+
+        ev.point = kernel::TracepointId::SysEnter;
+        const std::uint64_t enter_ts = ts += 350;
+        ev.timestamp = static_cast<sim::Tick>(enter_ts);
+        ref.fire(ev);
+        xlt.fire(ev);
+        nat.fire(ev);
+
+        ev.point = kernel::TracepointId::SysExit;
+        ts += 650;
+        ev.timestamp = static_cast<sim::Tick>(
+            i % 13 == 0 ? enter_ts - 900 : ts);
+        ref.fire(ev);
+        xlt.fire(ev);
+        nat.fire(ev);
+    }
+
+    expectStacksEqual(ref, xlt, "reference vs translated");
+    expectStacksEqual(ref, nat, "reference vs native");
+
     // Ring-buffer payload sequences byte for byte.
-    std::vector<std::string> recA, recB;
-    ref.rt->ringbufAt(ref.stream.ringFd)
-        .consume([&](const std::uint8_t *d, std::uint32_t n) {
-            recA.emplace_back(reinterpret_cast<const char *>(d), n);
-        });
-    xlt.rt->ringbufAt(xlt.stream.ringFd)
-        .consume([&](const std::uint8_t *d, std::uint32_t n) {
-            recB.emplace_back(reinterpret_cast<const char *>(d), n);
-        });
-    EXPECT_GT(recA.size(), 0u);
-    EXPECT_EQ(recA, recB);
-    EXPECT_EQ(ref.rt->ringbufAt(ref.stream.ringFd).drops(),
-              xlt.rt->ringbufAt(xlt.stream.ringFd).drops());
+    const std::vector<std::string> recRef = drainRing(ref);
+    EXPECT_GT(recRef.size(), 0u);
+    EXPECT_EQ(recRef, drainRing(xlt));
+    EXPECT_EQ(recRef, drainRing(nat));
 }
 
 } // namespace
