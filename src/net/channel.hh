@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Cross-domain message channels for the parallel cluster engine.
+ *
+ * In parallel cluster mode every machine (and the client population)
+ * runs as an independent simulation domain on its own thread, and a
+ * TcpPipe whose two endpoints live in different domains cannot schedule
+ * its delivery directly into the destination's event queue. Instead the
+ * pipe posts a timestamped envelope into its CrossDomainChannel; the
+ * barrier scheduler (core/cluster.cc) drains every channel between
+ * time windows — when all domain threads are quiescent — and injects
+ * the deliveries into the destination queues in a canonical order.
+ *
+ * Concurrency contract: a channel is written by exactly one domain (the
+ * pipe's sender side, single-threaded within its window) and drained
+ * only at barriers, after the worker pool's window hand-off has
+ * established a happens-before edge between every domain thread and the
+ * barrier thread. No locking is needed and ThreadSanitizer agrees —
+ * the pool's mutex/condvar protocol is the synchronization.
+ *
+ * Determinism: envelopes carry (arrival, sent, seq) where seq is drawn
+ * from a per-sender-domain counter in execution order. The barrier
+ * sorts all injections per destination by (arrival, sent, sender
+ * domain, seq), which reproduces the serial engine's (tick, insertion
+ * sequence) tie-break for cross-domain deliveries independent of
+ * worker count.
+ */
+
+#ifndef REQOBS_NET_CHANNEL_HH
+#define REQOBS_NET_CHANNEL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kernel/types.hh"
+#include "sim/time.hh"
+
+namespace reqobs::net {
+
+class TcpPipe;
+
+/** One message in flight between simulation domains. */
+struct CrossDomainEnvelope
+{
+    sim::Tick arrival = 0; ///< destination-domain delivery tick
+    sim::Tick sent = 0;    ///< sender-domain clock at send() time
+    std::uint64_t seq = 0; ///< sender-domain send-order stamp
+    kernel::Message msg;
+};
+
+/** See file comment. One channel per remote-mode TcpPipe. */
+class CrossDomainChannel
+{
+  public:
+    /**
+     * @param sender_domain Index of the domain that owns the pipe's
+     *        send side (stable tie-break key).
+     * @param dest_domain Index of the domain the deliveries target.
+     * @param send_seq Per-sender-domain monotonic counter shared by all
+     *        channels of that domain; stamped and bumped on each post.
+     */
+    CrossDomainChannel(std::size_t sender_domain, std::size_t dest_domain,
+                       std::uint64_t *send_seq)
+        : senderDomain_(sender_domain), destDomain_(dest_domain),
+          sendSeq_(send_seq)
+    {}
+
+    CrossDomainChannel(const CrossDomainChannel &) = delete;
+    CrossDomainChannel &operator=(const CrossDomainChannel &) = delete;
+
+    /** Sender side: buffer one delivery (called during a window). */
+    void
+    post(sim::Tick arrival, sim::Tick sent, kernel::Message &&msg)
+    {
+        CrossDomainEnvelope env;
+        env.arrival = arrival;
+        env.sent = sent;
+        env.seq = (*sendSeq_)++;
+        env.msg = std::move(msg);
+        buf_.push_back(std::move(env));
+        ++posted_;
+    }
+
+    /** Barrier side: take every buffered envelope (clears the buffer). */
+    std::vector<CrossDomainEnvelope>
+    drain()
+    {
+        std::vector<CrossDomainEnvelope> out;
+        out.swap(buf_);
+        return out;
+    }
+
+    bool empty() const { return buf_.empty(); }
+
+    std::size_t senderDomain() const { return senderDomain_; }
+    std::size_t destDomain() const { return destDomain_; }
+
+    /** The pipe whose deliver function consumes the envelopes. */
+    void bindPipe(TcpPipe *pipe) { pipe_ = pipe; }
+    TcpPipe *pipe() const { return pipe_; }
+
+    /** Total envelopes ever posted (diagnostics). */
+    std::uint64_t posted() const { return posted_; }
+
+  private:
+    std::size_t senderDomain_;
+    std::size_t destDomain_;
+    std::uint64_t *sendSeq_;
+    TcpPipe *pipe_ = nullptr;
+    std::vector<CrossDomainEnvelope> buf_;
+    std::uint64_t posted_ = 0;
+};
+
+} // namespace reqobs::net
+
+#endif // REQOBS_NET_CHANNEL_HH

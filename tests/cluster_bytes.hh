@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Canonical byte serialization of ClusterExperimentResult for the
+ * determinism test suites.
+ *
+ * Every numeric field is rendered exactly (hex floats for doubles), so
+ * two serializations compare equal iff the results are bit-identical.
+ * Engine telemetry (engineParallel, lookaheadNs, barrierWindows,
+ * crossDomainMessages) is excluded unless requested: those fields
+ * describe which engine ran and differ between serial and parallel
+ * executions by definition, while the physics must not.
+ */
+
+#ifndef REQOBS_TESTS_CLUSTER_BYTES_HH
+#define REQOBS_TESTS_CLUSTER_BYTES_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/cluster.hh"
+
+namespace reqobs::test {
+
+inline std::string
+clusterBytes(const core::ClusterExperimentResult &r,
+             bool include_engine = false)
+{
+    std::string out;
+    char buf[512];
+    auto emit = [&](const char *fmt, auto... args) {
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        out += buf;
+    };
+
+    emit("fleet %a %a %a sys=%llu pe=%llu pi=%llu pc=%lld\n",
+         r.fleetOfferedRps, r.fleetAchievedRps, r.fleetObservedRps,
+         (unsigned long long)r.syscalls, (unsigned long long)r.probeEvents,
+         (unsigned long long)r.probeInsns, (long long)r.probeCostNs);
+    emit("ctl %llu %llu %llu %llu %llu %llu %llu %a %d %u\n",
+         (unsigned long long)r.controller.ticks,
+         (unsigned long long)r.controller.frozenTicks,
+         (unsigned long long)r.controller.migrations,
+         (unsigned long long)r.controller.undrains,
+         (unsigned long long)r.controller.scaleUps,
+         (unsigned long long)r.controller.scaleDowns,
+         (unsigned long long)r.controller.shedEngagements,
+         r.controller.maxShed, (int)r.controller.breakerOpen,
+         r.controller.breakerStreak);
+    for (const core::ClusterTenantResult &t : r.tenants) {
+        emit("tenant %s %a %a %a c=%llu p50=%llu p95=%llu p99=%llu "
+             "qos=%d arr=%llu shed=%llu drop=%llu\n",
+             t.name.c_str(), t.offeredRps, t.achievedRps, t.observedRps,
+             (unsigned long long)t.completed, (unsigned long long)t.p50Ns,
+             (unsigned long long)t.p95Ns, (unsigned long long)t.p99Ns,
+             (int)t.qosViolated, (unsigned long long)t.arrivals,
+             (unsigned long long)t.shedded,
+             (unsigned long long)t.shedDropped);
+        for (const core::TenantMachineResult &m : t.machines) {
+            emit("  machine %a %a c=%llu sv=%a poll=%a pss=%llu ks=%llu "
+                 "s=%llu\n",
+                 m.observedRps, m.achievedRps,
+                 (unsigned long long)m.completed, m.sendVarNs2,
+                 m.pollMeanDurNs, (unsigned long long)m.probeSendSyscalls,
+                 (unsigned long long)m.kernelSyscalls,
+                 (unsigned long long)m.samples);
+        }
+        for (const core::FleetSample &s : t.fleetSeries) {
+            emit("  fs t=%lld %a %a %a sc=%llu n=%u\n", (long long)s.t,
+                 s.rpsObsv, s.varianceNs2, s.slack,
+                 (unsigned long long)s.sendCount, s.contributors);
+        }
+    }
+    if (include_engine) {
+        emit("engine par=%d la=%lld w=%llu msg=%llu\n",
+             (int)r.engineParallel, (long long)r.lookaheadNs,
+             (unsigned long long)r.barrierWindows,
+             (unsigned long long)r.crossDomainMessages);
+    }
+    return out;
+}
+
+} // namespace reqobs::test
+
+#endif // REQOBS_TESTS_CLUSTER_BYTES_HH

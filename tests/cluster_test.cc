@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster_bytes.hh"
 #include "core/cluster.hh"
 #include "ebpf/probes.hh"
 #include "ebpf/runtime.hh"
@@ -335,6 +336,79 @@ TEST(ClusterExperimentTest, AntagonistStaysOutOfTenantCounters)
     EXPECT_GT(m.probeSendSyscalls, 0u);
     EXPECT_NEAR(res.tenants[0].observedRps, res.tenants[0].achievedRps,
                 0.15 * res.tenants[0].achievedRps);
+}
+
+// ---------------------------------------------------------------------
+// Parallel discrete-event engine: serial equivalence and fallbacks.
+
+/** A fleet config with nonzero lookahead (delay > jitter). */
+core::ClusterExperimentConfig
+parallelClusterConfig()
+{
+    core::ClusterExperimentConfig cc;
+    core::ClusterTenantSpec t;
+    t.workload = workload::workloadByName("img-dnn");
+    t.offeredRps = 600.0;
+    t.requests = 800;
+    cc.tenants.push_back(std::move(t));
+    cc.machines = 3;
+    cc.netem.delay = sim::microseconds(100);
+    cc.netem.jitter = sim::microseconds(20);
+    cc.netem.lossProbability = 0.005;
+    cc.seed = 23;
+    return cc;
+}
+
+TEST(ParallelClusterTest, BitIdenticalToSerialEngine)
+{
+    core::ClusterExperimentConfig cc = parallelClusterConfig();
+    const auto serial = core::runClusterExperiment(cc);
+    EXPECT_FALSE(serial.engineParallel);
+
+    cc.clusterParallel = true;
+    cc.clusterWorkers = 2;
+    const auto par = core::runClusterExperiment(cc);
+    EXPECT_TRUE(par.engineParallel);
+    EXPECT_EQ(par.lookaheadNs, core::clusterLookahead(cc));
+    EXPECT_GT(par.barrierWindows, 0u);
+    EXPECT_GT(par.crossDomainMessages, 0u);
+
+    // The physics — every latency percentile, every per-machine counter,
+    // every fleet sample — must be byte-for-byte what the serial engine
+    // computed.
+    EXPECT_EQ(test::clusterBytes(serial), test::clusterBytes(par));
+}
+
+TEST(ParallelClusterTest, ZeroLookaheadFallsBackToSerial)
+{
+    core::ClusterExperimentConfig cc = parallelClusterConfig();
+    cc.netem.jitter = cc.netem.delay; // same-tick delivery possible
+    ASSERT_EQ(core::clusterLookahead(cc), 0);
+
+    const auto serial = core::runClusterExperiment(cc);
+    cc.clusterParallel = true;
+    const auto par = core::runClusterExperiment(cc);
+    // The conservative protocol cannot run: silently identical serial.
+    EXPECT_FALSE(par.engineParallel);
+    EXPECT_EQ(par.barrierWindows, 0u);
+    EXPECT_EQ(test::clusterBytes(serial, true),
+              test::clusterBytes(par, true));
+}
+
+TEST(ParallelClusterTest, ControllerForcesSerialFallback)
+{
+    core::ClusterExperimentConfig cc = parallelClusterConfig();
+    cc.controller.enabled = true;
+
+    const auto serial = core::runClusterExperiment(cc);
+    cc.clusterParallel = true;
+    const auto par = core::runClusterExperiment(cc);
+    // The control loop reads agent state across domains every period;
+    // the window protocol does not order those reads, so the engine
+    // must refuse and fall back.
+    EXPECT_FALSE(par.engineParallel);
+    EXPECT_EQ(test::clusterBytes(serial, true),
+              test::clusterBytes(par, true));
 }
 
 } // namespace

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster_bytes.hh"
+#include "core/cluster.hh"
 #include "core/experiment.hh"
 #include "ebpf/assembler.hh"
 #include "ebpf/maps.hh"
@@ -406,6 +408,57 @@ TEST(WorkerPoolTest, ReusedPoolReturnsBitIdenticalResults)
     }
     EXPECT_GE(core::effectiveParallelJobs(3), 1u);
     EXPECT_LE(core::effectiveParallelJobs(3), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Parallel cluster engine: determinism across runs and worker counts.
+
+/** A 4-machine fleet with nonzero lookahead for the domain engine. */
+core::ClusterExperimentConfig
+domainEngineConfig()
+{
+    core::ClusterExperimentConfig cc;
+    core::ClusterTenantSpec t;
+    t.workload = workload::workloadByName("img-dnn");
+    t.offeredRps = 800.0;
+    t.requests = 1000;
+    cc.tenants.push_back(std::move(t));
+    cc.machines = 4;
+    cc.netem.delay = sim::microseconds(150);
+    cc.netem.jitter = sim::microseconds(30);
+    cc.netem.lossProbability = 0.01;
+    cc.seed = 31;
+    cc.clusterParallel = true;
+    return cc;
+}
+
+TEST(ParallelClusterDeterminismTest, DoubleRunIsByteIdentical)
+{
+    core::ClusterExperimentConfig cc = domainEngineConfig();
+    cc.clusterWorkers = 2;
+    const auto a = core::runClusterExperiment(cc);
+    const auto b = core::runClusterExperiment(cc);
+    EXPECT_TRUE(a.engineParallel);
+    // Full serialization including engine telemetry: the same seed must
+    // reproduce the same windows and message counts, not just the same
+    // physics.
+    EXPECT_EQ(test::clusterBytes(a, true), test::clusterBytes(b, true));
+}
+
+TEST(ParallelClusterDeterminismTest, WorkerCountDoesNotChangeBytes)
+{
+    core::ClusterExperimentConfig cc = domainEngineConfig();
+    std::string reference;
+    for (unsigned workers : {1u, 2u, 8u}) {
+        cc.clusterWorkers = workers;
+        const auto res = core::runClusterExperiment(cc);
+        EXPECT_TRUE(res.engineParallel) << workers;
+        const std::string bytes = test::clusterBytes(res, true);
+        if (reference.empty())
+            reference = bytes;
+        else
+            EXPECT_EQ(reference, bytes) << "workers=" << workers;
+    }
 }
 
 } // namespace
