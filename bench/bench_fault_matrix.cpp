@@ -32,6 +32,9 @@ struct FaultClass
 {
     std::string name;
     fault::FaultPlan plan;
+    /** Front-door fault classes need a front door (and a small storm
+     *  feeding it) to have anything to act on. */
+    bool frontDoor = false;
 };
 
 std::vector<FaultClass>
@@ -62,6 +65,18 @@ faultClasses()
     net_f.connResetProbability = 0.005;
     out.push_back({"net", net_f});
 
+    fault::FaultPlan flood;
+    flood.synFloodRate = 2000.0;
+    out.push_back({"synflood", flood, true});
+
+    fault::FaultPlan backlog;
+    backlog.acceptBacklogOverflowProbability = 0.05;
+    out.push_back({"backlog", backlog, true});
+
+    fault::FaultPlan rto;
+    rto.retransmitStormProbability = 0.05;
+    out.push_back({"rto", rto, true});
+
     return out;
 }
 
@@ -69,10 +84,25 @@ faultClasses()
 std::vector<bench::LevelResult>
 faultSweep(const workload::WorkloadConfig &wl,
            const std::vector<double> &fractions,
-           const fault::FaultPlan &plan)
+           const fault::FaultPlan &plan, bool front_door = false)
 {
     core::ExperimentConfig base = bench::benchConfig(wl);
     base.fault = plan;
+    if (front_door) {
+        // A light short-lived-connection stream through the door gives
+        // the injected front-door faults flows to act on. Rates scale
+        // with the workload's own throughput so slow workloads (whose
+        // sweep windows span minutes of simulated time) don't drown in
+        // front-door events, and fast ones still see thousands of flows.
+        const double sat = wl.saturationRps;
+        base.frontDoor.enabled = true;
+        base.frontDoor.stormEnabled = true;
+        base.frontDoor.storm.connRps =
+            std::max(1.0, std::min(1000.0, 0.05 * sat));
+        if (base.fault.synFloodRate > 0.0)
+            base.fault.synFloodRate =
+                std::max(1.0, std::min(2000.0, 0.10 * sat));
+    }
     return core::runSweepParallel(base, fractions, bench::benchScaling());
 }
 
@@ -81,7 +111,8 @@ totalInjected(const fault::FaultCounts &c)
 {
     return c.eintr + c.eagain + c.partialOps + c.spuriousWakeups +
            c.mapUpdateFails + c.ringbufDrops + c.attachFails +
-           c.linkFlapHolds + c.connResets;
+           c.linkFlapHolds + c.connResets + c.synFloodConns +
+           c.backlogOverflows + c.retransmitDrops;
 }
 
 /** Combined plan scaled by one intensity knob in [0, 1]. */
@@ -123,7 +154,8 @@ partOneMatrix()
     for (const auto &wl : workload::paperWorkloads()) {
         bench::MatrixTable::rowLabel(wl.name);
         for (std::size_t i = 0; i < classes.size(); ++i) {
-            const auto levels = faultSweep(wl, fractions, classes[i].plan);
+            const auto levels = faultSweep(wl, fractions, classes[i].plan,
+                                           classes[i].frontDoor);
             const double r2 = bench::fitObsVsReal(levels).r2;
             const double deg = bench::degradedFraction(levels);
             bench::MatrixTable::cell(r2);

@@ -53,6 +53,13 @@ echo "== Control suite =="
 ctest --test-dir "$repo/build-check" --output-on-failure -j "$jobs" \
     -L control --timeout 300
 
+# The storm suite (host-network front door: drop accounting, backoff
+# determinism, storm isolation, engine equality of the front-door
+# probe): same belt-and-braces label run.
+echo "== Storm suite =="
+ctest --test-dir "$repo/build-check" --output-on-failure -j "$jobs" \
+    -L storm --timeout 300
+
 # Cluster runs must be bit-deterministic: same config, same bytes. Run
 # the co-location bench twice and require byte-identical stdout + JSON.
 echo "== Cluster determinism =="
@@ -66,6 +73,19 @@ cmp "$tmp/a.json" "$tmp/b.json"
 # stdout embeds the --json path; compare with it normalized.
 diff <(sed "s#$tmp/a.json#J#" "$tmp/a.out") \
     <(sed "s#$tmp/b.json#J#" "$tmp/b.out")
+
+# The five paper-figure benches are the repo's headline artifacts: their
+# stdout must stay byte-identical to the recorded golden hashes, so no
+# refactor (in particular, nothing on the shared TCP backoff or
+# front-door path, which is strictly opt-in) can silently perturb the
+# persistent-flow results.
+echo "== Figure-bench golden hashes =="
+for fig in bench_fig1_trace bench_fig2_rps_correlation \
+    bench_fig3_send_variance bench_fig4_epoll_duration \
+    bench_fig5_loss_tail; do
+    "$repo/build-check/bench/$fig" > "$tmp/$fig"
+done
+(cd "$tmp" && sha256sum -c "$repo/scripts/figure_bench_golden.sha256")
 
 if [ "$run_sanitize" = 1 ]; then
     echo "== Sanitizer build + tests =="
@@ -97,8 +117,10 @@ if [ "$run_sanitize" = 1 ]; then
     # Build everything: gtest_discover_tests silently drops unbuilt
     # binaries from the label run, which would hollow out the pass.
     cmake --build "$repo/build-check-tsan" -j "$jobs"
+    # The storm suite rides along (its label regex-matches perf), named
+    # explicitly so trimming the compound label can't silently drop it.
     ctest --test-dir "$repo/build-check-tsan" --output-on-failure \
-        -j "$jobs" -L 'perf|fleet' --timeout 300
+        -j "$jobs" -L 'perf|fleet|storm' --timeout 300
 fi
 
 if [ "$run_bench" = 1 ]; then
@@ -120,6 +142,13 @@ if [ "$run_bench" = 1 ]; then
     # (bench_control exits non-zero if either side misbehaves).
     echo "== Closed-loop control report =="
     "$repo/build-check/bench/bench_control" --json "$repo/BENCH_control.json"
+    # Front-door acceptance: under a connection storm the syscall-level
+    # signals go blind while the in-kernel front-door-latency probe keeps
+    # rank, and the accept-budget closed loop holds the victim's QoS
+    # where the open loop violates it (non-zero exit on either failure).
+    echo "== Front-door storm report =="
+    "$repo/build-check/bench/bench_frontdoor" \
+        --json "$repo/BENCH_frontdoor.json"
 fi
 
 echo "== check.sh OK =="

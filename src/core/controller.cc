@@ -30,6 +30,10 @@ FleetController::FleetController(sim::Simulation &sim,
         sim::fatal("FleetController: shedMax must be in [0, 1]");
     if (config_.baseWorkers == 0 || config_.maxWorkers < config_.baseWorkers)
         sim::fatal("FleetController: worker bounds are inverted");
+    if (config_.budgetOffDropRate >= config_.budgetOnDropRate)
+        sim::fatal("FleetController: budget hysteresis band is inverted");
+    if (config_.budgetClampRps <= 0.0)
+        sim::fatal("FleetController: budgetClampRps must be positive");
     for (MachineState &m : machine_)
         m.workerTarget = config_.baseWorkers;
 }
@@ -109,6 +113,8 @@ FleetController::tickWith(const std::vector<ControllerInput> &inputs,
         double maxVarRatio = 0.0;
         bool anySaturated = false;
         bool any = false;
+        double maxDropRate = 0.0;      ///< worst front-door drop rate
+        std::uint64_t maxFrontP99 = 0; ///< worst front-door latency p99
     };
     std::vector<MachineView> mv(machine_.size());
     std::vector<TenantView> tv(shed_.size());
@@ -125,6 +131,8 @@ FleetController::tickWith(const std::vector<ControllerInput> &inputs,
         t.any = true;
         t.maxVarRatio = std::max(t.maxVarRatio, in.varianceRatio);
         t.anySaturated = t.anySaturated || in.saturated;
+        t.maxDropRate = std::max(t.maxDropRate, in.frontDoorDropRate);
+        t.maxFrontP99 = std::max(t.maxFrontP99, in.frontDoorP99);
     }
 
     // --- Migration (drain / reclaim) with circuit breaker ----------------
@@ -247,6 +255,44 @@ FleetController::tickWith(const std::vector<ControllerInput> &inputs,
         stats_.maxShed = std::max(stats_.maxShed, prob);
         if (actuators_.setShed)
             actuators_.setShed(t, prob, config_.shedRetryAfter);
+    }
+
+    // --- Front-door accept-budget clamp (per tenant) ---------------------
+    // A connection storm shows up as an admission-path drop rate (or a
+    // front-door latency blow-up) on the victim's listener long before
+    // request-level signals move. Clamping the tenant's accept budget
+    // turns expensive post-accept service into cheap pre-accept drops —
+    // graceful degradation of the storm tenant instead of collateral
+    // damage to everyone sharing the CPU. While the storm persists,
+    // budget drops themselves keep the drop rate above the release
+    // threshold, so the clamp holds; it lifts only once the storm ebbs.
+    for (std::size_t t = 0; t < shed_.size(); ++t) {
+        TenantState &s = shed_[t];
+        if (!tv[t].any)
+            continue;
+        if (!cooledDown(s.lastBudget, config_.budgetCooldown, now))
+            continue;
+        const bool stormy =
+            tv[t].maxDropRate > config_.budgetOnDropRate ||
+            (config_.budgetOnLatencyNs > 0 &&
+             tv[t].maxFrontP99 > config_.budgetOnLatencyNs);
+        const bool calm =
+            tv[t].maxDropRate < config_.budgetOffDropRate &&
+            (config_.budgetOnLatencyNs == 0 ||
+             tv[t].maxFrontP99 < config_.budgetOnLatencyNs);
+        if (!s.budgetClamped && stormy) {
+            s.budgetClamped = true;
+            s.lastBudget = now;
+            ++stats_.budgetClamps;
+            if (actuators_.setAcceptBudget)
+                actuators_.setAcceptBudget(t, config_.budgetClampRps);
+        } else if (s.budgetClamped && calm) {
+            s.budgetClamped = false;
+            s.lastBudget = now;
+            ++stats_.budgetRestores;
+            if (actuators_.setAcceptBudget)
+                actuators_.setAcceptBudget(t, 0.0);
+        }
     }
 }
 

@@ -110,6 +110,28 @@ struct ControllerConfig
     unsigned maxWorkers = 32;  ///< scale-up ceiling
     sim::Tick scaleCooldown = sim::milliseconds(600);
     /** @} */
+
+    /** @name Front-door accept-budget clamp (per tenant). @{ */
+    /**
+     * Clamp a tenant's accept budget when its front-door admission-path
+     * drop rate (ingress + SYN queue + backlog + budget + shed drops per
+     * second) crosses this — a connection storm is collapsing its
+     * listener, and unbounded accepting would burn the machine's CPU on
+     * handshakes instead of requests.
+     */
+    double budgetOnDropRate = 50.0;
+    /** ...release only below this one (hysteresis band). */
+    double budgetOffDropRate = 5.0;
+    /**
+     * Alternative engage signal: the tenant's in-kernel front-door
+     * latency p99 (the eBPF log2-histogram probe) crossing this, ns.
+     * 0 disables the latency trigger.
+     */
+    std::uint64_t budgetOnLatencyNs = 0;
+    /** Accept budget (conns/sec) applied while clamped. */
+    double budgetClampRps = 200.0;
+    sim::Tick budgetCooldown = sim::milliseconds(600);
+    /** @} */
 };
 
 /** One (machine, tenant) estimate fed to a controller tick. */
@@ -124,6 +146,11 @@ struct ControllerInput
     bool saturated = false;     ///< detector state
     std::uint64_t sendCount = 0; ///< events in the newest window
     bool degraded = false;      ///< pipeline health at emit time
+
+    /** @name Front-door signals (0 unless the machine has one). @{ */
+    double frontDoorDropRate = 0.0;  ///< admission-path drops per second
+    std::uint64_t frontDoorP99 = 0;  ///< eBPF front-door latency p99, ns
+    /** @} */
 };
 
 /** Actuator callbacks; any unset member is simply never invoked. */
@@ -135,6 +162,8 @@ struct FleetActuators
     std::function<void(std::size_t, bool)> setDrained;
     /** setWorkerTarget(machine, workers). */
     std::function<void(std::size_t, unsigned)> setWorkerTarget;
+    /** setAcceptBudget(tenant, conns_per_sec); 0 restores unlimited. */
+    std::function<void(std::size_t, double)> setAcceptBudget;
 };
 
 /** Observable controller behaviour (flap/robustness accounting). */
@@ -148,6 +177,8 @@ struct ControllerStats
     std::uint64_t scaleDowns = 0;
     std::uint64_t shedEngagements = 0; ///< 0 -> nonzero transitions
     double maxShed = 0.0;              ///< peak shed probability
+    std::uint64_t budgetClamps = 0;    ///< accept budgets imposed
+    std::uint64_t budgetRestores = 0;  ///< accept budgets lifted
     bool breakerOpen = false;          ///< migration breaker tripped
     unsigned breakerStreak = 0; ///< consecutive ineffective migrations
 };
@@ -193,6 +224,12 @@ class FleetController
     /** Current shed probability for tenant @p t. */
     double shedProbability(std::size_t t) const { return shed_[t].prob; }
 
+    /** Whether tenant @p t's accept budget is currently clamped. */
+    bool acceptBudgetClamped(std::size_t t) const
+    {
+        return shed_[t].budgetClamped;
+    }
+
     /** Whether machine @p m is currently drained. */
     bool drained(std::size_t m) const { return machine_[m].drained; }
 
@@ -219,6 +256,9 @@ class FleetController
     {
         double prob = 0.0;
         sim::Tick lastChange = sim::Tick(-1);
+        /** Front-door accept-budget clamp. */
+        bool budgetClamped = false;
+        sim::Tick lastBudget = sim::Tick(-1);
     };
 
     sim::Simulation &sim_;

@@ -63,6 +63,29 @@ runExperiment(const ExperimentConfig &config)
     client::LoadGenerator gen(sim, app, config.netem, config.tcp, cc,
                               inj.get());
 
+    // Front door and storm sit strictly after the LoadGenerator in the
+    // construction (RNG-fork) order; when disabled nothing is built, so
+    // front-door-free runs keep their historical random streams.
+    std::vector<std::unique_ptr<client::StormGenerator>> storms;
+    if (config.frontDoor.enabled) {
+        machine.enableFrontDoor(config.frontDoor.door);
+        const unsigned n = std::max(1u, config.frontDoor.listeners);
+        std::vector<unsigned> ids;
+        for (unsigned i = 0; i < n; ++i)
+            ids.push_back(
+                machine.addFrontDoorListener(0, config.frontDoor.listener));
+        if (config.frontDoor.stormEnabled) {
+            for (unsigned id : ids) {
+                client::StormConfig sc = config.frontDoor.storm;
+                sc.connRps /= n;
+                sc.listener = id;
+                storms.push_back(std::make_unique<client::StormGenerator>(
+                    sim, *machine.frontDoor(), config.netem, config.tcp,
+                    sc));
+            }
+        }
+    }
+
     // Agent-lifecycle faults only make sense under supervision: an
     // unsupervised crashed agent would simply end the metric stream.
     const bool lifecycle_faults = config.fault.agentCrashMtbf > 0 ||
@@ -98,6 +121,8 @@ runExperiment(const ExperimentConfig &config)
     if (sup)
         sup->start();
     gen.start();
+    for (auto &s : storms)
+        s->start();
 
     // Offered-load window plus grace for queues and retransmissions.
     const double offered_seconds =
@@ -150,6 +175,25 @@ runExperiment(const ExperimentConfig &config)
     }
     if (inj)
         res.faultCounts = inj->counts();
+    if (machine.frontDoor()) {
+        net::FrontDoor &door = *machine.frontDoor();
+        res.frontDoorCounts = door.totals();
+        // Listeners are symmetric; report the hottest one's quantiles.
+        for (unsigned i = 0; i < door.listenerCount(); ++i) {
+            const stats::LatencyHistogram &acc = door.acceptLatencies(i);
+            res.frontDoorAcceptP50Ns =
+                std::max(res.frontDoorAcceptP50Ns, acc.p50());
+            res.frontDoorAcceptP99Ns =
+                std::max(res.frontDoorAcceptP99Ns, acc.p99());
+        }
+    }
+    for (auto &s : storms) {
+        res.stormEstablished += s->established();
+        res.stormFailed += s->failed();
+        res.stormConnP99Ns =
+            std::max(res.stormConnP99Ns, s->connLatencies().p99());
+        s->stop();
+    }
     gen.stop();
     return res;
 }

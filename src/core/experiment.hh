@@ -13,15 +13,35 @@
 #include <cstdint>
 #include <vector>
 
+#include "client/storm_generator.hh"
 #include "core/agent.hh"
 #include "core/supervisor.hh"
 #include "fault/fault.hh"
 #include "kernel/system_spec.hh"
+#include "net/frontdoor.hh"
 #include "net/netem.hh"
 #include "net/tcp.hh"
 #include "workload/config.hh"
 
 namespace reqobs::core {
+
+/**
+ * Optional host-network front door for the tenant, plus an optional
+ * connection storm against it. Disabled (the default) constructs
+ * nothing and forks no RNG stream, so existing runs stay bit-identical.
+ */
+struct FrontDoorOptions
+{
+    bool enabled = false;
+    net::FrontDoorConfig door;      ///< per-machine ingress path
+    net::ListenerConfig listener;   ///< tenant listener template
+    /** Listener (and acceptor-thread) count; each storm conn costs one
+     *  acceptor's CPU, so this bounds the storm's CPU footprint. */
+    unsigned listeners = 1;
+    bool stormEnabled = false;      ///< drive StormGenerators at them
+    client::StormConfig storm;      ///< .connRps is the TOTAL rate,
+                                    ///  split across the listeners
+};
 
 /** Everything defining one experiment run. */
 struct ExperimentConfig
@@ -61,6 +81,9 @@ struct ExperimentConfig
      */
     fault::FaultPlan fault;
     bool autoHarden = true;
+
+    /** Host-network front door + storm (off by default; see above). */
+    FrontDoorOptions frontDoor;
 };
 
 /**
@@ -104,6 +127,15 @@ struct ExperimentResult
     std::uint64_t probeRingbufDrops = 0;   ///< dropped ringbuf records
     SupervisorStats supervisorStats;       ///< lifecycle outcome (zero
                                            ///  when unsupervised)
+    /** @} */
+
+    /** @name Front-door outcome (zero when frontDoor.enabled=false). @{ */
+    net::FrontDoorCounts frontDoorCounts;  ///< summed over listeners
+    std::uint64_t frontDoorAcceptP50Ns = 0; ///< SYN -> accept latency
+    std::uint64_t frontDoorAcceptP99Ns = 0;
+    std::uint64_t stormEstablished = 0;    ///< storm conns accepted
+    std::uint64_t stormFailed = 0;         ///< storm conns given up on
+    std::uint64_t stormConnP99Ns = 0;      ///< SYN -> response, client side
     /** @} */
 };
 

@@ -364,6 +364,77 @@ tenantDurationExit(const TenantSet &tenants, int start_fd, int stats_fd,
 }
 
 std::vector<Insn>
+frontDoorIngress(int ingress_fd)
+{
+    ProgramBuilder b;
+    // Read ctx fields before r1 is clobbered by the helper setup.
+    b.ldxdw(R2, R1, offsetof(TraceCtx, id))
+        .stxdw(R10, -8, R2) // key = flow id
+        .ldxdw(R3, R1, offsetof(TraceCtx, ts))
+        .stxdw(R10, -16, R3); // value = ingress ts
+    // ingress.update(&flow, &ts) — BPF_ANY: a retransmitted SYN restarts
+    // the flow's front-door clock at its latest wire arrival.
+    b.ldMapFd(R1, ingress_fd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .mov(R3, R10)
+        .addImm(R3, -16)
+        .movImm(R4, BPF_ANY)
+        .call(helper::kMapUpdateElem);
+    b.label("out").movImm(R0, 0).exit_();
+    return b.build();
+}
+
+std::vector<Insn>
+frontDoorAccept(const TenantSet &tenants, int ingress_fd, int hist_fd,
+                unsigned shift)
+{
+    if (tenants.tgids.empty())
+        sim::fatal("emit::frontDoorAccept: empty tenant set");
+
+    ProgramBuilder b;
+    b.ldxdw(R8, R1, offsetof(TraceCtx, id))  // flow id
+        .ldxdw(R9, R1, offsetof(TraceCtx, ts)); // accept ts
+    emitTenantFilter(b, tenants, /*match_poll=*/false); // slot in r7
+    // u64 *ingress_ns = ingress.lookup(&flow);
+    b.stxdw(R10, -8, R8)
+        .ldMapFd(R1, ingress_fd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .call(helper::kMapLookupElem)
+        .jeqImm(R0, 0, "out");
+    b.ldxdw(R3, R0, 0);
+    // latency = accept_ts - ingress_ts;  (r8 is free once keyed)
+    b.mov(R8, R9).sub(R8, R3);
+    // ingress.delete(&flow);  (key buffer still on the stack)
+    b.ldMapFd(R1, ingress_fd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .call(helper::kMapDeleteElem);
+    // bucket = floor(log2(latency >> shift)), clamped to the table:
+    // an unrolled threshold chain (verifier-friendly, no loops).
+    b.rshImm(R8, static_cast<std::int32_t>(shift)).movImm(R6, 0);
+    for (unsigned k = 1; k < kFrontDoorBuckets; ++k) {
+        b.jltImm(R8, static_cast<std::int32_t>(1u << k), "bucket");
+        b.movImm(R6, static_cast<std::int32_t>(k));
+    }
+    b.label("bucket");
+    // hist = &hist_array[slot * kFrontDoorBuckets + bucket]; (*hist)++;
+    b.lshImm(R7, 4).add(R7, R6);
+    b.stx(R10, -16, R7, BPF_W)
+        .ldMapFd(R1, hist_fd)
+        .mov(R2, R10)
+        .addImm(R2, -16)
+        .call(helper::kMapLookupElem)
+        .jeqImm(R0, 0, "out")
+        .ldxdw(R3, R0, 0)
+        .addImm(R3, 1)
+        .stxdw(R0, 0, R3);
+    b.label("out").movImm(R0, 0).exit_();
+    return b.build();
+}
+
+std::vector<Insn>
 streamProbe(std::uint32_t tgid, bool exit_point, int ring_fd)
 {
     ProgramBuilder b;
@@ -520,6 +591,76 @@ buildTenantDurationExit(EbpfRuntime &rt, const TenantSet &tenants,
                                           shift, guarded);
     spec.maps = rt.mapTable();
     return spec;
+}
+
+// The accept emitter computes slot * kFrontDoorBuckets as a shift.
+static_assert(kFrontDoorBuckets == 16,
+              "frontDoorAccept hardcodes lsh 4 for the slot stride");
+
+FrontDoorMaps
+createFrontDoorMaps(EbpfRuntime &rt, std::uint32_t tenants,
+                    const std::string &prefix)
+{
+    FrontDoorMaps m;
+    m.ingressFd = rt.createHashMap(sizeof(std::uint64_t),
+                                   sizeof(std::uint64_t), 16384,
+                                   prefix + ".ingress");
+    m.histFd = rt.createArrayMap(sizeof(std::uint64_t),
+                                 tenants * kFrontDoorBuckets,
+                                 prefix + ".hist");
+    return m;
+}
+
+ProgramSpec
+buildFrontDoorIngress(EbpfRuntime &rt, const FrontDoorMaps &maps)
+{
+    ProgramSpec spec;
+    spec.name = "frontdoor_ingress";
+    spec.insns = emit::frontDoorIngress(maps.ingressFd);
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+ProgramSpec
+buildFrontDoorAccept(EbpfRuntime &rt, const TenantSet &tenants,
+                     const FrontDoorMaps &maps, unsigned shift)
+{
+    ProgramSpec spec;
+    spec.name = "frontdoor_accept";
+    spec.insns = emit::frontDoorAccept(tenants, maps.ingressFd, maps.histFd,
+                                       shift);
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+std::vector<std::uint64_t>
+readFrontDoorHist(EbpfRuntime &rt, const FrontDoorMaps &maps,
+                  std::uint32_t slot)
+{
+    std::vector<std::uint64_t> hist(kFrontDoorBuckets, 0);
+    auto &arr = rt.arrayAt(maps.histFd);
+    for (unsigned k = 0; k < kFrontDoorBuckets; ++k)
+        hist[k] = arr.at<std::uint64_t>(slot * kFrontDoorBuckets + k);
+    return hist;
+}
+
+std::uint64_t
+frontDoorQuantile(const std::vector<std::uint64_t> &hist, double q,
+                  unsigned shift)
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : hist)
+        total += c;
+    if (total == 0)
+        return 0;
+    const double target = q * static_cast<double>(total);
+    std::uint64_t cum = 0;
+    for (unsigned k = 0; k < hist.size(); ++k) {
+        cum += hist[k];
+        if (static_cast<double>(cum) >= target)
+            return 1ull << (k + 1 + shift); // bucket upper bound
+    }
+    return 1ull << (hist.size() + shift);
 }
 
 StreamMaps

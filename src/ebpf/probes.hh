@@ -206,6 +206,68 @@ ProgramSpec buildTenantHeavyHitter(EbpfRuntime &rt, const TenantSet &tenants,
 
 /** @} */
 
+/**
+ * @name Front-door latency probes (net/frontdoor).
+ *
+ * The host-network tracepoints reuse the TraceCtx ABI with the flow id
+ * in ctx->id and the owning tenant's tgid in ctx->pid_tgid >> 32, so
+ * the front-door probe pair is ordinary verified bytecode:
+ *
+ *  - the net_rx_enqueue program stores ctx->ts in a hash keyed by flow
+ *    id (a retransmitted SYN overwrites its slot, so the measured
+ *    interval starts at the last wire arrival, like real SYN timestamp
+ *    tracking);
+ *  - the sock_accept program looks the flow up, computes front-door
+ *    latency = ctx->ts - ingress_ts, resolves the tenant slot with the
+ *    standard prologue, and increments a per-tenant log2 histogram
+ *    bucket — a latency *distribution* per tenant, entirely in kernel
+ *    space, where the syscall-derived metrics cannot see at all.
+ * @{
+ */
+
+/** Buckets per tenant in the front-door latency histogram. */
+constexpr unsigned kFrontDoorBuckets = 16;
+
+/**
+ * Right-shift applied to the latency before bucketing: bucket 0 covers
+ * [0, 2·4096) ns and the top bucket saturates at ~2^27 ns (~134 ms),
+ * bracketing everything from clean accepts to multi-RTO storms.
+ */
+constexpr unsigned kFrontDoorShift = 12;
+
+/** Maps used by the front-door probe pair. */
+struct FrontDoorMaps
+{
+    int ingressFd = -1; ///< hash: flow id (u64) -> ingress ts (u64)
+    int histFd = -1;    ///< array[tenants * kFrontDoorBuckets] of u64
+};
+
+/** Allocate the front-door maps for @p tenants tenant slots. */
+FrontDoorMaps createFrontDoorMaps(EbpfRuntime &rt, std::uint32_t tenants,
+                                  const std::string &prefix);
+
+/** net_rx_enqueue half: stamp the flow's ingress timestamp. */
+ProgramSpec buildFrontDoorIngress(EbpfRuntime &rt, const FrontDoorMaps &maps);
+
+/** sock_accept half: bucket the front-door latency per tenant. */
+ProgramSpec buildFrontDoorAccept(EbpfRuntime &rt, const TenantSet &tenants,
+                                 const FrontDoorMaps &maps,
+                                 unsigned shift = kFrontDoorShift);
+
+/** Read tenant @p slot's histogram (kFrontDoorBuckets counters). */
+std::vector<std::uint64_t> readFrontDoorHist(EbpfRuntime &rt,
+                                             const FrontDoorMaps &maps,
+                                             std::uint32_t slot);
+
+/**
+ * Approximate quantile from a front-door log2 histogram: the upper
+ * bound (ns) of the bucket containing the @p q-th sample, 0 when empty.
+ */
+std::uint64_t frontDoorQuantile(const std::vector<std::uint64_t> &hist,
+                                double q, unsigned shift = kFrontDoorShift);
+
+/** @} */
+
 /** Maps used by a stream probe. */
 struct StreamMaps
 {
@@ -257,6 +319,9 @@ std::vector<Insn> tenantDurationExit(const TenantSet &tenants, int start_fd,
                                      bool guarded);
 std::vector<Insn> streamProbe(std::uint32_t tgid, bool exit_point,
                               int ring_fd);
+std::vector<Insn> frontDoorIngress(int ingress_fd);
+std::vector<Insn> frontDoorAccept(const TenantSet &tenants, int ingress_fd,
+                                  int hist_fd, unsigned shift);
 
 } // namespace emit
 /** @} */

@@ -14,7 +14,9 @@ FaultPlan::any() const
            probeMissProbability > 0.0 ||
            (linkFlapPeriod > 0 && linkFlapDownTime > 0) ||
            connResetProbability > 0.0 || agentCrashMtbf > 0 ||
-           samplerStallMtbf > 0 || mapWipeOnRestartProbability > 0.0;
+           samplerStallMtbf > 0 || mapWipeOnRestartProbability > 0.0 ||
+           synFloodRate > 0.0 || acceptBacklogOverflowProbability > 0.0 ||
+           retransmitStormProbability > 0.0;
 }
 
 FaultInjector::FaultInjector(const FaultPlan &plan, sim::Rng rng)
@@ -201,6 +203,33 @@ FaultInjector::injectConnReset()
     if (!bernoulli(plan_.connResetProbability))
         return false;
     ++counts_.connResets;
+    return true;
+}
+
+sim::Tick
+FaultInjector::nextSynFloodDelay()
+{
+    if (plan_.synFloodRate <= 0.0)
+        return 0;
+    return exponentialDelay(
+        static_cast<sim::Tick>(1e9 / plan_.synFloodRate), rng_);
+}
+
+bool
+FaultInjector::injectBacklogOverflow()
+{
+    if (!bernoulli(plan_.acceptBacklogOverflowProbability))
+        return false;
+    ++counts_.backlogOverflows;
+    return true;
+}
+
+bool
+FaultInjector::injectRetransmitDrop()
+{
+    if (!bernoulli(plan_.retransmitStormProbability))
+        return false;
+    ++counts_.retransmitDrops;
     return true;
 }
 

@@ -124,6 +124,29 @@ struct FaultPlan
     double connResetProbability = 0.0;
     /** @} */
 
+    /** @name Front-door faults (net/frontdoor; inert without one). @{ */
+
+    /**
+     * Injected SYN-flood rate (conns/sec) at the machine's front door:
+     * anonymous handshakes that traverse the ingress + SYN queues and
+     * consume accept-backlog slots but never carry a request. The flood
+     * targets the listener the FrontDoor designates (floodListener).
+     */
+    double synFloodRate = 0.0;
+    /** Listener index the injected flood targets. */
+    unsigned synFloodListener = 0;
+
+    /** P(an admission to the accept backlog is forced to fail). */
+    double acceptBacklogOverflowProbability = 0.0;
+
+    /**
+     * P(an arriving SYN/handshake segment is dropped at ingress),
+     * forcing the client onto its exponential-backoff retransmit timer
+     * — the retransmit-storm fault class.
+     */
+    double retransmitStormProbability = 0.0;
+    /** @} */
+
     /** True when any knob is enabled (the injector is worth creating). */
     bool any() const;
 };
@@ -144,6 +167,9 @@ struct FaultCounts
     std::uint64_t agentCrashes = 0;   ///< userspace agent crashes fired
     std::uint64_t samplerStalls = 0;  ///< sampler stalls fired
     std::uint64_t mapWipes = 0;       ///< reattaches that lost map state
+    std::uint64_t synFloodConns = 0;  ///< injected flood handshakes
+    std::uint64_t backlogOverflows = 0; ///< forced accept-backlog failures
+    std::uint64_t retransmitDrops = 0;  ///< forced ingress segment drops
 };
 
 /** Per-event fault decisions; see file comment. */
@@ -215,6 +241,25 @@ class FaultInjector
 
     /** Reset the connection carrying this request? */
     bool injectConnReset();
+    /** @} */
+
+    /** @name Front-door decisions (see net/frontdoor). @{ */
+
+    /**
+     * Exponential inter-arrival delay to the next injected flood SYN
+     * (0 = flood disabled). The FrontDoor schedules the flood source
+     * from these draws, so the flood consumes the injector's stream
+     * only when the knob is on.
+     */
+    sim::Tick nextSynFloodDelay();
+    /** Record that an injected flood handshake actually entered. */
+    void noteSynFloodConn() { ++counts_.synFloodConns; }
+
+    /** Force this accept-backlog admission to fail? */
+    bool injectBacklogOverflow();
+
+    /** Drop this arriving handshake segment at ingress? */
+    bool injectRetransmitDrop();
     /** @} */
 
   private:

@@ -52,14 +52,14 @@ TracepointRegistry::fire(const RawSyscallEvent &event)
 TracepointRegistry::BatchPlan &
 TracepointRegistry::planFor(TracepointId point)
 {
-    return plans_[point == TracepointId::SysExit ? 1 : 0];
+    return plans_[static_cast<std::size_t>(point)];
 }
 
 void
 TracepointRegistry::invalidatePlans()
 {
-    plans_[0].computed = false;
-    plans_[1].computed = false;
+    for (auto &plan : plans_)
+        plan.computed = false;
 }
 
 sim::Tick

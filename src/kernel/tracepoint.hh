@@ -23,8 +23,27 @@
 
 namespace reqobs::kernel {
 
-/** Which tracepoint fired. */
-enum class TracepointId { SysEnter, SysExit };
+/**
+ * Which tracepoint fired. Beyond the paper's raw_syscalls pair, the
+ * host-network front door (net/frontdoor) exposes three more: packet
+ * ingress (net_rx_enqueue), connection hand-off to userspace
+ * (sock_accept) and client SYN/segment retransmission (tcp_retransmit).
+ * Front-door events reuse the RawSyscallEvent ctx ABI with the flow id
+ * in @c syscall and the owning tenant's tgid in the high half of
+ * @c pidTgid, so the existing eBPF prologue idioms (tgid filter, tenant
+ * slot resolution) work unchanged.
+ */
+enum class TracepointId
+{
+    SysEnter,
+    SysExit,
+    NetRxEnqueue,
+    SockAccept,
+    TcpRetransmit,
+};
+
+/** Number of TracepointId values (plan/table sizing). */
+constexpr std::size_t kTracepointCount = 5;
 
 /** Context passed to attached probes (the eBPF ctx). */
 struct RawSyscallEvent
@@ -154,7 +173,7 @@ class TracepointRegistry
     std::vector<Entry> probes_;
     ProbeHandle nextHandle_ = 1;
     std::uint64_t fired_ = 0;
-    BatchPlan plans_[2];
+    BatchPlan plans_[kTracepointCount];
 };
 
 } // namespace reqobs::kernel

@@ -35,13 +35,13 @@ TcpPipe::send(kernel::Message &&msg)
     lastSend_ = now;
 
     sim::Tick rto_wait = 0;
-    sim::Tick rto = tcp_.minRto;
     // Link flap: a segment sent into a down link sits in the qdisc until
     // the link comes back (time-driven, no RNG — keeps determinism).
     if (fault_)
         rto_wait += fault_->linkDownRemaining(now);
     NetemQdisc::Verdict verdict = qdisc_.process();
     unsigned attempts = 0;
+    unsigned rto_attempts = 0; ///< RTO-based retries; indexes the backoff
     if (verdict.dropped && fast_eligible && attempts < tcp_.maxRetries) {
         ++retx_;
         ++fastRetx_;
@@ -52,8 +52,7 @@ TcpPipe::send(kernel::Message &&msg)
     while (verdict.dropped && attempts < tcp_.maxRetries) {
         ++retx_;
         ++attempts;
-        rto_wait += rto;
-        rto *= 2;
+        rto_wait += synRetransmitTimeout(tcp_, rto_attempts++);
         verdict = qdisc_.process();
     }
     // ACK loss: on a sparse flow there is no follow-up traffic for the
@@ -64,8 +63,7 @@ TcpPipe::send(kernel::Message &&msg)
         while (attempts < tcp_.maxRetries && qdisc_.process().dropped) {
             ++retx_;
             ++attempts;
-            rto_wait += rto;
-            rto *= 2;
+            rto_wait += synRetransmitTimeout(tcp_, rto_attempts++);
         }
     }
     // After maxRetries the segment goes through regardless: connections

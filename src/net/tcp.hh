@@ -53,6 +53,22 @@ struct TcpConfig
 };
 
 /**
+ * Exponential-backoff retransmission timeout for 0-based attempt @p
+ * attempt: minRto doubled once per prior attempt, capped at maxRetries
+ * doublings. This is the one RTO schedule in the stack — TcpPipe's
+ * in-flow loss recovery and the front door's SYN retransmit timers
+ * (net/frontdoor) both derive their waits from it, so a dropped SYN
+ * backs off exactly like a dropped data segment.
+ */
+inline sim::Tick
+synRetransmitTimeout(const TcpConfig &tcp, unsigned attempt)
+{
+    const unsigned capped =
+        attempt < tcp.maxRetries ? attempt : tcp.maxRetries;
+    return tcp.minRto << capped;
+}
+
+/**
  * One direction of a TCP connection: accepts messages, applies netem
  * verdicts and retransmission delays, enforces in-order delivery, and
  * hands messages to the receiver's deliver function.

@@ -29,6 +29,28 @@ Machine::addAntagonist(const AntagonistConfig &config)
     return a.pid;
 }
 
+net::FrontDoor &
+Machine::enableFrontDoor(const net::FrontDoorConfig &config)
+{
+    if (started_)
+        sim::fatal("Machine: enableFrontDoor() after start()");
+    if (frontDoor_)
+        sim::fatal("Machine: front door already enabled");
+    frontDoor_ = std::make_unique<net::FrontDoor>(kernel_, config);
+    return *frontDoor_;
+}
+
+unsigned
+Machine::addFrontDoorListener(std::size_t tenant_idx,
+                              const net::ListenerConfig &config)
+{
+    if (!frontDoor_)
+        sim::fatal("Machine: addFrontDoorListener() without a front door");
+    if (tenant_idx >= tenants_.size())
+        sim::fatal("Machine: addFrontDoorListener() for unknown tenant");
+    return frontDoor_->addListener(tenants_[tenant_idx]->frontPid(), config);
+}
+
 void
 Machine::start()
 {
@@ -37,6 +59,8 @@ Machine::start()
     started_ = true;
     for (auto &t : tenants_)
         t->start();
+    if (frontDoor_)
+        frontDoor_->start();
     for (const Antagonist &a : antagonists_) {
         for (unsigned i = 0; i < a.config.threads; ++i) {
             const AntagonistConfig cfg = a.config;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "kernel/kernel.hh"
+#include "net/frontdoor.hh"
 #include "workload/server_app.hh"
 
 namespace reqobs::workload {
@@ -65,7 +66,26 @@ class Machine
     /** Add a best-effort antagonist process. @pre not started. */
     kernel::Pid addAntagonist(const AntagonistConfig &config = {});
 
-    /** Start every tenant and antagonist. */
+    /**
+     * Give the machine a host-network front door (strictly opt-in: a
+     * machine without one is bit-identical to builds predating it).
+     * @pre not started, not yet enabled.
+     */
+    net::FrontDoor &enableFrontDoor(const net::FrontDoorConfig &config);
+
+    /**
+     * Add a front-door listener owned by tenant @p tenant_idx: the
+     * acceptor thread runs in that tenant's client-facing process, so
+     * accept/recv/send syscalls and front-door tracepoints carry the
+     * tenant's tgid. @return listener index. @pre front door enabled.
+     */
+    unsigned addFrontDoorListener(std::size_t tenant_idx,
+                                  const net::ListenerConfig &config);
+
+    /** The front door, or nullptr when not enabled. */
+    net::FrontDoor *frontDoor() { return frontDoor_.get(); }
+
+    /** Start every tenant, antagonist and the front door. */
     void start();
 
     kernel::Kernel &kernel() { return kernel_; }
@@ -85,6 +105,7 @@ class Machine
     kernel::Kernel kernel_;
     std::vector<std::unique_ptr<ServerApp>> tenants_;
     std::vector<Antagonist> antagonists_;
+    std::unique_ptr<net::FrontDoor> frontDoor_;
     bool started_ = false;
 };
 
