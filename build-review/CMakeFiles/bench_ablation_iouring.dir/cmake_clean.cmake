@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_iouring.dir/bench/bench_ablation_iouring.cpp.o"
+  "CMakeFiles/bench_ablation_iouring.dir/bench/bench_ablation_iouring.cpp.o.d"
+  "bench/bench_ablation_iouring"
+  "bench/bench_ablation_iouring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_iouring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reconstruct.dir/bench/bench_ablation_reconstruct.cpp.o"
+  "CMakeFiles/bench_ablation_reconstruct.dir/bench/bench_ablation_reconstruct.cpp.o.d"
+  "bench/bench_ablation_reconstruct"
+  "bench/bench_ablation_reconstruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

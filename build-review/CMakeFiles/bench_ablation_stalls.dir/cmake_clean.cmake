@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stalls.dir/bench/bench_ablation_stalls.cpp.o"
+  "CMakeFiles/bench_ablation_stalls.dir/bench/bench_ablation_stalls.cpp.o.d"
+  "bench/bench_ablation_stalls"
+  "bench/bench_ablation_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_control.dir/bench/bench_control.cpp.o"
+  "CMakeFiles/bench_control.dir/bench/bench_control.cpp.o.d"
+  "bench/bench_control"
+  "bench/bench_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

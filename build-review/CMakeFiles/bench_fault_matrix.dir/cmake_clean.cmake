@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_matrix.dir/bench/bench_fault_matrix.cpp.o"
+  "CMakeFiles/bench_fault_matrix.dir/bench/bench_fault_matrix.cpp.o.d"
+  "bench/bench_fault_matrix"
+  "bench/bench_fault_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_trace.dir/bench/bench_fig1_trace.cpp.o"
+  "CMakeFiles/bench_fig1_trace.dir/bench/bench_fig1_trace.cpp.o.d"
+  "bench/bench_fig1_trace"
+  "bench/bench_fig1_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_rps_correlation.dir/bench/bench_fig2_rps_correlation.cpp.o"
+  "CMakeFiles/bench_fig2_rps_correlation.dir/bench/bench_fig2_rps_correlation.cpp.o.d"
+  "bench/bench_fig2_rps_correlation"
+  "bench/bench_fig2_rps_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_rps_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

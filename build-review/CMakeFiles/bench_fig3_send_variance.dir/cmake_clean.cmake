@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_send_variance.dir/bench/bench_fig3_send_variance.cpp.o"
+  "CMakeFiles/bench_fig3_send_variance.dir/bench/bench_fig3_send_variance.cpp.o.d"
+  "bench/bench_fig3_send_variance"
+  "bench/bench_fig3_send_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_send_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_loss_tail.dir/bench/bench_fig5_loss_tail.cpp.o"
+  "CMakeFiles/bench_fig5_loss_tail.dir/bench/bench_fig5_loss_tail.cpp.o.d"
+  "bench/bench_fig5_loss_tail"
+  "bench/bench_fig5_loss_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_loss_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frontdoor.dir/bench/bench_frontdoor.cpp.o"
+  "CMakeFiles/bench_frontdoor.dir/bench/bench_frontdoor.cpp.o.d"
+  "bench/bench_frontdoor"
+  "bench/bench_frontdoor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontdoor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

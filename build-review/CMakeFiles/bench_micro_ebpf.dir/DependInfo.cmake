@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_ebpf.cpp" "CMakeFiles/bench_micro_ebpf.dir/bench/bench_micro_ebpf.cpp.o" "gcc" "CMakeFiles/bench_micro_ebpf.dir/bench/bench_micro_ebpf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/reqobs_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ebpf/CMakeFiles/reqobs_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/client/CMakeFiles/reqobs_client.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/reqobs_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/reqobs_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernel/CMakeFiles/reqobs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/reqobs_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fault/CMakeFiles/reqobs_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/reqobs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

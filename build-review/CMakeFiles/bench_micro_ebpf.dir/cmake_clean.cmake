@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ebpf.dir/bench/bench_micro_ebpf.cpp.o"
+  "CMakeFiles/bench_micro_ebpf.dir/bench/bench_micro_ebpf.cpp.o.d"
+  "bench/bench_micro_ebpf"
+  "bench/bench_micro_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

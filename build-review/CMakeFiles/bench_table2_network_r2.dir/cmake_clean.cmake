@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_network_r2.dir/bench/bench_table2_network_r2.cpp.o"
+  "CMakeFiles/bench_table2_network_r2.dir/bench/bench_table2_network_r2.cpp.o.d"
+  "bench/bench_table2_network_r2"
+  "bench/bench_table2_network_r2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_network_r2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackbox_trace.dir/blackbox_trace.cpp.o"
+  "CMakeFiles/blackbox_trace.dir/blackbox_trace.cpp.o.d"
+  "blackbox_trace"
+  "blackbox_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackbox_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for blackbox_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_governor.dir/power_governor.cpp.o"
+  "CMakeFiles/power_governor.dir/power_governor.cpp.o.d"
+  "power_governor"
+  "power_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saturation_monitor.dir/saturation_monitor.cpp.o"
+  "CMakeFiles/saturation_monitor.dir/saturation_monitor.cpp.o.d"
+  "saturation_monitor"
+  "saturation_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saturation_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracelet.dir/tracelet.cpp.o"
+  "CMakeFiles/tracelet.dir/tracelet.cpp.o.d"
+  "tracelet"
+  "tracelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

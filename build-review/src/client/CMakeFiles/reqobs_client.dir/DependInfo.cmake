@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/fleet_generator.cc" "src/client/CMakeFiles/reqobs_client.dir/fleet_generator.cc.o" "gcc" "src/client/CMakeFiles/reqobs_client.dir/fleet_generator.cc.o.d"
+  "/root/repo/src/client/load_generator.cc" "src/client/CMakeFiles/reqobs_client.dir/load_generator.cc.o" "gcc" "src/client/CMakeFiles/reqobs_client.dir/load_generator.cc.o.d"
+  "/root/repo/src/client/storm_generator.cc" "src/client/CMakeFiles/reqobs_client.dir/storm_generator.cc.o" "gcc" "src/client/CMakeFiles/reqobs_client.dir/storm_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/reqobs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/reqobs_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/reqobs_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/reqobs_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernel/CMakeFiles/reqobs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fault/CMakeFiles/reqobs_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

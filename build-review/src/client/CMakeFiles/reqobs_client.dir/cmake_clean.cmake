@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reqobs_client.dir/fleet_generator.cc.o"
+  "CMakeFiles/reqobs_client.dir/fleet_generator.cc.o.d"
+  "CMakeFiles/reqobs_client.dir/load_generator.cc.o"
+  "CMakeFiles/reqobs_client.dir/load_generator.cc.o.d"
+  "CMakeFiles/reqobs_client.dir/storm_generator.cc.o"
+  "CMakeFiles/reqobs_client.dir/storm_generator.cc.o.d"
+  "libreqobs_client.a"
+  "libreqobs_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reqobs_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

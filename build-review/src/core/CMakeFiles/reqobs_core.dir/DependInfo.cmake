@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cc" "src/core/CMakeFiles/reqobs_core.dir/agent.cc.o" "gcc" "src/core/CMakeFiles/reqobs_core.dir/agent.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/reqobs_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/reqobs_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/reqobs_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/reqobs_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/estimators.cc" "src/core/CMakeFiles/reqobs_core.dir/estimators.cc.o" "gcc" "src/core/CMakeFiles/reqobs_core.dir/estimators.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/reqobs_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/reqobs_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/fleet.cc" "src/core/CMakeFiles/reqobs_core.dir/fleet.cc.o" "gcc" "src/core/CMakeFiles/reqobs_core.dir/fleet.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/core/CMakeFiles/reqobs_core.dir/parallel.cc.o" "gcc" "src/core/CMakeFiles/reqobs_core.dir/parallel.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/reqobs_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/reqobs_core.dir/profile.cc.o.d"
+  "/root/repo/src/core/supervisor.cc" "src/core/CMakeFiles/reqobs_core.dir/supervisor.cc.o" "gcc" "src/core/CMakeFiles/reqobs_core.dir/supervisor.cc.o.d"
+  "/root/repo/src/core/tenant_metrics.cc" "src/core/CMakeFiles/reqobs_core.dir/tenant_metrics.cc.o" "gcc" "src/core/CMakeFiles/reqobs_core.dir/tenant_metrics.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/reqobs_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/reqobs_core.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/reqobs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/reqobs_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fault/CMakeFiles/reqobs_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernel/CMakeFiles/reqobs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/reqobs_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ebpf/CMakeFiles/reqobs_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/reqobs_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/client/CMakeFiles/reqobs_client.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reqobs_core.dir/agent.cc.o"
+  "CMakeFiles/reqobs_core.dir/agent.cc.o.d"
+  "CMakeFiles/reqobs_core.dir/cluster.cc.o"
+  "CMakeFiles/reqobs_core.dir/cluster.cc.o.d"
+  "CMakeFiles/reqobs_core.dir/controller.cc.o"
+  "CMakeFiles/reqobs_core.dir/controller.cc.o.d"
+  "CMakeFiles/reqobs_core.dir/estimators.cc.o"
+  "CMakeFiles/reqobs_core.dir/estimators.cc.o.d"
+  "CMakeFiles/reqobs_core.dir/experiment.cc.o"
+  "CMakeFiles/reqobs_core.dir/experiment.cc.o.d"
+  "CMakeFiles/reqobs_core.dir/fleet.cc.o"
+  "CMakeFiles/reqobs_core.dir/fleet.cc.o.d"
+  "CMakeFiles/reqobs_core.dir/parallel.cc.o"
+  "CMakeFiles/reqobs_core.dir/parallel.cc.o.d"
+  "CMakeFiles/reqobs_core.dir/profile.cc.o"
+  "CMakeFiles/reqobs_core.dir/profile.cc.o.d"
+  "CMakeFiles/reqobs_core.dir/supervisor.cc.o"
+  "CMakeFiles/reqobs_core.dir/supervisor.cc.o.d"
+  "CMakeFiles/reqobs_core.dir/tenant_metrics.cc.o"
+  "CMakeFiles/reqobs_core.dir/tenant_metrics.cc.o.d"
+  "CMakeFiles/reqobs_core.dir/trace.cc.o"
+  "CMakeFiles/reqobs_core.dir/trace.cc.o.d"
+  "libreqobs_core.a"
+  "libreqobs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reqobs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

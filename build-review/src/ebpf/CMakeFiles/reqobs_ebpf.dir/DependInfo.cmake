@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebpf/assembler.cc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/assembler.cc.o" "gcc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/assembler.cc.o.d"
+  "/root/repo/src/ebpf/dsl.cc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/dsl.cc.o" "gcc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/dsl.cc.o.d"
+  "/root/repo/src/ebpf/helpers.cc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/helpers.cc.o" "gcc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/helpers.cc.o.d"
+  "/root/repo/src/ebpf/insn.cc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/insn.cc.o" "gcc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/insn.cc.o.d"
+  "/root/repo/src/ebpf/maps.cc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/maps.cc.o" "gcc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/maps.cc.o.d"
+  "/root/repo/src/ebpf/native.cc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/native.cc.o" "gcc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/native.cc.o.d"
+  "/root/repo/src/ebpf/probes.cc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/probes.cc.o" "gcc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/probes.cc.o.d"
+  "/root/repo/src/ebpf/runtime.cc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/runtime.cc.o" "gcc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/runtime.cc.o.d"
+  "/root/repo/src/ebpf/translate.cc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/translate.cc.o" "gcc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/translate.cc.o.d"
+  "/root/repo/src/ebpf/verifier.cc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/verifier.cc.o" "gcc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/verifier.cc.o.d"
+  "/root/repo/src/ebpf/vm.cc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/vm.cc.o" "gcc" "src/ebpf/CMakeFiles/reqobs_ebpf.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/reqobs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernel/CMakeFiles/reqobs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fault/CMakeFiles/reqobs_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/reqobs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reqobs_ebpf.dir/assembler.cc.o"
+  "CMakeFiles/reqobs_ebpf.dir/assembler.cc.o.d"
+  "CMakeFiles/reqobs_ebpf.dir/dsl.cc.o"
+  "CMakeFiles/reqobs_ebpf.dir/dsl.cc.o.d"
+  "CMakeFiles/reqobs_ebpf.dir/helpers.cc.o"
+  "CMakeFiles/reqobs_ebpf.dir/helpers.cc.o.d"
+  "CMakeFiles/reqobs_ebpf.dir/insn.cc.o"
+  "CMakeFiles/reqobs_ebpf.dir/insn.cc.o.d"
+  "CMakeFiles/reqobs_ebpf.dir/maps.cc.o"
+  "CMakeFiles/reqobs_ebpf.dir/maps.cc.o.d"
+  "CMakeFiles/reqobs_ebpf.dir/native.cc.o"
+  "CMakeFiles/reqobs_ebpf.dir/native.cc.o.d"
+  "CMakeFiles/reqobs_ebpf.dir/probes.cc.o"
+  "CMakeFiles/reqobs_ebpf.dir/probes.cc.o.d"
+  "CMakeFiles/reqobs_ebpf.dir/runtime.cc.o"
+  "CMakeFiles/reqobs_ebpf.dir/runtime.cc.o.d"
+  "CMakeFiles/reqobs_ebpf.dir/translate.cc.o"
+  "CMakeFiles/reqobs_ebpf.dir/translate.cc.o.d"
+  "CMakeFiles/reqobs_ebpf.dir/verifier.cc.o"
+  "CMakeFiles/reqobs_ebpf.dir/verifier.cc.o.d"
+  "CMakeFiles/reqobs_ebpf.dir/vm.cc.o"
+  "CMakeFiles/reqobs_ebpf.dir/vm.cc.o.d"
+  "libreqobs_ebpf.a"
+  "libreqobs_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reqobs_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

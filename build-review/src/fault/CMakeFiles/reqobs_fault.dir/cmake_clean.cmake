@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reqobs_fault.dir/fault.cc.o"
+  "CMakeFiles/reqobs_fault.dir/fault.cc.o.d"
+  "libreqobs_fault.a"
+  "libreqobs_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reqobs_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/cpu.cc" "src/kernel/CMakeFiles/reqobs_kernel.dir/cpu.cc.o" "gcc" "src/kernel/CMakeFiles/reqobs_kernel.dir/cpu.cc.o.d"
+  "/root/repo/src/kernel/epoll.cc" "src/kernel/CMakeFiles/reqobs_kernel.dir/epoll.cc.o" "gcc" "src/kernel/CMakeFiles/reqobs_kernel.dir/epoll.cc.o.d"
+  "/root/repo/src/kernel/io_uring.cc" "src/kernel/CMakeFiles/reqobs_kernel.dir/io_uring.cc.o" "gcc" "src/kernel/CMakeFiles/reqobs_kernel.dir/io_uring.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/reqobs_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/reqobs_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/notifier.cc" "src/kernel/CMakeFiles/reqobs_kernel.dir/notifier.cc.o" "gcc" "src/kernel/CMakeFiles/reqobs_kernel.dir/notifier.cc.o.d"
+  "/root/repo/src/kernel/socket.cc" "src/kernel/CMakeFiles/reqobs_kernel.dir/socket.cc.o" "gcc" "src/kernel/CMakeFiles/reqobs_kernel.dir/socket.cc.o.d"
+  "/root/repo/src/kernel/syscalls.cc" "src/kernel/CMakeFiles/reqobs_kernel.dir/syscalls.cc.o" "gcc" "src/kernel/CMakeFiles/reqobs_kernel.dir/syscalls.cc.o.d"
+  "/root/repo/src/kernel/system_spec.cc" "src/kernel/CMakeFiles/reqobs_kernel.dir/system_spec.cc.o" "gcc" "src/kernel/CMakeFiles/reqobs_kernel.dir/system_spec.cc.o.d"
+  "/root/repo/src/kernel/tracepoint.cc" "src/kernel/CMakeFiles/reqobs_kernel.dir/tracepoint.cc.o" "gcc" "src/kernel/CMakeFiles/reqobs_kernel.dir/tracepoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/reqobs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/reqobs_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fault/CMakeFiles/reqobs_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reqobs_kernel.dir/cpu.cc.o"
+  "CMakeFiles/reqobs_kernel.dir/cpu.cc.o.d"
+  "CMakeFiles/reqobs_kernel.dir/epoll.cc.o"
+  "CMakeFiles/reqobs_kernel.dir/epoll.cc.o.d"
+  "CMakeFiles/reqobs_kernel.dir/io_uring.cc.o"
+  "CMakeFiles/reqobs_kernel.dir/io_uring.cc.o.d"
+  "CMakeFiles/reqobs_kernel.dir/kernel.cc.o"
+  "CMakeFiles/reqobs_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/reqobs_kernel.dir/notifier.cc.o"
+  "CMakeFiles/reqobs_kernel.dir/notifier.cc.o.d"
+  "CMakeFiles/reqobs_kernel.dir/socket.cc.o"
+  "CMakeFiles/reqobs_kernel.dir/socket.cc.o.d"
+  "CMakeFiles/reqobs_kernel.dir/syscalls.cc.o"
+  "CMakeFiles/reqobs_kernel.dir/syscalls.cc.o.d"
+  "CMakeFiles/reqobs_kernel.dir/system_spec.cc.o"
+  "CMakeFiles/reqobs_kernel.dir/system_spec.cc.o.d"
+  "CMakeFiles/reqobs_kernel.dir/tracepoint.cc.o"
+  "CMakeFiles/reqobs_kernel.dir/tracepoint.cc.o.d"
+  "libreqobs_kernel.a"
+  "libreqobs_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reqobs_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/frontdoor.cc" "src/net/CMakeFiles/reqobs_net.dir/frontdoor.cc.o" "gcc" "src/net/CMakeFiles/reqobs_net.dir/frontdoor.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/reqobs_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/reqobs_net.dir/link.cc.o.d"
+  "/root/repo/src/net/load_balancer.cc" "src/net/CMakeFiles/reqobs_net.dir/load_balancer.cc.o" "gcc" "src/net/CMakeFiles/reqobs_net.dir/load_balancer.cc.o.d"
+  "/root/repo/src/net/netem.cc" "src/net/CMakeFiles/reqobs_net.dir/netem.cc.o" "gcc" "src/net/CMakeFiles/reqobs_net.dir/netem.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/reqobs_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/reqobs_net.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/reqobs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernel/CMakeFiles/reqobs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fault/CMakeFiles/reqobs_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/reqobs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reqobs_net.dir/frontdoor.cc.o"
+  "CMakeFiles/reqobs_net.dir/frontdoor.cc.o.d"
+  "CMakeFiles/reqobs_net.dir/link.cc.o"
+  "CMakeFiles/reqobs_net.dir/link.cc.o.d"
+  "CMakeFiles/reqobs_net.dir/load_balancer.cc.o"
+  "CMakeFiles/reqobs_net.dir/load_balancer.cc.o.d"
+  "CMakeFiles/reqobs_net.dir/netem.cc.o"
+  "CMakeFiles/reqobs_net.dir/netem.cc.o.d"
+  "CMakeFiles/reqobs_net.dir/tcp.cc.o"
+  "CMakeFiles/reqobs_net.dir/tcp.cc.o.d"
+  "libreqobs_net.a"
+  "libreqobs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reqobs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reqobs_sim.dir/distributions.cc.o"
+  "CMakeFiles/reqobs_sim.dir/distributions.cc.o.d"
+  "CMakeFiles/reqobs_sim.dir/event_queue.cc.o"
+  "CMakeFiles/reqobs_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/reqobs_sim.dir/logging.cc.o"
+  "CMakeFiles/reqobs_sim.dir/logging.cc.o.d"
+  "CMakeFiles/reqobs_sim.dir/rng.cc.o"
+  "CMakeFiles/reqobs_sim.dir/rng.cc.o.d"
+  "CMakeFiles/reqobs_sim.dir/simulation.cc.o"
+  "CMakeFiles/reqobs_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/reqobs_sim.dir/time.cc.o"
+  "CMakeFiles/reqobs_sim.dir/time.cc.o.d"
+  "libreqobs_sim.a"
+  "libreqobs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reqobs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reqobs_stats.dir/histogram.cc.o"
+  "CMakeFiles/reqobs_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/reqobs_stats.dir/regression.cc.o"
+  "CMakeFiles/reqobs_stats.dir/regression.cc.o.d"
+  "CMakeFiles/reqobs_stats.dir/summary.cc.o"
+  "CMakeFiles/reqobs_stats.dir/summary.cc.o.d"
+  "CMakeFiles/reqobs_stats.dir/welford.cc.o"
+  "CMakeFiles/reqobs_stats.dir/welford.cc.o.d"
+  "CMakeFiles/reqobs_stats.dir/windowed.cc.o"
+  "CMakeFiles/reqobs_stats.dir/windowed.cc.o.d"
+  "libreqobs_stats.a"
+  "libreqobs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reqobs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reqobs_workload.dir/config.cc.o"
+  "CMakeFiles/reqobs_workload.dir/config.cc.o.d"
+  "CMakeFiles/reqobs_workload.dir/machine.cc.o"
+  "CMakeFiles/reqobs_workload.dir/machine.cc.o.d"
+  "CMakeFiles/reqobs_workload.dir/server_app.cc.o"
+  "CMakeFiles/reqobs_workload.dir/server_app.cc.o.d"
+  "libreqobs_workload.a"
+  "libreqobs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reqobs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_client.dir/client_test.cc.o"
+  "CMakeFiles/test_client.dir/client_test.cc.o.d"
+  "test_client"
+  "test_client.pdb"
+  "test_client[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebpf_diff.dir/ebpf_diff_test.cc.o"
+  "CMakeFiles/test_ebpf_diff.dir/ebpf_diff_test.cc.o.d"
+  "test_ebpf_diff"
+  "test_ebpf_diff.pdb"
+  "test_ebpf_diff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebpf_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebpf_dsl.dir/ebpf_dsl_test.cc.o"
+  "CMakeFiles/test_ebpf_dsl.dir/ebpf_dsl_test.cc.o.d"
+  "test_ebpf_dsl"
+  "test_ebpf_dsl.pdb"
+  "test_ebpf_dsl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebpf_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebpf_fuzz.dir/ebpf_fuzz_test.cc.o"
+  "CMakeFiles/test_ebpf_fuzz.dir/ebpf_fuzz_test.cc.o.d"
+  "test_ebpf_fuzz"
+  "test_ebpf_fuzz.pdb"
+  "test_ebpf_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebpf_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

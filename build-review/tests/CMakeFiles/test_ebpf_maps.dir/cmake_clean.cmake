@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebpf_maps.dir/ebpf_maps_test.cc.o"
+  "CMakeFiles/test_ebpf_maps.dir/ebpf_maps_test.cc.o.d"
+  "test_ebpf_maps"
+  "test_ebpf_maps.pdb"
+  "test_ebpf_maps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebpf_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebpf_probes.dir/ebpf_probes_test.cc.o"
+  "CMakeFiles/test_ebpf_probes.dir/ebpf_probes_test.cc.o.d"
+  "test_ebpf_probes"
+  "test_ebpf_probes.pdb"
+  "test_ebpf_probes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebpf_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

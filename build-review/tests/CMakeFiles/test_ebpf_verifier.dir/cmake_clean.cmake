@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebpf_verifier.dir/ebpf_verifier_test.cc.o"
+  "CMakeFiles/test_ebpf_verifier.dir/ebpf_verifier_test.cc.o.d"
+  "test_ebpf_verifier"
+  "test_ebpf_verifier.pdb"
+  "test_ebpf_verifier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebpf_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebpf_vm.dir/ebpf_vm_test.cc.o"
+  "CMakeFiles/test_ebpf_vm.dir/ebpf_vm_test.cc.o.d"
+  "test_ebpf_vm"
+  "test_ebpf_vm.pdb"
+  "test_ebpf_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebpf_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontdoor.dir/frontdoor_test.cc.o"
+  "CMakeFiles/test_frontdoor.dir/frontdoor_test.cc.o.d"
+  "test_frontdoor"
+  "test_frontdoor.pdb"
+  "test_frontdoor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontdoor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

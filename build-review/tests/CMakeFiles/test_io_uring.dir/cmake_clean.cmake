@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_uring.dir/io_uring_test.cc.o"
+  "CMakeFiles/test_io_uring.dir/io_uring_test.cc.o.d"
+  "test_io_uring"
+  "test_io_uring.pdb"
+  "test_io_uring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_uring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-review/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build-review/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build-review/tests/test_net[1]_include.cmake")
+include("/root/repo/build-review/tests/test_ebpf_vm[1]_include.cmake")
+include("/root/repo/build-review/tests/test_ebpf_verifier[1]_include.cmake")
+include("/root/repo/build-review/tests/test_ebpf_maps[1]_include.cmake")
+include("/root/repo/build-review/tests/test_ebpf_probes[1]_include.cmake")
+include("/root/repo/build-review/tests/test_workload[1]_include.cmake")
+include("/root/repo/build-review/tests/test_client[1]_include.cmake")
+include("/root/repo/build-review/tests/test_core[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-review/tests/test_ebpf_fuzz[1]_include.cmake")
+include("/root/repo/build-review/tests/test_io_uring[1]_include.cmake")
+include("/root/repo/build-review/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-review/tests/test_ebpf_dsl[1]_include.cmake")
+include("/root/repo/build-review/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build-review/tests/test_ebpf_diff[1]_include.cmake")
+include("/root/repo/build-review/tests/test_scale[1]_include.cmake")
+include("/root/repo/build-review/tests/test_fault[1]_include.cmake")
+include("/root/repo/build-review/tests/test_supervisor[1]_include.cmake")
+include("/root/repo/build-review/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build-review/tests/test_frontdoor[1]_include.cmake")
+include("/root/repo/build-review/tests/test_controller[1]_include.cmake")
