@@ -2,8 +2,10 @@
 # Full pre-merge check: Release build + tier-1 tests (default and
 # native-engine runs), sanitizer build + tier-1 tests, then the gated
 # host-perf report (BENCH_perf.json), the gated scale report
-# (BENCH_scale.json) and the closed-loop control report
-# (BENCH_control.json) at the repo root. Run from anywhere; all paths
+# (BENCH_scale.json), the closed-loop control report
+# (BENCH_control.json), the front-door storm report
+# (BENCH_frontdoor.json) and the run-queue-latency report
+# (BENCH_runqlat.json) at the repo root. Run from anywhere; all paths
 # are repo-relative.
 #
 # Usage: scripts/check.sh [--no-sanitize] [--no-bench]
@@ -60,6 +62,13 @@ echo "== Storm suite =="
 ctest --test-dir "$repo/build-check" --output-on-failure -j "$jobs" \
     -L storm --timeout 300
 
+# The sched suite (discrete-dispatch scheduler, runqlat probe pair,
+# GPS convergence, cluster runqlat determinism): same belt-and-braces
+# label run.
+echo "== Sched suite =="
+ctest --test-dir "$repo/build-check" --output-on-failure -j "$jobs" \
+    -L sched --timeout 300
+
 # Cluster runs must be bit-deterministic: same config, same bytes. Run
 # the co-location bench twice and require byte-identical stdout + JSON.
 echo "== Cluster determinism =="
@@ -87,6 +96,18 @@ for fig in bench_fig1_trace bench_fig2_rps_correlation \
 done
 (cd "$tmp" && sha256sum -c "$repo/scripts/figure_bench_golden.sha256")
 
+# The same hashes must hold with the scheduler override pinned to GPS:
+# REQOBS_SCHED=gps forces the legacy fluid engine regardless of config,
+# proving the env hook and the discrete-dispatch refactor leave the
+# default path untouched down to the byte.
+echo "== Figure-bench golden hashes (REQOBS_SCHED=gps pinned) =="
+for fig in bench_fig1_trace bench_fig2_rps_correlation \
+    bench_fig3_send_variance bench_fig4_epoll_duration \
+    bench_fig5_loss_tail; do
+    REQOBS_SCHED=gps "$repo/build-check/bench/$fig" > "$tmp/$fig"
+done
+(cd "$tmp" && sha256sum -c "$repo/scripts/figure_bench_golden.sha256")
+
 if [ "$run_sanitize" = 1 ]; then
     echo "== Sanitizer build + tests =="
     cmake -B "$repo/build-check-asan" -S "$repo" \
@@ -105,6 +126,11 @@ if [ "$run_sanitize" = 1 ]; then
     echo "== Sanitizer control suite =="
     ctest --test-dir "$repo/build-check-asan" --output-on-failure \
         -j "$jobs" -L control --timeout 300
+    # And the sched suite: per-core deques with mid-dispatch cancels and
+    # the fault injector's delayed switch-in are lifetime-bug habitat.
+    echo "== Sanitizer sched suite =="
+    ctest --test-dir "$repo/build-check-asan" --output-on-failure \
+        -j "$jobs" -L sched --timeout 300
 
     # ThreadSanitizer over the multi-threaded harnesses: the worker pool
     # (perf label) and the parallel cluster engine's window/barrier
@@ -117,10 +143,12 @@ if [ "$run_sanitize" = 1 ]; then
     # Build everything: gtest_discover_tests silently drops unbuilt
     # binaries from the label run, which would hollow out the pass.
     cmake --build "$repo/build-check-tsan" -j "$jobs"
-    # The storm suite rides along (its label regex-matches perf), named
-    # explicitly so trimming the compound label can't silently drop it.
+    # The storm and sched suites ride along (their labels regex-match
+    # perf), named explicitly so trimming the compound labels can't
+    # silently drop them; sched covers the parallel cluster engine
+    # driving per-machine discrete schedulers.
     ctest --test-dir "$repo/build-check-tsan" --output-on-failure \
-        -j "$jobs" -L 'perf|fleet|storm' --timeout 300
+        -j "$jobs" -L 'perf|fleet|storm|sched' --timeout 300
 fi
 
 if [ "$run_bench" = 1 ]; then
@@ -149,6 +177,12 @@ if [ "$run_bench" = 1 ]; then
     echo "== Front-door storm report =="
     "$repo/build-check/bench/bench_frontdoor" \
         --json "$repo/BENCH_frontdoor.json"
+    # Runqlat acceptance: run-queue latency detects the antagonist onset
+    # earlier than Eq. 2 send variance at every ramp rung, and separates
+    # CPU saturation from netem degradation (non-zero exit otherwise).
+    echo "== Run-queue latency report =="
+    "$repo/build-check/bench/bench_runqlat" \
+        --json "$repo/BENCH_runqlat.json"
 fi
 
 echo "== check.sh OK =="

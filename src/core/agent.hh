@@ -85,6 +85,17 @@ struct AgentConfig
     /** @} */
 
     /**
+     * Run-queue latency histogram (MultiTenantAgent only). Attaches the
+     * runqlat probe pair to the sched tracepoints and stamps a
+     * per-tenant run-queue wait p99 onto every sample — the fourth
+     * metric family next to Eq. 1, Eq. 2 and epoll slack. Only
+     * meaningful under SchedModel::Discrete: the GPS fluid model never
+     * fires sched tracepoints, so the histogram stays empty. Off by
+     * default (attached probes change event costs).
+     */
+    bool runqlatHistogram = false;
+
+    /**
      * Called after every emitted sample — the supervisor's checkpoint
      * hook. Unset (the default) means no call and no overhead.
      */
@@ -132,6 +143,11 @@ struct MetricsSample
     bool saturated = false;     ///< detector state after this window
     double slack = 0.0;         ///< slack estimate after this window
     AgentHealth health;         ///< pipeline self-diagnostics at emit time
+    /** @name Run-queue latency window (runqlat family). Zeros unless
+     *  AgentConfig::runqlatHistogram under SchedModel::Discrete. @{ */
+    std::uint64_t runqCount = 0; ///< switch-ins bucketed this window
+    double runqP99Ns = 0.0;      ///< window run-queue wait p99 (ns)
+    /** @} */
 };
 
 /**

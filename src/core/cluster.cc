@@ -19,9 +19,12 @@ isDegenerateCluster(const ClusterExperimentConfig &config)
         config.machineSpeedFactors.empty() ||
         (config.machineSpeedFactors.size() == 1 &&
          config.machineSpeedFactors[0] == 1.0);
+    // A discrete-sched config is never degenerate: runExperiment() has
+    // no scheduler knob to carry it through.
     return config.machines == 1 && config.tenants.size() == 1 &&
            config.tenants[0].loadProfile.empty() && !config.antagonist &&
-           !config.controller.enabled && uniform_speed;
+           !config.controller.enabled && uniform_speed &&
+           config.sched == kernel::SchedModel::Gps;
 }
 
 sim::Tick
@@ -140,6 +143,9 @@ runClusterParallel(const ClusterExperimentConfig &config)
     for (unsigned m = 0; m < config.machines; ++m) {
         kernel::KernelConfig kc;
         kc.cpu = config.system.toCpuConfig();
+        kc.cpu.sched = config.sched;
+        if (config.schedQuantum > 0)
+            kc.cpu.quantum = config.schedQuantum;
         if (!config.machineSpeedFactors.empty())
             kc.cpu.speed *= config.machineSpeedFactors[m];
         machines.push_back(
@@ -353,8 +359,10 @@ runClusterParallel(const ClusterExperimentConfig &config)
                 mr.pollMeanDurNs = agent.overallPollMeanDurationNs(t);
                 mr.probeSendSyscalls = agent.sendSyscalls(t);
                 mr.samples = agent.tenant(t).samples().size();
+                mr.runqP99Ns = agent.overallRunqP99Ns(t);
                 agg.addSeries(m, agent.tenant(t).samples());
                 tr.observedRps += mr.observedRps;
+                tr.runqP99Ns = std::max(tr.runqP99Ns, mr.runqP99Ns);
             }
             tr.machines.push_back(mr);
         }
@@ -439,6 +447,9 @@ runClusterExperiment(const ClusterExperimentConfig &config)
     for (unsigned m = 0; m < config.machines; ++m) {
         kernel::KernelConfig kc;
         kc.cpu = config.system.toCpuConfig();
+        kc.cpu.sched = config.sched;
+        if (config.schedQuantum > 0)
+            kc.cpu.quantum = config.schedQuantum;
         if (!config.machineSpeedFactors.empty())
             kc.cpu.speed *= config.machineSpeedFactors[m];
         machines.push_back(std::make_unique<workload::Machine>(sim, kc));
@@ -621,8 +632,10 @@ runClusterExperiment(const ClusterExperimentConfig &config)
                 mr.pollMeanDurNs = agent.overallPollMeanDurationNs(t);
                 mr.probeSendSyscalls = agent.sendSyscalls(t);
                 mr.samples = agent.tenant(t).samples().size();
+                mr.runqP99Ns = agent.overallRunqP99Ns(t);
                 agg.addSeries(m, agent.tenant(t).samples());
                 tr.observedRps += mr.observedRps;
+                tr.runqP99Ns = std::max(tr.runqP99Ns, mr.runqP99Ns);
             }
             tr.machines.push_back(mr);
         }

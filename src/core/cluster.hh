@@ -63,6 +63,18 @@ struct ClusterExperimentConfig
     std::vector<double> machineSpeedFactors;
 
     kernel::SystemSpec system = kernel::amdEpyc7302();
+    /**
+     * @name CPU scheduling model (see kernel/cpu.hh).
+     *
+     * Gps (default) keeps every existing run bit-identical. Discrete
+     * enables the sched tracepoints on every machine, so agents can
+     * attach the runqlat probe pair (AgentConfig::runqlatHistogram).
+     * schedQuantum 0 keeps the CpuConfig default timeslice.
+     * @{
+     */
+    kernel::SchedModel sched = kernel::SchedModel::Gps;
+    sim::Tick schedQuantum = 0;
+    /** @} */
     net::NetemConfig netem;
     net::TcpConfig tcp;
     net::LbPolicy lbPolicy = net::LbPolicy::RoundRobin;
@@ -120,6 +132,8 @@ struct TenantMachineResult
     /** The kernel's own per-tgid dispatch count (attribution cross-check). */
     std::uint64_t kernelSyscalls = 0;
     std::uint64_t samples = 0; ///< emitted metric windows
+    /** Whole-run run-queue wait p99 (0 without runqlatHistogram). */
+    double runqP99Ns = 0.0;
 };
 
 /** One tenant's fleet-wide outcome. */
@@ -142,6 +156,8 @@ struct ClusterTenantResult
     std::vector<TenantMachineResult> machines;
     /** Per-machine sample streams merged on agent-period buckets. */
     std::vector<FleetSample> fleetSeries;
+    /** Max per-machine whole-run runq p99 (0 without runqlatHistogram). */
+    double runqP99Ns = 0.0;
 };
 
 /** Whole-cluster outcome. */

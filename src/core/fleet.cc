@@ -50,6 +50,10 @@ FleetAggregator::merged() const
                 continue;
             ++f.contributors;
             f.rpsObsv += slot.sample.rpsObsv;
+            // Runqlat is independent of the send window: a starved
+            // tenant can show huge queueing while emitting nothing.
+            if (slot.sample.runqP99Ns > f.runqP99Ns)
+                f.runqP99Ns = slot.sample.runqP99Ns;
             // A zero-event window carries no variance or slack signal:
             // pooling it would multiply a possibly-NaN variance by zero
             // count, and its placeholder slack would masquerade as a

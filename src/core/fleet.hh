@@ -32,6 +32,11 @@ struct FleetSample
     double slack = 0.0;         ///< min per-machine slack
     std::uint64_t sendCount = 0; ///< Σ window send events
     unsigned contributors = 0;  ///< machines represented in this bucket
+    /**
+     * Max per-machine run-queue wait p99 (runqlat family): the fleet is
+     * as contended as its worst machine. 0 when the family is off.
+     */
+    double runqP99Ns = 0.0;
 };
 
 /** See file comment. */

@@ -15,7 +15,8 @@ TenantMetrics::TenantMetrics(const AgentConfig &config)
 MetricsSample
 TenantMetrics::observe(sim::Tick t, const DeltaWindow &send,
                        const DeltaWindow &recv, std::uint64_t poll_count,
-                       double poll_mean_dur_ns, const AgentHealth &health)
+                       double poll_mean_dur_ns, const AgentHealth &health,
+                       std::uint64_t runq_count, double runq_p99_ns)
 {
     MetricsSample s;
     s.t = t;
@@ -24,6 +25,8 @@ TenantMetrics::observe(sim::Tick t, const DeltaWindow &send,
     s.pollCount = poll_count;
     s.pollMeanDurNs = poll_mean_dur_ns;
     s.health = health;
+    s.runqCount = runq_count;
+    s.runqP99Ns = runq_p99_ns;
     s.rpsObsv = rpsFromWindow(send);
 
     rps_.observe(send);
@@ -121,6 +124,18 @@ MultiTenantAgent::start()
                                                  shift,
                                                  config_.guardedProbes),
            "poll.duration_exit", kernel::TracepointId::SysExit);
+    if (config_.runqlatHistogram) {
+        runqMaps_ = ebpf::probes::createRunqlatMaps(*runtime_, n, "runq");
+        // The wakeup half goes on both wakeup tracepoints (same bytecode,
+        // two attachments — exactly how the real runqlat tool loads one
+        // program twice).
+        attach(ebpf::probes::buildRunqlatWakeup(*runtime_, runqMaps_),
+               "runq.wakeup", kernel::TracepointId::SchedWakeup);
+        attach(ebpf::probes::buildRunqlatWakeup(*runtime_, runqMaps_),
+               "runq.wakeup_new", kernel::TracepointId::SchedWakeupNew);
+        attach(ebpf::probes::buildRunqlatSwitch(*runtime_, set, runqMaps_),
+               "runq.switch", kernel::TracepointId::SchedSwitch);
+    }
 
     running_ = true;
     // loadAndAttach is fatal on rejection, so reaching here means every
@@ -131,6 +146,9 @@ MultiTenantAgent::start()
     sendSnap_.assign(tenants_.size(), SyscallStats{});
     recvSnap_.assign(tenants_.size(), SyscallStats{});
     pollSnap_.assign(tenants_.size(), SyscallStats{});
+    runqSnap_.assign(tenants_.size(),
+                     std::vector<std::uint64_t>(
+                         ebpf::probes::kRunqlatBuckets, 0));
     lossSendSnap_.assign(tenants_.size(), LossSnap{});
     lossRecvSnap_.assign(tenants_.size(), LossSnap{});
     lossPollEnterSnap_.assign(tenants_.size(), LossSnap{});
@@ -269,8 +287,23 @@ MultiTenantAgent::takeSample()
             lossPollEnterSnap_[i] = loss_pe;
             lossPollExitSnap_[i] = loss_px;
         }
+        std::uint64_t runq_count = 0;
+        double runq_p99 = 0.0;
+        if (config_.runqlatHistogram) {
+            std::vector<std::uint64_t> hist = ebpf::probes::readRunqlatHist(
+                *runtime_, runqMaps_, static_cast<std::uint32_t>(i));
+            std::vector<std::uint64_t> window(hist.size(), 0);
+            for (std::size_t b = 0; b < hist.size(); ++b) {
+                window[b] = hist[b] - runqSnap_[i][b];
+                runq_count += window[b];
+            }
+            if (runq_count > 0)
+                runq_p99 = static_cast<double>(
+                    ebpf::probes::runqlatQuantile(window, 0.99));
+            runqSnap_[i] = std::move(hist);
+        }
         metrics_[i]->observe(now, send, recv, poll_count, poll_mean,
-                             health_);
+                             health_, runq_count, runq_p99);
         sendSnap_[i] = send_now[i];
         recvSnap_[i] = recv_now[i];
         pollSnap_[i] = poll_now[i];
@@ -307,6 +340,17 @@ std::uint64_t
 MultiTenantAgent::sendSyscalls(std::size_t i) const
 {
     return readSlot(sendMaps_.statsFd, i).count;
+}
+
+double
+MultiTenantAgent::overallRunqP99Ns(std::size_t i) const
+{
+    if (runqMaps_.histFd < 0)
+        return 0.0;
+    return static_cast<double>(ebpf::probes::runqlatQuantile(
+        ebpf::probes::readRunqlatHist(*runtime_, runqMaps_,
+                                      static_cast<std::uint32_t>(i)),
+        0.99));
 }
 
 std::vector<std::pair<std::uint32_t, std::uint64_t>>

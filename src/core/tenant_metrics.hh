@@ -43,12 +43,16 @@ class TenantMetrics
      * caller when enabled). Mirrors the estimator update step of
      * ObservabilityAgent::takeSample() and returns the emitted sample;
      * @p health is stamped onto it so consumers can tell a quiet
-     * tenant from a sick pipeline.
+     * tenant from a sick pipeline. The trailing runqlat pair is this
+     * tenant's windowed run-queue latency (zeros when the family is
+     * off), carried through verbatim.
      */
     MetricsSample observe(sim::Tick t, const DeltaWindow &send,
                           const DeltaWindow &recv, std::uint64_t poll_count,
                           double poll_mean_dur_ns,
-                          const AgentHealth &health = {});
+                          const AgentHealth &health = {},
+                          std::uint64_t runq_count = 0,
+                          double runq_p99_ns = 0.0);
 
     const std::vector<MetricsSample> &samples() const { return samples_; }
     const RpsEstimator &rps() const { return rps_; }
@@ -101,6 +105,8 @@ class MultiTenantAgent
     double overallPollMeanDurationNs(std::size_t i) const;
     /** Send-family syscalls attributed to tenant @p i in-kernel. */
     std::uint64_t sendSyscalls(std::size_t i) const;
+    /** Whole-run run-queue wait p99 (0 without runqlatHistogram). */
+    double overallRunqP99Ns(std::size_t i) const;
     /** @} */
 
     /**
@@ -127,6 +133,7 @@ class MultiTenantAgent
     ebpf::probes::DeltaMaps recvMaps_;
     ebpf::probes::DurationMaps pollMaps_;
     int sketchFd_ = -1; ///< heavy-hitter sketch (when enabled)
+    ebpf::probes::RunqlatMaps runqMaps_; ///< runqlat pair (when enabled)
 
     bool running_ = false;
     sim::EventId sampleTimer_;
@@ -136,6 +143,8 @@ class MultiTenantAgent
     std::vector<ebpf::probes::SyscallStats> sendSnap_;
     std::vector<ebpf::probes::SyscallStats> recvSnap_;
     std::vector<ebpf::probes::SyscallStats> pollSnap_;
+    /** Per-tenant cumulative runqlat histogram at window start. */
+    std::vector<std::vector<std::uint64_t>> runqSnap_;
 
     /** Loss-aware reconstruction (mirrors ObservabilityAgent): one
      *  program's loss counters at the start of a tenant's window. */

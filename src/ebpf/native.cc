@@ -166,6 +166,45 @@ matchTenant(const NativeProgram &p, std::uint64_t tgid_hi, std::uint64_t id,
     return -1;
 }
 
+/**
+ * Slot-resolution half of the tenant prologue for probes that preload
+ * pid_tgid into r6 themselves (probes.cc emitTenantSlot): same chain as
+ * matchTenant minus the leading ldxdw.
+ */
+inline int
+matchTenantSlot(const NativeProgram &p, std::uint64_t tgid_hi,
+                std::uint64_t &n)
+{
+    n += 2; // mov r7, rsh r7 (pid_tgid preloaded in r6)
+    for (std::size_t t = 0; t < p.tenantCmp.size(); ++t) {
+        ++n; // jeq tenant t
+        if (tgid_hi == p.tenantCmp[t]) {
+            n += 2; // movImm r7 slot, ja tenant_body
+            return static_cast<int>(t);
+        }
+    }
+    ++n; // ja out
+    return -1;
+}
+
+/**
+ * Unrolled log2 threshold chain over 16 buckets (the front-door /
+ * runqlat histogram idiom): returns the bucket index and accumulates
+ * the retired chain instructions exactly as the bytecode would — one
+ * jlt per tested threshold, plus the movImm behind every untaken one.
+ */
+inline unsigned
+log2Bucket16(std::uint64_t v, std::uint64_t &n)
+{
+    for (unsigned k = 1; k < 16; ++k) {
+        ++n; // jlt 1<<k (taken: r6 still holds k-1)
+        if (v < (1ull << k))
+            return k - 1;
+        ++n; // movImm r6 = k
+    }
+    return 15;
+}
+
 // --------------------------------------------------------------- kernels
 
 void
@@ -371,6 +410,68 @@ runTenantDurationExit(const NativeProgram &p, const TraceCtx &ctx,
 }
 
 void
+runRunqlatWakeup(const NativeProgram &p, const TraceCtx &ctx, ExecEnv &env,
+                 NativeResult &res)
+{
+    // 2 ctx loads + 2 stores, ld_map_fd, 4 arg insns, mov flags, call
+    std::uint64_t n = 11;
+    const std::uint64_t key = ctx.id;
+    const std::uint64_t val = ctx.ts;
+    gatedMapUpdate(p.start, bytes(&key), bytes(&val), BPF_ANY, env, res);
+    res.insns += n + 2; // out: mov r0, exit
+}
+
+void
+runRunqlatSwitch(const NativeProgram &p, const TraceCtx &ctx, ExecEnv &env,
+                 NativeResult &res)
+{
+    std::uint64_t n = 5; // 4 ctx loads + jne prev-state
+    if (ctx.ret == 0) {
+        // Preempted prev: 2 stores, ld_map_fd, 4 arg insns, mov flags,
+        // call update
+        n += 9;
+        const std::uint64_t key = ctx.id;
+        const std::uint64_t val = ctx.ts;
+        gatedMapUpdate(p.start, bytes(&key), bytes(&val), BPF_ANY, env,
+                       res);
+    }
+    do {
+        const int t = matchTenantSlot(p, ctx.pidTgid >> 32, n);
+        if (t < 0)
+            break;
+        n += 4; // mov r8, lsh, rsh, stxdw key
+        const std::uint64_t key = ctx.pidTgid & 0xffffffffull;
+        n += 5; // ld_map_fd, mov, add, call lookup, jeq null
+        std::uint8_t *sv = mapLookupHot(p.start, bytes(&key), env.cpu);
+        if (!sv)
+            break;
+        n += 1; // ldxdw r3 = *wake_ns
+        std::uint64_t wakeNs;
+        std::memcpy(&wakeNs, sv, 8);
+        n += 2; // mov r8, sub
+        const std::uint64_t wait = ctx.ts - wakeNs;
+        n += 4; // delete: ld_map_fd, mov, add, call
+        mapEraseHot(p.start, bytes(&key));
+        n += 2; // rsh shift, movImm r6 0
+        const unsigned bucket = log2Bucket16(wait >> (p.shift & 63), n);
+        n += 2; // lsh r7, add
+        const std::uint32_t idx =
+            static_cast<std::uint32_t>(t) * probes::kRunqlatBuckets +
+            bucket;
+        n += 6; // stx idx, ld_map_fd, mov, add, call lookup, jeq null
+        std::uint8_t *slot = mapLookupHot(p.hist, bytes(&idx), env.cpu);
+        if (!slot)
+            break;
+        n += 3; // ldxdw, addImm, stxdw
+        std::uint64_t c;
+        std::memcpy(&c, slot, 8);
+        c += 1;
+        std::memcpy(slot, &c, 8);
+    } while (false);
+    res.insns += n + 2; // out: mov r0, exit
+}
+
+void
 runStream(const NativeProgram &p, const TraceCtx &ctx, ExecEnv &env,
           NativeResult &res)
 {
@@ -468,6 +569,13 @@ statsMapOk(const Map *m)
 /** slot (u32) -> count (u64) sketch. */
 bool
 sketchMapOk(const Map *m)
+{
+    return m && m->keySize() == 4 && m->valueSize() == 8;
+}
+
+/** index (u32) -> count (u64) log2-histogram array. */
+bool
+histMapOk(const Map *m)
 {
     return m && m->keySize() == 4 && m->valueSize() == 8;
 }
@@ -720,6 +828,54 @@ matchStream(const ProgramSpec &spec, NativeProgram *out, bool exit_point)
     return true;
 }
 
+bool
+matchRunqlatWakeup(const ProgramSpec &spec, NativeProgram *out)
+{
+    const auto fds = mapFds(spec.insns);
+    if (fds.size() != 1)
+        return false;
+    if (!sameInsns(spec.insns, probes::emit::runqlatWakeup(fds[0])))
+        return false;
+    Map *stamp = findMap(spec, fds[0]);
+    if (!startMapOk(stamp))
+        return false;
+    out->fn = runRunqlatWakeup;
+    out->shape = "runqlat_wakeup";
+    out->start = stamp;
+    return true;
+}
+
+bool
+matchRunqlatSwitch(const ProgramSpec &spec, NativeProgram *out)
+{
+    const auto tgids = jumpImms(spec.insns, kJeqK, R7);
+    const auto fds = mapFds(spec.insns);
+    const int shift = lastRshImm(spec.insns);
+    if (tgids.empty() || fds.size() != 4 || shift < 0)
+        return false;
+    // Stream order: prev re-stamp, lookup, delete (all the stamp map),
+    // then the histogram.
+    if (fds[0] != fds[1] || fds[0] != fds[2])
+        return false;
+    if (!sameInsns(spec.insns,
+                   probes::emit::runqlatSwitch(
+                       tenantSetFrom(tgids, {}), fds[0], fds[3],
+                       static_cast<unsigned>(shift))))
+        return false;
+    Map *stamp = findMap(spec, fds[0]);
+    Map *hist = findMap(spec, fds[3]);
+    if (!startMapOk(stamp) || !histMapOk(hist))
+        return false;
+    out->fn = runRunqlatSwitch;
+    out->shape = "runqlat_switch";
+    out->shift = static_cast<unsigned>(shift);
+    out->start = stamp;
+    out->hist = hist;
+    for (std::int32_t t : tgids)
+        out->tenantCmp.push_back(sx(t));
+    return true;
+}
+
 } // namespace
 
 bool
@@ -747,6 +903,10 @@ compileNative(const ProgramSpec &spec, NativeProgram *out)
         ok = matchStream(spec, out, false);
     else if (spec.name == "stream_exit")
         ok = matchStream(spec, out, true);
+    else if (spec.name == "runqlat_wakeup")
+        ok = matchRunqlatWakeup(spec, out);
+    else if (spec.name == "runqlat_switch")
+        ok = matchRunqlatSwitch(spec, out);
     if (!ok)
         *out = NativeProgram{};
     return ok;

@@ -66,9 +66,10 @@ struct NativeProgram
     bool guarded = false;         ///< defensive-bytecode variant
     bool exitPoint = false;       ///< stream probes: sys_exit records
 
-    Map *start = nullptr;     ///< duration start map (hash)
+    Map *start = nullptr;     ///< duration/wakeup start map (hash)
     Map *stats = nullptr;     ///< stats array (or per-CPU array)
     Map *sketch = nullptr;    ///< heavy-hitter sketch
+    Map *hist = nullptr;      ///< log2-bucket histogram array
     RingBufMap *ring = nullptr;
 
     /** Sign-extended syscall-family immediates, chain order. */
@@ -88,6 +89,8 @@ struct NativeProgram
             refs.push_back(stats);
         if (sketch)
             refs.push_back(sketch);
+        if (hist)
+            refs.push_back(hist);
         if (ring)
             refs.push_back(ring);
         return refs;

@@ -30,13 +30,27 @@ emitTgidFilter(ProgramBuilder &b, std::uint32_t tgid)
  * (pre-loaded into r8 by the caller) to equal that tenant's own poll
  * syscall — tenants may wait on different syscalls.
  */
+void emitTenantSlot(ProgramBuilder &b, const TenantSet &tenants,
+                    bool match_poll);
+
 void
 emitTenantFilter(ProgramBuilder &b, const TenantSet &tenants,
                  bool match_poll)
 {
-    b.ldxdw(R6, R1, offsetof(TraceCtx, pidTgid))
-        .mov(R7, R6)
-        .rshImm(R7, 32);
+    b.ldxdw(R6, R1, offsetof(TraceCtx, pidTgid));
+    emitTenantSlot(b, tenants, match_poll);
+}
+
+/**
+ * The slot-resolution half of emitTenantFilter, for probes that must
+ * load ctx->pid_tgid themselves (e.g. before a helper call clobbers
+ * r1): expects pid_tgid already in r6.
+ */
+void
+emitTenantSlot(ProgramBuilder &b, const TenantSet &tenants,
+               bool match_poll)
+{
+    b.mov(R7, R6).rshImm(R7, 32);
     for (std::size_t i = 0; i < tenants.tgids.size(); ++i)
         b.jeqImm(R7, static_cast<std::int32_t>(tenants.tgids[i]),
                  "tenant" + std::to_string(i));
@@ -435,6 +449,95 @@ frontDoorAccept(const TenantSet &tenants, int ingress_fd, int hist_fd,
 }
 
 std::vector<Insn>
+runqlatWakeup(int stamp_fd)
+{
+    ProgramBuilder b;
+    // Read ctx fields before r1 is clobbered by the helper setup.
+    b.ldxdw(R2, R1, offsetof(TraceCtx, id))
+        .stxdw(R10, -8, R2) // key = woken tid
+        .ldxdw(R3, R1, offsetof(TraceCtx, ts))
+        .stxdw(R10, -16, R3); // value = wakeup ts
+    // stamp.update(&tid, &ts) — BPF_ANY: a re-wakeup restarts the wait
+    // clock, exactly as runqlat.bpf.c's trace_enqueue does.
+    b.ldMapFd(R1, stamp_fd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .mov(R3, R10)
+        .addImm(R3, -16)
+        .movImm(R4, BPF_ANY)
+        .call(helper::kMapUpdateElem);
+    b.label("out").movImm(R0, 0).exit_();
+    return b.build();
+}
+
+std::vector<Insn>
+runqlatSwitch(const TenantSet &tenants, int stamp_fd, int hist_fd,
+              unsigned shift)
+{
+    if (tenants.tgids.empty())
+        sim::fatal("emit::runqlatSwitch: empty tenant set");
+
+    ProgramBuilder b;
+    // Read every ctx field up front: the prev re-stamp's helper call
+    // clobbers r1-r5, and it must run before the tenant filter decides
+    // the incoming task's fate (prev and next are unrelated threads).
+    b.ldxdw(R6, R1, offsetof(TraceCtx, pidTgid)) // next pid_tgid
+        .ldxdw(R8, R1, offsetof(TraceCtx, id))   // prev tid
+        .ldxdw(R9, R1, offsetof(TraceCtx, ts))   // switch ts
+        .ldxdw(R2, R1, offsetof(TraceCtx, ret)); // prev state
+    // A preempted prev (state 0) stays runnable: its wait starts now.
+    b.jneImm(R2, 0, "next")
+        .stxdw(R10, -8, R8)
+        .stxdw(R10, -16, R9)
+        .ldMapFd(R1, stamp_fd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .mov(R3, R10)
+        .addImm(R3, -16)
+        .movImm(R4, BPF_ANY)
+        .call(helper::kMapUpdateElem);
+    b.label("next");
+    emitTenantSlot(b, tenants, /*match_poll=*/false); // slot in r7
+    // key = next tid = low half of pid_tgid (idle's 0 misses the hash).
+    b.mov(R8, R6).lshImm(R8, 32).rshImm(R8, 32).stxdw(R10, -8, R8);
+    // u64 *wake_ns = stamp.lookup(&tid);
+    b.ldMapFd(R1, stamp_fd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .call(helper::kMapLookupElem)
+        .jeqImm(R0, 0, "out");
+    b.ldxdw(R3, R0, 0);
+    // wait = switch_ts - wake_ns;  (r8 is free once keyed)
+    b.mov(R8, R9).sub(R8, R3);
+    // stamp.delete(&tid);  (key buffer still on the stack)
+    b.ldMapFd(R1, stamp_fd)
+        .mov(R2, R10)
+        .addImm(R2, -8)
+        .call(helper::kMapDeleteElem);
+    // bucket = floor(log2(wait >> shift)), clamped to the table: the
+    // same unrolled threshold chain as the front-door histogram.
+    b.rshImm(R8, static_cast<std::int32_t>(shift)).movImm(R6, 0);
+    for (unsigned k = 1; k < kRunqlatBuckets; ++k) {
+        b.jltImm(R8, static_cast<std::int32_t>(1u << k), "bucket");
+        b.movImm(R6, static_cast<std::int32_t>(k));
+    }
+    b.label("bucket");
+    // hist = &hist_array[slot * kRunqlatBuckets + bucket]; (*hist)++;
+    b.lshImm(R7, 4).add(R7, R6);
+    b.stx(R10, -16, R7, BPF_W)
+        .ldMapFd(R1, hist_fd)
+        .mov(R2, R10)
+        .addImm(R2, -16)
+        .call(helper::kMapLookupElem)
+        .jeqImm(R0, 0, "out")
+        .ldxdw(R3, R0, 0)
+        .addImm(R3, 1)
+        .stxdw(R0, 0, R3);
+    b.label("out").movImm(R0, 0).exit_();
+    return b.build();
+}
+
+std::vector<Insn>
 streamProbe(std::uint32_t tgid, bool exit_point, int ring_fd)
 {
     ProgramBuilder b;
@@ -642,6 +745,63 @@ readFrontDoorHist(EbpfRuntime &rt, const FrontDoorMaps &maps,
     for (unsigned k = 0; k < kFrontDoorBuckets; ++k)
         hist[k] = arr.at<std::uint64_t>(slot * kFrontDoorBuckets + k);
     return hist;
+}
+
+// The switch emitter computes slot * kRunqlatBuckets as a shift.
+static_assert(kRunqlatBuckets == 16,
+              "runqlatSwitch hardcodes lsh 4 for the slot stride");
+
+RunqlatMaps
+createRunqlatMaps(EbpfRuntime &rt, std::uint32_t tenants,
+                  const std::string &prefix)
+{
+    RunqlatMaps m;
+    m.stampFd = rt.createHashMap(sizeof(std::uint64_t),
+                                 sizeof(std::uint64_t), 16384,
+                                 prefix + ".stamp");
+    m.histFd = rt.createArrayMap(sizeof(std::uint64_t),
+                                 tenants * kRunqlatBuckets,
+                                 prefix + ".hist");
+    return m;
+}
+
+ProgramSpec
+buildRunqlatWakeup(EbpfRuntime &rt, const RunqlatMaps &maps)
+{
+    ProgramSpec spec;
+    spec.name = "runqlat_wakeup";
+    spec.insns = emit::runqlatWakeup(maps.stampFd);
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+ProgramSpec
+buildRunqlatSwitch(EbpfRuntime &rt, const TenantSet &tenants,
+                   const RunqlatMaps &maps, unsigned shift)
+{
+    ProgramSpec spec;
+    spec.name = "runqlat_switch";
+    spec.insns = emit::runqlatSwitch(tenants, maps.stampFd, maps.histFd,
+                                     shift);
+    spec.maps = rt.mapTable();
+    return spec;
+}
+
+std::vector<std::uint64_t>
+readRunqlatHist(EbpfRuntime &rt, const RunqlatMaps &maps, std::uint32_t slot)
+{
+    std::vector<std::uint64_t> hist(kRunqlatBuckets, 0);
+    auto &arr = rt.arrayAt(maps.histFd);
+    for (unsigned k = 0; k < kRunqlatBuckets; ++k)
+        hist[k] = arr.at<std::uint64_t>(slot * kRunqlatBuckets + k);
+    return hist;
+}
+
+std::uint64_t
+runqlatQuantile(const std::vector<std::uint64_t> &hist, double q,
+                unsigned shift)
+{
+    return frontDoorQuantile(hist, q, shift);
 }
 
 std::uint64_t

@@ -268,6 +268,73 @@ std::uint64_t frontDoorQuantile(const std::vector<std::uint64_t> &hist,
 
 /** @} */
 
+/**
+ * @name Run-queue latency probe pair (the runqlat idiom).
+ *
+ * The classic BCC/libbpf runqlat tool, on the simulated sched
+ * tracepoints (SchedModel::Discrete only — under Gps they never fire):
+ *  - the sched_wakeup / sched_wakeup_new program stamps
+ *    stamp[tid] = ctx->ts for every woken task (no tenant filter: the
+ *    wait clock must start even when a non-tenant thread wakes, and
+ *    attribution happens on the switch side);
+ *  - the sched_switch program first re-stamps the departing task when
+ *    it is still runnable (ctx->ret == 0: preempted, its wait starts
+ *    now), then resolves the *incoming* task's tenant slot with the
+ *    standard prologue, computes wait = ctx->ts - stamp[next_tid], and
+ *    increments a per-tenant log2 histogram bucket. Run-queue latency
+ *    is the canonical early signal of CPU contention: it rises as soon
+ *    as tasks queue, well before completions slow enough to move the
+ *    syscall-derived Eq. 2 variance.
+ * @{
+ */
+
+/** Buckets per tenant in the run-queue latency histogram. */
+constexpr unsigned kRunqlatBuckets = 16;
+
+/**
+ * Right-shift applied to the wait before bucketing: bucket 0 covers
+ * [0, 2048) ns and the top bucket saturates at ~2^25 ns (~33 ms),
+ * bracketing everything from same-tick dispatch to heavy antagonist
+ * queueing.
+ */
+constexpr unsigned kRunqlatShift = 10;
+
+/** Maps used by the runqlat probe pair. */
+struct RunqlatMaps
+{
+    int stampFd = -1; ///< hash: tid (u64) -> wakeup/preempt ts (u64)
+    int histFd = -1;  ///< array[tenants * kRunqlatBuckets] of u64
+};
+
+/** Allocate the runqlat maps for @p tenants tenant slots. */
+RunqlatMaps createRunqlatMaps(EbpfRuntime &rt, std::uint32_t tenants,
+                              const std::string &prefix);
+
+/**
+ * sched_wakeup / sched_wakeup_new half: stamp the woken task's wait
+ * start. Attach the same build to both wakeup tracepoints.
+ */
+ProgramSpec buildRunqlatWakeup(EbpfRuntime &rt, const RunqlatMaps &maps);
+
+/** sched_switch half: bucket the incoming task's wait per tenant. */
+ProgramSpec buildRunqlatSwitch(EbpfRuntime &rt, const TenantSet &tenants,
+                               const RunqlatMaps &maps,
+                               unsigned shift = kRunqlatShift);
+
+/** Read tenant @p slot's histogram (kRunqlatBuckets counters). */
+std::vector<std::uint64_t> readRunqlatHist(EbpfRuntime &rt,
+                                           const RunqlatMaps &maps,
+                                           std::uint32_t slot);
+
+/**
+ * Approximate quantile from a runqlat log2 histogram: the upper bound
+ * (ns) of the bucket containing the @p q-th sample, 0 when empty.
+ */
+std::uint64_t runqlatQuantile(const std::vector<std::uint64_t> &hist,
+                              double q, unsigned shift = kRunqlatShift);
+
+/** @} */
+
 /** Maps used by a stream probe. */
 struct StreamMaps
 {
@@ -322,6 +389,9 @@ std::vector<Insn> streamProbe(std::uint32_t tgid, bool exit_point,
 std::vector<Insn> frontDoorIngress(int ingress_fd);
 std::vector<Insn> frontDoorAccept(const TenantSet &tenants, int ingress_fd,
                                   int hist_fd, unsigned shift);
+std::vector<Insn> runqlatWakeup(int stamp_fd);
+std::vector<Insn> runqlatSwitch(const TenantSet &tenants, int stamp_fd,
+                                int hist_fd, unsigned shift);
 
 } // namespace emit
 /** @} */

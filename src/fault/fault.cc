@@ -16,7 +16,7 @@ FaultPlan::any() const
            connResetProbability > 0.0 || agentCrashMtbf > 0 ||
            samplerStallMtbf > 0 || mapWipeOnRestartProbability > 0.0 ||
            synFloodRate > 0.0 || acceptBacklogOverflowProbability > 0.0 ||
-           retransmitStormProbability > 0.0;
+           retransmitStormProbability > 0.0 || schedDelayProbability > 0.0;
 }
 
 FaultInjector::FaultInjector(const FaultPlan &plan, sim::Rng rng)
@@ -231,6 +231,15 @@ FaultInjector::injectRetransmitDrop()
         return false;
     ++counts_.retransmitDrops;
     return true;
+}
+
+sim::Tick
+FaultInjector::injectSchedDelay()
+{
+    if (!bernoulli(plan_.schedDelayProbability))
+        return 0;
+    ++counts_.schedDelays;
+    return plan_.schedDelayNs;
 }
 
 } // namespace reqobs::fault

@@ -147,6 +147,20 @@ struct FaultPlan
     double retransmitStormProbability = 0.0;
     /** @} */
 
+    /** @name Scheduler faults (discrete dispatch; inert under Gps). @{ */
+
+    /**
+     * P(a discrete-dispatch switch-in is delayed) — models a stolen
+     * timeslice (softirq storm, throttled cgroup, noisy sibling): the
+     * core sits reserved for schedDelayNs before the next task runs, so
+     * the victim's run-queue latency inflates without any change in its
+     * own demand.
+     */
+    double schedDelayProbability = 0.0;
+    /** Injected switch-in delay when the fault fires. */
+    sim::Tick schedDelayNs = sim::microseconds(200);
+    /** @} */
+
     /** True when any knob is enabled (the injector is worth creating). */
     bool any() const;
 };
@@ -170,6 +184,7 @@ struct FaultCounts
     std::uint64_t synFloodConns = 0;  ///< injected flood handshakes
     std::uint64_t backlogOverflows = 0; ///< forced accept-backlog failures
     std::uint64_t retransmitDrops = 0;  ///< forced ingress segment drops
+    std::uint64_t schedDelays = 0;      ///< delayed discrete switch-ins
 };
 
 /** Per-event fault decisions; see file comment. */
@@ -260,6 +275,12 @@ class FaultInjector
 
     /** Drop this arriving handshake segment at ingress? */
     bool injectRetransmitDrop();
+    /** @} */
+
+    /** @name Scheduler decisions (see kernel/cpu, discrete mode). @{ */
+
+    /** Extra delay before this switch-in (0 = none this time). */
+    sim::Tick injectSchedDelay();
     /** @} */
 
   private:

@@ -9,13 +9,52 @@ namespace reqobs::kernel {
 namespace {
 constexpr std::int64_t kEagain = -11;
 constexpr std::int64_t kEintr = -4;
+
+/** Tracepoint timestamp = virtual clock plus any injected jitter. */
+sim::Tick
+tracepointTimestamp(sim::Tick now, fault::FaultInjector *fault)
+{
+    if (!fault)
+        return now;
+    const std::int64_t jitter = fault->clockJitter();
+    if (jitter < 0 && now < -jitter)
+        return 0;
+    return now + jitter;
+}
+
 } // namespace
 
 Kernel::Kernel(sim::Simulation &sim, const KernelConfig &config)
     : sim_(sim), config_(config),
       cpu_(std::make_unique<CpuModel>(sim, config.cpu)),
       alive_(std::make_shared<bool>(true))
-{}
+{
+    // Surface discrete-dispatch scheduler transitions as tracepoints
+    // (under Gps the hook never fires). Probe cost is deliberately not
+    // charged to any thread: these events fire from scheduler context,
+    // not from a syscall path with a current task to bill.
+    cpu_->setSchedEventHook([this](const CpuModel::SchedEvent &sev) {
+        RawSyscallEvent ev;
+        switch (sev.type) {
+        case CpuModel::SchedEventType::Wakeup:
+            ev.point = TracepointId::SchedWakeup;
+            ev.syscall = sev.tid;
+            break;
+        case CpuModel::SchedEventType::WakeupNew:
+            ev.point = TracepointId::SchedWakeupNew;
+            ev.syscall = sev.tid;
+            break;
+        case CpuModel::SchedEventType::Switch:
+            ev.point = TracepointId::SchedSwitch;
+            ev.syscall = sev.prevTid;
+            ev.ret = sev.prevRunnable ? 0 : 1;
+            break;
+        }
+        ev.pidTgid = sev.pidTgid;
+        ev.timestamp = tracepointTimestamp(sim_.now(), fault_);
+        tracepoints_.fire(ev);
+    });
+}
 
 Kernel::~Kernel()
 {
@@ -83,22 +122,6 @@ Kernel::resumeHandle(std::coroutine_handle<> h)
     if (*alive_ && h && !h.done())
         h.resume();
 }
-
-namespace {
-
-/** Tracepoint timestamp = virtual clock plus any injected jitter. */
-sim::Tick
-tracepointTimestamp(sim::Tick now, fault::FaultInjector *fault)
-{
-    if (!fault)
-        return now;
-    const std::int64_t jitter = fault->clockJitter();
-    if (jitter < 0 && now < -jitter)
-        return 0;
-    return now + jitter;
-}
-
-} // namespace
 
 sim::Tick
 Kernel::fireEnter(Tid tid, std::int64_t syscall)
@@ -783,7 +806,10 @@ ComputeOp::await_suspend(std::coroutine_handle<> h)
     // Capture the kernel, not `this`: the op frame dies as the coroutine
     // resumes, while the callback object outlives the resume call.
     Kernel *k = &k_;
-    k_.cpu().submit(demand_, [k, h] { k->resumeHandle(h); });
+    k_.cpu().submit(demand_,
+                    CpuModel::TaskRef{static_cast<std::uint32_t>(tid_),
+                                      k_.pidTgidOf(tid_)},
+                    [k, h] { k->resumeHandle(h); });
 }
 
 // --------------------------------------------------------------- SleepOp

@@ -227,7 +227,11 @@ class AcceptOp
     Fd newFd_ = -11;
 };
 
-/** Awaitable userspace CPU burst (not a syscall: no tracepoints fire). */
+/**
+ * Awaitable userspace CPU burst. Not a syscall — no raw_syscalls
+ * tracepoints fire — but under SchedModel::Discrete the CPU model
+ * emits sched_wakeup/sched_switch transitions for the burst's task.
+ */
 class ComputeOp
 {
   public:
@@ -347,12 +351,14 @@ class Kernel
 
     /**
      * Install a fault injector for kernel-layer faults (EINTR, EAGAIN,
-     * partial I/O, spurious wakeups, tracepoint clock jitter). Pass
-     * nullptr to disable. The injector must outlive the kernel.
+     * partial I/O, spurious wakeups, tracepoint clock jitter, discrete
+     * switch-in delays). Pass nullptr to disable. The injector must
+     * outlive the kernel.
      */
     void setFaultInjector(fault::FaultInjector *injector)
     {
         fault_ = injector;
+        cpu_->setFaultInjector(injector);
     }
     fault::FaultInjector *faultInjector() const { return fault_; }
 

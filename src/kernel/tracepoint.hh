@@ -32,6 +32,15 @@ namespace reqobs::kernel {
  * in @c syscall and the owning tenant's tgid in the high half of
  * @c pidTgid, so the existing eBPF prologue idioms (tgid filter, tenant
  * slot resolution) work unchanged.
+ *
+ * The discrete-dispatch scheduler (SchedModel::Discrete) adds the three
+ * sched tracepoints on the same ctx ABI:
+ *  - sched_wakeup / sched_wakeup_new: the woken task's tid in
+ *    @c syscall, its pid_tgid in @c pidTgid, @c ret = 0.
+ *  - sched_switch: the departing task's tid in @c syscall, its state in
+ *    @c ret (0 = still runnable, i.e. preempted; 1 = blocked or done),
+ *    and the incoming task's pid_tgid in @c pidTgid (0 = switch to
+ *    idle). Under SchedModel::Gps none of the three ever fire.
  */
 enum class TracepointId
 {
@@ -40,10 +49,13 @@ enum class TracepointId
     NetRxEnqueue,
     SockAccept,
     TcpRetransmit,
+    SchedWakeup,
+    SchedWakeupNew,
+    SchedSwitch,
 };
 
 /** Number of TracepointId values (plan/table sizing). */
-constexpr std::size_t kTracepointCount = 5;
+constexpr std::size_t kTracepointCount = 8;
 
 /** Context passed to attached probes (the eBPF ctx). */
 struct RawSyscallEvent

@@ -69,6 +69,8 @@ Machine::start()
                 [cfg](kernel::Kernel &k, kernel::Tid tid) -> kernel::Task {
                     // Fixed-cadence burn: contention pressure without a
                     // random stream (keeps tenant RNG forks untouched).
+                    if (cfg.startAt > 0)
+                        co_await k.sleepFor(tid, cfg.startAt);
                     for (;;) {
                         co_await k.compute(tid, cfg.burst);
                         co_await k.sleepFor(tid, cfg.gap);

@@ -45,6 +45,12 @@ struct AntagonistConfig
     unsigned threads = 8;
     sim::Tick burst = sim::microseconds(400); ///< CPU demand per cycle
     sim::Tick gap = sim::microseconds(100);   ///< nanosleep between bursts
+    /**
+     * Delay before the first burst, for mid-run contention onsets
+     * (detection-lag experiments). 0 = burn from machine start, the
+     * exact pre-knob behaviour.
+     */
+    sim::Tick startAt = 0;
 };
 
 /** See file comment. */

@@ -147,6 +147,41 @@ TEST(CpuModelTest, ServedTicksTracksWork)
     EXPECT_NEAR(cpu.servedTicks(), 1500.0, 5.0);
 }
 
+TEST(CpuModelTest, ActiveJobsAccountingSurvivesFlatStorage)
+{
+    // Gates the flat-vector job store: activeJobs() must count exactly
+    // the submitted-minus-finished jobs at every point, including after
+    // a mid-stream cancel (the map-era behaviour, bit for bit).
+    sim::Simulation sim;
+    CpuModel cpu(sim, quietCpu(1));
+    EXPECT_EQ(cpu.activeJobs(), 0u);
+    const CpuModel::JobId a = cpu.submit(1000, [] {});
+    cpu.submit(1000, [] {});
+    cpu.submit(1000, [] {});
+    EXPECT_EQ(cpu.activeJobs(), 3u);
+    cpu.cancel(a);
+    EXPECT_EQ(cpu.activeJobs(), 2u);
+    sim.run();
+    EXPECT_EQ(cpu.activeJobs(), 0u);
+    EXPECT_EQ(cpu.completedJobs(), 2u);
+}
+
+TEST(CpuModelTest, ServedTicksAccountingSurvivesCancel)
+{
+    // servedTicks() accrues work actually done, including the share a
+    // later-cancelled job consumed before its cancel.
+    sim::Simulation sim;
+    CpuModel cpu(sim, quietCpu(1));
+    const CpuModel::JobId id = cpu.submit(4000, [] {});
+    cpu.submit(1000, [] {});
+    sim.schedule(1000, [&] { cpu.cancel(id); });
+    sim.run();
+    // Shared for 1000 ticks (both at half speed: 1000 served), then the
+    // survivor's remaining 500 alone.
+    EXPECT_NEAR(cpu.servedTicks(), 1500.0, 5.0);
+    EXPECT_EQ(cpu.completedJobs(), 1u);
+}
+
 TEST(CpuModelTest, JitterInflatesOnlyWhenOversubscribed)
 {
     // With jitter on but jobs <= cores, demand must be exact.

@@ -400,5 +400,121 @@ TEST(EngineDiffProbeLibrary, IdenticalEventStreamIdenticalObservations)
     EXPECT_EQ(recRef, drainRing(nat));
 }
 
+/** One engine's runqlat probe pair on its own kernel and maps. */
+struct RunqStack
+{
+    sim::Simulation sim{1};
+    std::unique_ptr<kernel::Kernel> kernel;
+    std::unique_ptr<EbpfRuntime> rt;
+    probes::RunqlatMaps maps;
+
+    explicit RunqStack(ExecEngine engine)
+    {
+        kernel = std::make_unique<kernel::Kernel>(sim);
+        RuntimeConfig rc;
+        rc.engine = engine;
+        rt = std::make_unique<EbpfRuntime>(*kernel, rc);
+        probes::TenantSet tenants;
+        tenants.tgids = {1000, 2000};
+        tenants.pollSyscalls = {232, 232};
+        maps = probes::createRunqlatMaps(*rt, 2, "runq");
+        attach(probes::buildRunqlatWakeup(*rt, maps),
+               kernel::TracepointId::SchedWakeup);
+        attach(probes::buildRunqlatWakeup(*rt, maps),
+               kernel::TracepointId::SchedWakeupNew);
+        attach(probes::buildRunqlatSwitch(*rt, tenants, maps),
+               kernel::TracepointId::SchedSwitch);
+    }
+
+    void attach(ProgramSpec spec, kernel::TracepointId point)
+    {
+        const auto vr = rt->loadAndAttach(std::move(spec), point);
+        ASSERT_TRUE(vr.ok) << vr.error;
+    }
+
+    void fire(const kernel::RawSyscallEvent &ev)
+    {
+        kernel->tracepoints().fire(ev);
+    }
+};
+
+/**
+ * The runqlat pair observes identically under all three engines: same
+ * per-tenant histograms, same leftover wakeup stamps, same retired-
+ * instruction accounting. The synthetic sched stream covers both
+ * tenants, an unknown tgid, switches to idle, preempt re-stamps
+ * (prev_state == 0), switch-ins with no stamp (the skip path), and
+ * waits from sub-bucket-0 up into the saturating top bucket.
+ */
+TEST(EngineDiffRunqlat, HistogramsAgreeBitForBit)
+{
+    RunqStack ref(ExecEngine::Reference);
+    RunqStack xlt(ExecEngine::Translated);
+    RunqStack nat(ExecEngine::Native);
+    RunqStack *stacks[] = {&ref, &xlt, &nat};
+
+    // Both runqlat programs must native-compile — a silent fallback
+    // would make this test vacuous for the native engine.
+    EXPECT_EQ(nat.rt->nativePrograms(), nat.rt->loadedPrograms());
+
+    std::uint64_t ts = 1000;
+    for (std::uint64_t i = 0; i < 6000; ++i) {
+        const std::uint32_t tid = 1 + (i % 11);
+        const std::uint32_t tgid =
+            i % 3 == 0 ? 1000u : (i % 3 == 1 ? 2000u : 7777u);
+
+        if (i % 9 != 0) { // every 9th switch-in arrives unstamped
+            kernel::RawSyscallEvent w;
+            w.point = i % 2 == 0 ? kernel::TracepointId::SchedWakeup
+                                 : kernel::TracepointId::SchedWakeupNew;
+            w.syscall = tid;
+            w.pidTgid = kernel::makePidTgid(tgid, tid);
+            w.timestamp = static_cast<sim::Tick>(ts += 170);
+            for (auto *s : stacks)
+                s->fire(w);
+        }
+
+        // Wait spanning the histogram; every 29th lands in the
+        // saturating top bucket.
+        std::uint64_t wait = 900 + (i % 13) * 5200 + (i % 5) * 260000;
+        if (i % 29 == 0)
+            wait += 60u * 1000u * 1000u;
+        ts += wait;
+
+        kernel::RawSyscallEvent sw;
+        sw.point = kernel::TracepointId::SchedSwitch;
+        sw.syscall = 1 + ((i + 5) % 11);   // departing task
+        sw.ret = i % 4 == 0 ? 0 : 1;       // every 4th is a preempt
+        sw.pidTgid = i % 17 == 0
+                         ? 0 // switch to idle
+                         : kernel::makePidTgid(tgid, tid);
+        sw.timestamp = static_cast<sim::Tick>(ts);
+        for (auto *s : stacks)
+            s->fire(sw);
+    }
+
+    for (auto *other : {&xlt, &nat}) {
+        for (std::uint32_t slot = 0; slot < 2; ++slot)
+            EXPECT_EQ(probes::readRunqlatHist(*ref.rt, ref.maps, slot),
+                      probes::readRunqlatHist(*other->rt, other->maps,
+                                              slot));
+        EXPECT_EQ(hashSnapshot(ref.rt->hashAt(ref.maps.stampFd)),
+                  hashSnapshot(other->rt->hashAt(other->maps.stampFd)));
+        EXPECT_EQ(ref.rt->eventsProcessed(), other->rt->eventsProcessed());
+        EXPECT_EQ(ref.rt->insnsInterpreted(),
+                  other->rt->insnsInterpreted());
+        EXPECT_EQ(ref.rt->totalProbeCost(), other->rt->totalProbeCost());
+        EXPECT_EQ(ref.rt->mapUpdateFails(), other->rt->mapUpdateFails());
+    }
+    // The stream populated real buckets in both tenant slots.
+    for (std::uint32_t slot = 0; slot < 2; ++slot) {
+        std::uint64_t total = 0;
+        for (std::uint64_t c :
+             probes::readRunqlatHist(*ref.rt, ref.maps, slot))
+            total += c;
+        EXPECT_GT(total, 500u) << "slot " << slot;
+    }
+}
+
 } // namespace
 } // namespace reqobs::ebpf
